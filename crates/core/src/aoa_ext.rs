@@ -1,0 +1,279 @@
+//! AoA-augmented classification: fixing the circling-client blind spot.
+//!
+//! Paper section 9: "If a client is moving on a circle around the AP,
+//! our system will wrongly classify the type of mobility as micro-
+//! instead of macro-mobility, as the ToF values will not be
+//! characterized by an increasing or decreasing trend. ... we plan to
+//! augment our system with Angle of Arrival (AoA) information to
+//! address this limitation."
+//!
+//! This module is that extension. The AP estimates the client's bearing
+//! from each frame's CSI ([`mobisense_phy::aoa`]), aggregates one median
+//! bearing per second (the same de-noising schedule as ToF), and
+//! declares *orbital* macro-mobility when the bearing sweeps steadily
+//! while the ToF shows no radial trend. A uniform linear array measures
+//! `sin(theta)` with a front-back ambiguity, so the detector keys on
+//! sustained bearing *rate* rather than a signed trend.
+
+use mobisense_phy::aoa::AoaEstimator;
+use mobisense_phy::csi::Csi;
+use mobisense_util::filter::{BatchMedian, SlidingWindow};
+use mobisense_util::units::{Nanos, SECOND};
+
+use crate::classifier::{Classification, ClassifierConfig, MobilityClassifier};
+use mobisense_mobility::MobilityMode;
+
+/// Configuration of the bearing-sweep detector.
+#[derive(Clone, Copy, Debug)]
+pub struct BearingConfig {
+    /// Median-aggregation period for raw per-frame bearings.
+    pub aggregation_period: Nanos,
+    /// Detection window, in aggregated samples.
+    pub window: usize,
+    /// A per-second bearing change above this counts as sweeping
+    /// (radians). A 1.2 m/s orbit at 5-8 m sweeps 0.15-0.24 rad/s; the
+    /// multipath-induced jitter of the bearing estimate under confined
+    /// device motion stays below ~0.1 rad/s after median filtering.
+    pub sweep_rate_rad: f64,
+    /// Fraction of window steps that must sweep for an orbit verdict.
+    pub sweep_fraction: f64,
+}
+
+impl Default for BearingConfig {
+    fn default() -> Self {
+        BearingConfig {
+            aggregation_period: SECOND,
+            window: 5,
+            sweep_rate_rad: 0.12,
+            sweep_fraction: 0.75,
+        }
+    }
+}
+
+/// Tracks per-second median bearings and detects a sustained sweep.
+#[derive(Clone, Debug)]
+pub struct BearingTracker {
+    cfg: BearingConfig,
+    estimator: AoaEstimator,
+    batch: BatchMedian,
+    period_end: Nanos,
+    medians: SlidingWindow,
+}
+
+impl BearingTracker {
+    /// Creates a tracker starting at time 0.
+    pub fn new(cfg: BearingConfig) -> Self {
+        BearingTracker {
+            estimator: AoaEstimator::new(),
+            batch: BatchMedian::new(),
+            period_end: cfg.aggregation_period,
+            medians: SlidingWindow::new(cfg.window),
+            cfg,
+        }
+    }
+
+    /// Feeds one frame's CSI at time `now`.
+    pub fn on_frame_csi(&mut self, now: Nanos, csi: &Csi) {
+        self.batch.push(self.estimator.bearing(csi));
+        if now >= self.period_end {
+            self.period_end += self.cfg.aggregation_period;
+            if let Some(m) = self.batch.drain() {
+                self.medians.push(m);
+            }
+        }
+    }
+
+    /// True when the bearing has been sweeping steadily across the
+    /// detection window.
+    pub fn sweeping(&self) -> bool {
+        if !self.medians.is_full() {
+            return false;
+        }
+        let v = self.medians.as_vec();
+        let steps = v.windows(2).map(|w| (w[1] - w[0]).abs());
+        let sweeping = steps
+            .filter(|&d| d >= self.cfg.sweep_rate_rad)
+            .count() as f64;
+        sweeping >= self.cfg.sweep_fraction * (v.len() - 1) as f64
+    }
+
+    /// Drops accumulated state.
+    pub fn reset(&mut self) {
+        self.batch = BatchMedian::new();
+        self.medians.clear();
+    }
+}
+
+/// Classification extended with the orbital verdict.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExtClassification {
+    /// The base CSI+ToF classification.
+    pub base: Classification,
+    /// True when the client is macro-mobile *around* the AP (steady
+    /// bearing sweep without a radial ToF trend).
+    pub orbiting: bool,
+}
+
+impl ExtClassification {
+    /// The effective mobility mode: an orbit is macro-mobility.
+    pub fn mode(&self) -> MobilityMode {
+        if self.orbiting {
+            MobilityMode::Macro
+        } else {
+            self.base.mode
+        }
+    }
+}
+
+/// The Figure-5 classifier augmented with the AoA bearing tracker.
+#[derive(Clone, Debug)]
+pub struct OrbitAwareClassifier {
+    inner: MobilityClassifier,
+    bearings: BearingTracker,
+    last: Option<ExtClassification>,
+}
+
+impl OrbitAwareClassifier {
+    /// Creates the extended classifier.
+    pub fn new(cfg: ClassifierConfig, bearing_cfg: BearingConfig) -> Self {
+        OrbitAwareClassifier {
+            inner: MobilityClassifier::new(cfg),
+            bearings: BearingTracker::new(bearing_cfg),
+            last: None,
+        }
+    }
+
+    /// The wrapped base classifier.
+    pub fn base(&self) -> &MobilityClassifier {
+        &self.inner
+    }
+
+    /// Whether ToF measurement should currently run (unchanged from the
+    /// base design).
+    pub fn tof_measurement_active(&self) -> bool {
+        self.inner.tof_measurement_active()
+    }
+
+    /// Feeds one median ToF sample.
+    pub fn on_tof_median(&mut self, median_cycles: f64) {
+        self.inner.on_tof_median(median_cycles);
+    }
+
+    /// Feeds one frame's CSI; returns the extended classification when a
+    /// sampling period completes.
+    pub fn on_frame_csi(&mut self, now: Nanos, csi: &Csi) -> Option<ExtClassification> {
+        // Bearing estimation is opportunistic on the same frames, but
+        // only worth the cycles while the client shows device mobility.
+        if self.inner.tof_measurement_active() {
+            self.bearings.on_frame_csi(now, csi);
+        } else {
+            self.bearings.reset();
+        }
+        let base = self.inner.on_frame_csi(now, csi)?;
+        let orbiting = base.mode == MobilityMode::Micro && self.bearings.sweeping();
+        let ext = ExtClassification { base, orbiting };
+        self.last = Some(ext);
+        Some(ext)
+    }
+
+    /// Latest extended classification.
+    pub fn current(&self) -> Option<ExtClassification> {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioKind};
+    use mobisense_phy::tof::{TofConfig, TofSampler};
+    use mobisense_util::units::MILLISECOND;
+    use mobisense_util::DetRng;
+
+    /// Runs the extended pipeline and returns (micro decisions,
+    /// orbit-corrected macro decisions, total decisions after warmup).
+    fn run(kind: ScenarioKind, seed: u64, secs: u64) -> (usize, usize, usize) {
+        let mut sc = Scenario::new(kind, seed);
+        let mut cl = OrbitAwareClassifier::new(
+            ClassifierConfig::default(),
+            BearingConfig::default(),
+        );
+        let mut tof = TofSampler::new(TofConfig::default(), 0, DetRng::seed_from_u64(seed));
+        let mut t = 0u64;
+        let mut micro = 0;
+        let mut orbit = 0;
+        let mut total = 0;
+        while t <= secs * SECOND {
+            let obs = sc.observe(t);
+            if let Some(m) = tof.poll(t, obs.distance_m) {
+                cl.on_tof_median(m.cycles);
+            }
+            if let Some(ext) = cl.on_frame_csi(t, &obs.csi) {
+                if t >= 8 * SECOND {
+                    total += 1;
+                    if ext.orbiting {
+                        orbit += 1;
+                    } else if ext.base.mode == MobilityMode::Micro {
+                        micro += 1;
+                    }
+                }
+            }
+            t += 20 * MILLISECOND;
+        }
+        (micro, orbit, total)
+    }
+
+    #[test]
+    fn orbit_detected_as_macro_with_aoa() {
+        let mut orbit_sum = 0;
+        let mut total_sum = 0;
+        for seed in 500..503u64 {
+            let (_, orbit, total) = run(ScenarioKind::Orbit, seed, 30);
+            orbit_sum += orbit;
+            total_sum += total;
+        }
+        assert!(
+            orbit_sum as f64 > 0.5 * total_sum as f64,
+            "orbit correction fired {orbit_sum}/{total_sum}"
+        );
+    }
+
+    #[test]
+    fn micro_not_flagged_as_orbit() {
+        let mut orbit_sum = 0;
+        let mut total_sum = 0;
+        for seed in 510..513u64 {
+            let (_, orbit, total) = run(ScenarioKind::Micro, seed, 30);
+            orbit_sum += orbit;
+            total_sum += total;
+        }
+        assert!(
+            (orbit_sum as f64) < 0.15 * total_sum as f64,
+            "micro misflagged as orbit {orbit_sum}/{total_sum}"
+        );
+    }
+
+    #[test]
+    fn radial_walks_unchanged() {
+        // Radial walks have a ToF trend: they classify macro through the
+        // base path, not the orbit path.
+        let (_, orbit, total) = run(ScenarioKind::MacroAway, 520, 13);
+        assert!(total > 0);
+        assert!(orbit as f64 <= 0.3 * total as f64, "orbit {orbit}/{total}");
+    }
+
+    #[test]
+    fn ext_mode_mapping() {
+        let base = Classification::of(MobilityMode::Micro);
+        let e1 = ExtClassification {
+            base,
+            orbiting: false,
+        };
+        assert_eq!(e1.mode(), MobilityMode::Micro);
+        let e2 = ExtClassification {
+            base,
+            orbiting: true,
+        };
+        assert_eq!(e2.mode(), MobilityMode::Macro);
+    }
+}

@@ -1,0 +1,286 @@
+//! End-to-end classification pipeline: scenario -> AP measurements ->
+//! classifier decisions, with ground truth attached.
+//!
+//! This is the harness behind the paper's Table 1 and Figure 6: it drives
+//! a [`Scenario`] at the AP's frame cadence, feeds CSI into the
+//! [`MobilityClassifier`], runs the ToF sampling/median pipeline, and
+//! records one `(decision, truth)` pair per classifier decision.
+
+use mobisense_mobility::{GroundTruth, MobilityMode};
+use mobisense_phy::tof::{TofConfig, TofSampler};
+use mobisense_util::units::{Nanos, MILLISECOND, SECOND};
+use mobisense_util::DetRng;
+
+use crate::classifier::{Classification, ClassifierConfig, MobilityClassifier};
+use crate::scenario::Scenario;
+
+/// Configuration of a classification run.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Classifier thresholds and periods.
+    pub classifier: ClassifierConfig,
+    /// ToF measurement model.
+    pub tof: TofConfig,
+    /// World step = how often the AP exchanges a frame with the client
+    /// (and could therefore capture CSI / take a ToF reading).
+    pub step: Nanos,
+    /// Decisions made before this instant are discarded: the classifier
+    /// needs its similarity average and ToF window to fill.
+    pub warmup: Nanos,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            classifier: ClassifierConfig::default(),
+            tof: TofConfig::default(),
+            step: 20 * MILLISECOND,
+            warmup: 6 * SECOND,
+        }
+    }
+}
+
+/// One recorded classification decision with its ground truth.
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionRecord {
+    /// Decision timestamp.
+    pub at: Nanos,
+    /// What the classifier said.
+    pub decision: Classification,
+    /// What the world was actually doing.
+    pub truth: GroundTruth,
+}
+
+impl DecisionRecord {
+    /// Mode-level correctness (the paper's Table 1 criterion).
+    pub fn mode_correct(&self) -> bool {
+        self.decision.mode == self.truth.mode
+    }
+
+    /// Direction-level correctness for macro-mobility: mode must match
+    /// and, when the ground truth has a radial direction, the classifier
+    /// direction must agree.
+    pub fn direction_correct(&self) -> bool {
+        self.mode_correct()
+            && match self.truth.direction {
+                Some(d) => self.decision.direction == Some(d),
+                None => true,
+            }
+    }
+}
+
+/// Runs the full pipeline over `duration` and returns every
+/// post-warm-up decision.
+pub fn run_classification(
+    scenario: &mut Scenario,
+    cfg: &PipelineConfig,
+    duration: Nanos,
+    seed: u64,
+) -> Vec<DecisionRecord> {
+    let mut classifier = MobilityClassifier::new(cfg.classifier.clone());
+    let mut tof = TofSampler::new(
+        cfg.tof.clone(),
+        0,
+        DetRng::seed_from_u64(seed ^ 0x746f_665f),
+    );
+    let mut records = Vec::new();
+    let mut t: Nanos = 0;
+    while t <= duration {
+        let obs = scenario.observe(t);
+        if let Some(m) = tof.poll(t, obs.distance_m) {
+            classifier.on_tof_median(m.cycles);
+        }
+        if let Some(decision) = classifier.on_frame_csi(t, &obs.csi) {
+            if t >= cfg.warmup {
+                records.push(DecisionRecord {
+                    at: t,
+                    decision,
+                    truth: obs.truth,
+                });
+            }
+        }
+        t += cfg.step;
+    }
+    records
+}
+
+/// Mode-level accuracy of a record set. Returns `None` when empty.
+pub fn mode_accuracy(records: &[DecisionRecord]) -> Option<f64> {
+    if records.is_empty() {
+        return None;
+    }
+    let ok = records.iter().filter(|r| r.mode_correct()).count();
+    Some(ok as f64 / records.len() as f64)
+}
+
+/// A confusion matrix over the four modes: `counts[truth][decision]`.
+#[derive(Clone, Debug, Default)]
+pub struct Confusion {
+    counts: [[u64; 4]; 4],
+}
+
+impl Confusion {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn idx(m: MobilityMode) -> usize {
+        match m {
+            MobilityMode::Static => 0,
+            MobilityMode::Environmental => 1,
+            MobilityMode::Micro => 2,
+            MobilityMode::Macro => 3,
+        }
+    }
+
+    /// Adds one decision record.
+    pub fn add(&mut self, r: &DecisionRecord) {
+        self.counts[Self::idx(r.truth.mode)][Self::idx(r.decision.mode)] += 1;
+    }
+
+    /// Adds a whole record set.
+    pub fn add_all(&mut self, rs: &[DecisionRecord]) {
+        for r in rs {
+            self.add(r);
+        }
+    }
+
+    /// Row of detection percentages for one ground-truth mode, in the
+    /// order static / environmental / micro / macro (the layout of the
+    /// paper's Table 1). Returns `None` for an unseen mode.
+    pub fn row_percent(&self, truth: MobilityMode) -> Option<[f64; 4]> {
+        let row = &self.counts[Self::idx(truth)];
+        let total: u64 = row.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mut out = [0.0; 4];
+        for (o, &c) in out.iter_mut().zip(row) {
+            *o = 100.0 * c as f64 / total as f64;
+        }
+        Some(out)
+    }
+
+    /// Diagonal accuracy for one ground-truth mode.
+    pub fn accuracy(&self, truth: MobilityMode) -> Option<f64> {
+        self.row_percent(truth).map(|r| r[Self::idx(truth)] / 100.0)
+    }
+
+    /// Raw counts, `counts[truth][decision]`.
+    pub fn counts(&self) -> &[[u64; 4]; 4] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioKind;
+    use mobisense_mobility::movers::EnvIntensity;
+    use mobisense_mobility::Direction;
+
+    fn accuracy_over_seeds(kind: ScenarioKind, seeds: std::ops::Range<u64>) -> f64 {
+        let cfg = PipelineConfig::default();
+        let mut conf = Confusion::new();
+        let mut truth_mode = MobilityMode::Static;
+        for seed in seeds {
+            let mut sc = Scenario::new(kind, seed);
+            truth_mode = kind.true_mode();
+            let recs = run_classification(&mut sc, &cfg, 40 * SECOND, seed);
+            assert!(!recs.is_empty());
+            conf.add_all(&recs);
+        }
+        conf.accuracy(truth_mode).unwrap()
+    }
+
+    #[test]
+    fn static_accuracy_high() {
+        let acc = accuracy_over_seeds(ScenarioKind::Static, 0..6);
+        assert!(acc > 0.9, "static accuracy {acc}");
+    }
+
+    #[test]
+    fn environmental_accuracy_reasonable() {
+        let acc = accuracy_over_seeds(
+            ScenarioKind::Environmental(EnvIntensity::Strong),
+            10..16,
+        );
+        assert!(acc > 0.7, "environmental accuracy {acc}");
+    }
+
+    #[test]
+    fn micro_accuracy_reasonable() {
+        let acc = accuracy_over_seeds(ScenarioKind::Micro, 20..26);
+        assert!(acc > 0.75, "micro accuracy {acc}");
+    }
+
+    #[test]
+    fn macro_radial_accuracy_high() {
+        let cfg = PipelineConfig::default();
+        let mut total = 0usize;
+        let mut macro_ok = 0usize;
+        let mut dir_ok = 0usize;
+        for seed in 30..38u64 {
+            let mut sc = Scenario::new(ScenarioKind::MacroAway, seed);
+            // Walks last ~11 s (13.5 m at 1.2 m/s); classify while moving.
+            let recs = run_classification(&mut sc, &cfg, 13 * SECOND, seed);
+            // Only judge instants where the user is actually walking
+            // (a finished walk has static ground truth).
+            for r in recs
+                .iter()
+                .filter(|r| r.truth.mode == MobilityMode::Macro)
+            {
+                total += 1;
+                if r.mode_correct() {
+                    macro_ok += 1;
+                    if r.decision.direction == Some(Direction::Away) {
+                        dir_ok += 1;
+                    }
+                }
+            }
+        }
+        let acc = macro_ok as f64 / total as f64;
+        assert!(acc > 0.6, "macro accuracy {acc} ({macro_ok}/{total})");
+        // Direction, when macro was detected, must be right nearly always.
+        let dir_acc = dir_ok as f64 / macro_ok.max(1) as f64;
+        assert!(dir_acc > 0.9, "direction accuracy {dir_acc}");
+    }
+
+    #[test]
+    fn orbit_misclassifies_as_micro() {
+        // The paper's admitted limitation (section 9): an orbit around
+        // the AP shows device mobility without a ToF trend and is called
+        // micro-mobility.
+        let cfg = PipelineConfig::default();
+        let mut micro = 0usize;
+        let mut total = 0usize;
+        for seed in 40..43u64 {
+            let mut sc = Scenario::new(ScenarioKind::Orbit, seed);
+            let recs = run_classification(&mut sc, &cfg, 30 * SECOND, seed);
+            total += recs.len();
+            micro += recs
+                .iter()
+                .filter(|r| r.decision.mode == MobilityMode::Micro)
+                .count();
+        }
+        assert!(
+            micro as f64 / total as f64 > 0.7,
+            "orbit should look like micro: {micro}/{total}"
+        );
+    }
+
+    #[test]
+    fn confusion_matrix_bookkeeping() {
+        let mut c = Confusion::new();
+        let r = DecisionRecord {
+            at: 0,
+            decision: Classification::of(MobilityMode::Micro),
+            truth: GroundTruth::of(MobilityMode::Macro),
+        };
+        c.add(&r);
+        assert_eq!(c.counts()[3][2], 1);
+        assert_eq!(c.accuracy(MobilityMode::Macro), Some(0.0));
+        assert_eq!(c.row_percent(MobilityMode::Static), None);
+    }
+}

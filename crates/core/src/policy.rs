@@ -1,0 +1,223 @@
+//! The mobility-aware protocol policy — the paper's Table 2.
+//!
+//! Each classified mobility state maps to a parameter set for the four
+//! protocols the paper optimises. The numbers below are the paper's
+//! Table 2 values (the source text we reproduce from lost '0'/'1' digits
+//! in OCR; values were reconstructed from the table plus the prose in
+//! sections 3-6, and EXPERIMENTS.md records the reconstruction).
+
+use mobisense_mobility::{Direction, MobilityMode};
+use mobisense_util::units::{Nanos, MILLISECOND};
+
+use crate::classifier::Classification;
+
+/// Per-mobility-state protocol parameters (one column of Table 2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MobilityPolicy {
+    /// Should the controller prepare / encourage a roam to a better AP?
+    /// Only when the client is moving away from its current AP.
+    pub encourage_roaming: bool,
+    /// Rate-adaptation probe interval: how long the current rate must
+    /// have been successful before probing the next higher rate.
+    pub probe_interval: Nanos,
+    /// Smoothing factor `alpha` of the PER low-pass filter (paper Eq. 2).
+    /// Larger = more weight on recent frames.
+    pub per_smoothing: f64,
+    /// Retries at the current bit-rate after a failed frame before
+    /// stepping down (section 4.2, optimisation 1).
+    pub rate_retries: u32,
+    /// Maximum A-MPDU aggregation time.
+    pub aggregation_limit: Nanos,
+    /// SU-beamforming CSI feedback (CV update) period.
+    pub bf_feedback_period: Nanos,
+    /// MU-MIMO CSI feedback (CV update) period.
+    pub mu_mimo_feedback_period: Nanos,
+}
+
+impl MobilityPolicy {
+    /// The Table-2 column for a classified mobility state.
+    pub fn for_classification(c: Classification) -> Self {
+        match (c.mode, c.direction) {
+            (MobilityMode::Static, _) => MobilityPolicy {
+                encourage_roaming: false,
+                probe_interval: 500 * MILLISECOND,
+                per_smoothing: 1.0 / 16.0,
+                rate_retries: 2,
+                aggregation_limit: 8 * MILLISECOND,
+                bf_feedback_period: 200 * MILLISECOND,
+                mu_mimo_feedback_period: 200 * MILLISECOND,
+            },
+            (MobilityMode::Environmental, _) => MobilityPolicy {
+                encourage_roaming: false,
+                probe_interval: 500 * MILLISECOND,
+                per_smoothing: 1.0 / 12.0,
+                rate_retries: 2,
+                aggregation_limit: 8 * MILLISECOND,
+                bf_feedback_period: 50 * MILLISECOND,
+                mu_mimo_feedback_period: 50 * MILLISECOND,
+            },
+            (MobilityMode::Micro, _) => MobilityPolicy {
+                encourage_roaming: false,
+                probe_interval: 300 * MILLISECOND,
+                per_smoothing: 1.0 / 4.0,
+                rate_retries: 1,
+                aggregation_limit: 2 * MILLISECOND,
+                bf_feedback_period: 100 * MILLISECOND,
+                mu_mimo_feedback_period: 100 * MILLISECOND,
+            },
+            (MobilityMode::Macro, Some(Direction::Away)) => MobilityPolicy {
+                encourage_roaming: true,
+                probe_interval: 1000 * MILLISECOND,
+                per_smoothing: 1.0 / 3.0,
+                rate_retries: 0,
+                aggregation_limit: 2 * MILLISECOND,
+                bf_feedback_period: 50 * MILLISECOND,
+                mu_mimo_feedback_period: 20 * MILLISECOND,
+            },
+            // Macro towards the AP — and macro with unknown direction,
+            // which we treat like "towards" minus the aggressive probing.
+            (MobilityMode::Macro, d) => MobilityPolicy {
+                encourage_roaming: false,
+                probe_interval: if d == Some(Direction::Towards) {
+                    100 * MILLISECOND
+                } else {
+                    300 * MILLISECOND
+                },
+                per_smoothing: 1.0 / 3.0,
+                rate_retries: 1,
+                aggregation_limit: 2 * MILLISECOND,
+                bf_feedback_period: 50 * MILLISECOND,
+                mu_mimo_feedback_period: 20 * MILLISECOND,
+            },
+        }
+    }
+
+    /// The mobility-oblivious defaults of the paper's baseline AP:
+    /// stock Atheros rate adaptation (`alpha = 1/8`, no retry tweak, fixed
+    /// probe interval), a statically configured 4 ms aggregation time and
+    /// 200 ms CSI feedback for both beamforming flavours.
+    pub fn oblivious_default() -> Self {
+        MobilityPolicy {
+            encourage_roaming: false,
+            probe_interval: 500 * MILLISECOND,
+            per_smoothing: 1.0 / 8.0,
+            rate_retries: 0,
+            aggregation_limit: 4 * MILLISECOND,
+            bf_feedback_period: 200 * MILLISECOND,
+            mu_mimo_feedback_period: 200 * MILLISECOND,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_states() -> Vec<Classification> {
+        vec![
+            Classification::of(MobilityMode::Static),
+            Classification::of(MobilityMode::Environmental),
+            Classification::of(MobilityMode::Micro),
+            Classification::macro_with(Direction::Away),
+            Classification::macro_with(Direction::Towards),
+        ]
+    }
+
+    #[test]
+    fn only_moving_away_triggers_roaming() {
+        for c in all_states() {
+            let p = MobilityPolicy::for_classification(c);
+            assert_eq!(
+                p.encourage_roaming,
+                c.direction == Some(Direction::Away),
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn smoothing_grows_with_mobility_intensity() {
+        let alpha = |c: Classification| MobilityPolicy::for_classification(c).per_smoothing;
+        let s = alpha(Classification::of(MobilityMode::Static));
+        let e = alpha(Classification::of(MobilityMode::Environmental));
+        let mi = alpha(Classification::of(MobilityMode::Micro));
+        let ma = alpha(Classification::macro_with(Direction::Away));
+        assert!(s < e && e < mi && mi < ma, "{s} {e} {mi} {ma}");
+        // Exact Table 2 values.
+        assert_eq!(s, 1.0 / 16.0);
+        assert_eq!(e, 1.0 / 12.0);
+        assert_eq!(mi, 1.0 / 4.0);
+        assert_eq!(ma, 1.0 / 3.0);
+    }
+
+    #[test]
+    fn probing_aggressive_towards_conservative_away() {
+        let towards = MobilityPolicy::for_classification(Classification::macro_with(
+            Direction::Towards,
+        ));
+        let away =
+            MobilityPolicy::for_classification(Classification::macro_with(Direction::Away));
+        let stat = MobilityPolicy::for_classification(Classification::of(MobilityMode::Static));
+        assert!(towards.probe_interval < stat.probe_interval);
+        assert!(away.probe_interval > stat.probe_interval);
+    }
+
+    #[test]
+    fn aggregation_follows_coherence_time() {
+        let lim = |c: Classification| {
+            MobilityPolicy::for_classification(c).aggregation_limit
+        };
+        assert_eq!(lim(Classification::of(MobilityMode::Static)), 8 * MILLISECOND);
+        assert_eq!(
+            lim(Classification::of(MobilityMode::Environmental)),
+            8 * MILLISECOND
+        );
+        assert_eq!(lim(Classification::of(MobilityMode::Micro)), 2 * MILLISECOND);
+        assert_eq!(
+            lim(Classification::macro_with(Direction::Away)),
+            2 * MILLISECOND
+        );
+    }
+
+    #[test]
+    fn feedback_faster_under_more_mobility() {
+        let bf = |c: Classification| MobilityPolicy::for_classification(c).bf_feedback_period;
+        assert!(
+            bf(Classification::of(MobilityMode::Static))
+                > bf(Classification::of(MobilityMode::Micro))
+        );
+        assert!(
+            bf(Classification::of(MobilityMode::Micro))
+                > bf(Classification::macro_with(Direction::Away))
+        );
+        // MU-MIMO tracks macro clients even faster.
+        let mu = MobilityPolicy::for_classification(Classification::macro_with(Direction::Away))
+            .mu_mimo_feedback_period;
+        assert_eq!(mu, 20 * MILLISECOND);
+    }
+
+    #[test]
+    fn away_never_retries_failed_rate() {
+        let p = MobilityPolicy::for_classification(Classification::macro_with(Direction::Away));
+        assert_eq!(p.rate_retries, 0);
+        let s = MobilityPolicy::for_classification(Classification::of(MobilityMode::Static));
+        assert_eq!(s.rate_retries, 2);
+    }
+
+    #[test]
+    fn oblivious_default_matches_stock_atheros() {
+        let d = MobilityPolicy::oblivious_default();
+        assert_eq!(d.per_smoothing, 1.0 / 8.0);
+        assert_eq!(d.aggregation_limit, 4 * MILLISECOND);
+        assert_eq!(d.bf_feedback_period, 200 * MILLISECOND);
+        assert!(!d.encourage_roaming);
+    }
+
+    #[test]
+    fn macro_unknown_direction_is_sane() {
+        let c = Classification::of(MobilityMode::Macro);
+        let p = MobilityPolicy::for_classification(c);
+        assert!(!p.encourage_roaming);
+        assert_eq!(p.aggregation_limit, 2 * MILLISECOND);
+    }
+}

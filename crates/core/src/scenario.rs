@@ -1,0 +1,634 @@
+//! Ground-truth mobility scenarios: the glue binding a trajectory, an
+//! environment mover field and a ray channel.
+//!
+//! Each scenario corresponds to one of the paper's experimental settings
+//! (section 2.1): the phone parked in a quiet lab, on a cafeteria table at
+//! lunch hour, handled within a metre, or carried on a walk. Every
+//! experiment in the workspace is driven by [`Scenario::observe`], which
+//! advances the world to a timestamp and returns everything an AP can
+//! measure (CSI, RSSI, true distance for the ToF model) along with the
+//! ground truth the AP is trying to infer.
+
+use mobisense_mobility::movers::{EnvIntensity, MoverField};
+use mobisense_mobility::trajectory::{
+    CircularOrbit, MicroWander, StaticPose, Trajectory, WaypointWalk,
+};
+use mobisense_mobility::{mode, Direction, GroundTruth, MobilityMode};
+use mobisense_phy::channel::RayChannel;
+use mobisense_phy::config::ChannelConfig;
+use mobisense_phy::csi::Csi;
+use mobisense_util::units::Nanos;
+use mobisense_util::{DetRng, Vec2};
+
+/// The experimental settings of paper section 2.1, plus the circular
+/// orbit from the limitations discussion (section 9).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Phone parked, quiet environment.
+    Static,
+    /// Phone parked, people moving around it.
+    Environmental(EnvIntensity),
+    /// Phone handled within ~1 m (natural gestures).
+    Micro,
+    /// User walks radially towards the AP.
+    MacroTowards,
+    /// User walks radially away from the AP.
+    MacroAway,
+    /// User walks between random waypoints.
+    MacroRandom,
+    /// User orbits the AP at constant radius — the classifier's known
+    /// failure mode.
+    Orbit,
+}
+
+impl ScenarioKind {
+    /// The ground-truth mobility mode of this scenario.
+    pub fn true_mode(self) -> MobilityMode {
+        match self {
+            ScenarioKind::Static => MobilityMode::Static,
+            ScenarioKind::Environmental(i) => {
+                if i == EnvIntensity::Quiet {
+                    MobilityMode::Static
+                } else {
+                    MobilityMode::Environmental
+                }
+            }
+            ScenarioKind::Micro => MobilityMode::Micro,
+            ScenarioKind::MacroTowards
+            | ScenarioKind::MacroAway
+            | ScenarioKind::MacroRandom
+            | ScenarioKind::Orbit => MobilityMode::Macro,
+        }
+    }
+
+    /// Short label for benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioKind::Static => "static",
+            ScenarioKind::Environmental(EnvIntensity::Quiet) => "env-quiet",
+            ScenarioKind::Environmental(EnvIntensity::Weak) => "env-weak",
+            ScenarioKind::Environmental(EnvIntensity::Strong) => "env-strong",
+            ScenarioKind::Micro => "micro",
+            ScenarioKind::MacroTowards => "macro-towards",
+            ScenarioKind::MacroAway => "macro-away",
+            ScenarioKind::MacroRandom => "macro-random",
+            ScenarioKind::Orbit => "orbit",
+        }
+    }
+}
+
+/// Geometry and channel parameters of a scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Channel / radio parameters.
+    pub channel: ChannelConfig,
+    /// Room bounding box, low corner.
+    pub room_lo: Vec2,
+    /// Room bounding box, high corner.
+    pub room_hi: Vec2,
+    /// AP position.
+    pub ap_pos: Vec2,
+    /// Static reflectors (walls, furniture).
+    pub n_static_reflectors: usize,
+    /// Mobile reflectors (people) — driven by the mover field.
+    pub n_mobile_reflectors: usize,
+    /// Mean walking speed for macro scenarios (m/s).
+    pub walk_speed: f64,
+    /// Micro-mobility confinement radius (m).
+    pub micro_radius: f64,
+    /// Radial speed (m/s) above which macro ground truth gets a
+    /// towards/away direction label.
+    pub direction_threshold_mps: f64,
+    /// Start-distance range (m) for radial towards/away walks.
+    pub radial_range: (f64, f64),
+    /// Shadow-fading std-dev (dB) while the device moves. Body blockage
+    /// and obstacle geometry make a handheld walking link swing several
+    /// dB on sub-second timescales — the bursty channel that frame-based
+    /// rate adaptation struggles with.
+    pub shadow_sigma_moving_db: f64,
+    /// Shadow-fading std-dev (dB) for a parked device (people crossing
+    /// the line of sight).
+    pub shadow_sigma_static_db: f64,
+    /// Shadow-fading correlation time (s).
+    pub shadow_tau_s: f64,
+    /// Rate (events/s) of body-blockage dips while the device moves.
+    /// A walking user's torso periodically shadows the line of sight,
+    /// producing deep, short fades that frame-based rate control reacts
+    /// to — the transient losses the paper's retry-before-downshift
+    /// optimisation targets (section 4.2).
+    pub blockage_rate_hz: f64,
+    /// Depth range of a blockage dip (dB).
+    pub blockage_depth_db: (f64, f64),
+    /// Duration range of a blockage dip (s).
+    pub blockage_secs: (f64, f64),
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            channel: ChannelConfig::default(),
+            room_lo: Vec2::new(0.0, 0.0),
+            room_hi: Vec2::new(30.0, 20.0),
+            ap_pos: Vec2::new(15.0, 10.0),
+            n_static_reflectors: 20,
+            n_mobile_reflectors: 8,
+            walk_speed: 1.2,
+            micro_radius: 0.5,
+            direction_threshold_mps: 0.3,
+            radial_range: (12.0, 16.0),
+            shadow_sigma_moving_db: 2.5,
+            shadow_sigma_static_db: 0.8,
+            shadow_tau_s: 0.6,
+            blockage_rate_hz: 0.2,
+            blockage_depth_db: (6.0, 12.0),
+            blockage_secs: (0.15, 0.45),
+        }
+    }
+}
+
+/// What the AP observes about the client at one instant, plus the ground
+/// truth a benchmark compares against.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// Observation timestamp.
+    pub at: Nanos,
+    /// True client position.
+    pub pos: Vec2,
+    /// Client antenna-array orientation (radians).
+    pub heading: f64,
+    /// Measured CSI (estimation noise included).
+    pub csi: Csi,
+    /// Reported RSSI (dBm, quantised).
+    pub rssi_dbm: f64,
+    /// True mean link SNR (dB).
+    pub snr_db: f64,
+    /// True AP-client distance (m) — input to the ToF measurement model.
+    pub distance_m: f64,
+    /// Instantaneous client speed (m/s).
+    pub speed_mps: f64,
+    /// Ground truth mobility state.
+    pub truth: GroundTruth,
+}
+
+/// A steppable ground-truth world: one AP, one client, one reflector
+/// field.
+pub struct Scenario {
+    kind: ScenarioKind,
+    cfg: ScenarioConfig,
+    channel: RayChannel,
+    trajectory: Box<dyn Trajectory + Send>,
+    movers: MoverField,
+    mobile_idx: Vec<usize>,
+    rng: DetRng,
+    prev: Option<(Nanos, Vec2)>,
+    shadow_db: f64,
+    shadow_rng: DetRng,
+    shadow_t: Nanos,
+    blockage_until: Nanos,
+    blockage_depth: f64,
+}
+
+impl Scenario {
+    /// Builds a scenario of the given kind with default geometry.
+    pub fn new(kind: ScenarioKind, seed: u64) -> Self {
+        Scenario::with_config(kind, ScenarioConfig::default(), seed)
+    }
+
+    /// Builds a scenario with explicit geometry/channel parameters.
+    pub fn with_config(kind: ScenarioKind, cfg: ScenarioConfig, seed: u64) -> Self {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut geom_rng = rng.fork("geometry");
+        let channel = RayChannel::with_random_reflectors(
+            cfg.channel.clone(),
+            cfg.ap_pos,
+            cfg.room_lo,
+            cfg.room_hi,
+            cfg.n_static_reflectors,
+            cfg.n_mobile_reflectors,
+            &mut geom_rng,
+        );
+        let mobile_idx: Vec<usize> = channel
+            .reflectors()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.mobile.then_some(i))
+            .collect();
+
+        let intensity = match kind {
+            ScenarioKind::Environmental(i) => i,
+            _ => EnvIntensity::Quiet,
+        };
+        // The client anchor is drawn before the mover field so that
+        // environmental movers can be placed around the client — the
+        // paper's environmental setting is a cafeteria *table*: the
+        // moving people are within a few metres of the device.
+        let anchor = random_point_at_range(&cfg, &mut rng, 4.0, 12.0);
+        let (mover_lo, mover_hi) = match kind {
+            ScenarioKind::Environmental(_) => (
+                (anchor - Vec2::new(6.0, 6.0)).clamp_box(cfg.room_lo, cfg.room_hi),
+                (anchor + Vec2::new(6.0, 6.0)).clamp_box(cfg.room_lo, cfg.room_hi),
+            ),
+            _ => (cfg.room_lo, cfg.room_hi),
+        };
+        let movers = MoverField::new(
+            mover_lo,
+            mover_hi,
+            mobile_idx.len(),
+            intensity,
+            rng.fork("movers"),
+        );
+
+        let trajectory = Self::build_trajectory(kind, &cfg, anchor, &mut rng);
+
+        Scenario {
+            kind,
+            cfg,
+            channel,
+            trajectory,
+            movers,
+            mobile_idx,
+            rng: {
+                let mut r = DetRng::seed_from_u64(seed);
+                r.fork("measurement")
+            },
+            prev: None,
+            shadow_db: 0.0,
+            shadow_rng: {
+                let mut r = DetRng::seed_from_u64(seed ^ 0x73686164);
+                r.fork("shadow")
+            },
+            shadow_t: 0,
+            blockage_until: 0,
+            blockage_depth: 0.0,
+        }
+    }
+
+    /// Advances the Ornstein-Uhlenbeck shadow-fading process to `t`.
+    fn advance_shadow(&mut self, t: Nanos, moving: bool) -> f64 {
+        let sigma = if moving {
+            self.cfg.shadow_sigma_moving_db
+        } else {
+            self.cfg.shadow_sigma_static_db
+        };
+        if sigma <= 0.0 {
+            self.shadow_t = t;
+            self.shadow_db = 0.0;
+            return 0.0;
+        }
+        let tau = self.cfg.shadow_tau_s.max(1e-3);
+        let mut now = self.shadow_t;
+        const STEP: Nanos = 50 * mobisense_util::units::MILLISECOND;
+        while now + STEP <= t {
+            now += STEP;
+            let dt = STEP as f64 / 1e9;
+            let decay = (-dt / tau).exp();
+            let noise = sigma * (1.0 - decay * decay).sqrt();
+            self.shadow_db = self.shadow_db * decay + self.shadow_rng.normal(0.0, noise);
+            // Bursty body blockage while moving.
+            if moving
+                && now >= self.blockage_until
+                && self
+                    .shadow_rng
+                    .chance(self.cfg.blockage_rate_hz * dt)
+            {
+                let (d_lo, d_hi) = self.cfg.blockage_depth_db;
+                let (s_lo, s_hi) = self.cfg.blockage_secs;
+                self.blockage_depth = self.shadow_rng.uniform_in(d_lo, d_hi);
+                self.blockage_until = now
+                    + mobisense_util::units::secs_to_nanos(
+                        self.shadow_rng.uniform_in(s_lo, s_hi),
+                    );
+            }
+        }
+        self.shadow_t = now;
+        let blocked = now < self.blockage_until;
+        self.shadow_db - if blocked { self.blockage_depth } else { 0.0 }
+    }
+
+    fn build_trajectory(
+        kind: ScenarioKind,
+        cfg: &ScenarioConfig,
+        anchor: Vec2,
+        rng: &mut DetRng,
+    ) -> Box<dyn Trajectory + Send> {
+        let ap = cfg.ap_pos;
+        match kind {
+            ScenarioKind::Static | ScenarioKind::Environmental(_) => Box::new(StaticPose::new(
+                anchor,
+                rng.uniform_in(0.0, std::f64::consts::TAU),
+            )),
+            ScenarioKind::Micro => Box::new(MicroWander::new(
+                anchor,
+                cfg.micro_radius,
+                rng.fork("micro"),
+            )),
+            ScenarioKind::MacroTowards => {
+                let (lo_r, hi_r) = cfg.radial_range;
+                let far = random_point_at_range(cfg, rng, lo_r, hi_r);
+                let dir = (far - ap).normalized();
+                let near = ap + dir * 2.5;
+                Box::new(WaypointWalk::between(
+                    far,
+                    near,
+                    cfg.walk_speed,
+                    rng.fork("walk"),
+                ))
+            }
+            ScenarioKind::MacroAway => {
+                let (lo_r, hi_r) = cfg.radial_range;
+                let far = random_point_at_range(cfg, rng, lo_r, hi_r);
+                let dir = (far - ap).normalized();
+                let near = ap + dir * 2.5;
+                Box::new(WaypointWalk::between(
+                    near,
+                    far,
+                    cfg.walk_speed,
+                    rng.fork("walk"),
+                ))
+            }
+            ScenarioKind::MacroRandom => {
+                // Office walks have long straight legs (corridors): keep
+                // consecutive waypoints well apart so radial trends get
+                // time to establish between turns.
+                let mut wp_rng = rng.fork("waypoints");
+                let mut pts: Vec<Vec2> = Vec::with_capacity(8);
+                while pts.len() < 8 {
+                    let p = random_point_at_range_with(
+                        &cfg.room_lo,
+                        &cfg.room_hi,
+                        ap,
+                        &mut wp_rng,
+                        2.0,
+                        17.0,
+                    );
+                    if pts.last().map_or(true, |l| l.dist(p) >= 14.0) {
+                        pts.push(p);
+                    }
+                }
+                Box::new(WaypointWalk::new(pts, cfg.walk_speed, rng.fork("walk")).looping())
+            }
+            ScenarioKind::Orbit => {
+                let radius = rng.uniform_in(5.0, 8.0);
+                let phase = rng.uniform_in(0.0, std::f64::consts::TAU);
+                Box::new(CircularOrbit::new(ap, radius, cfg.walk_speed, phase))
+            }
+        }
+    }
+
+    /// The scenario kind.
+    pub fn kind(&self) -> ScenarioKind {
+        self.kind
+    }
+
+    /// The AP's position.
+    pub fn ap_pos(&self) -> Vec2 {
+        self.cfg.ap_pos
+    }
+
+    /// The underlying ray channel (e.g. for beamforming experiments that
+    /// need noiseless CSI at an arbitrary pose).
+    pub fn channel(&self) -> &RayChannel {
+        &self.channel
+    }
+
+    /// Advances the world to time `t` (non-decreasing) and returns the
+    /// AP's view of the client plus ground truth.
+    pub fn observe(&mut self, t: Nanos) -> Observation {
+        // Move the environment, then mirror the mover positions onto the
+        // channel's mobile reflectors.
+        let positions = self.movers.advance_to(t);
+        for (&idx, &p) in self.mobile_idx.iter().zip(&positions) {
+            self.channel.reflectors_mut()[idx].pos = p;
+        }
+
+        let pose = self.trajectory.pose_at(t);
+        // People crossing the line of sight shake the link budget too:
+        // an active environmental scenario gets the moving-grade shadow
+        // process even though the device itself is parked (the paper's
+        // Figure 1 point — environmental RSSI variation rivals device
+        // motion).
+        let env_active = matches!(
+            self.kind,
+            ScenarioKind::Environmental(i) if i != EnvIntensity::Quiet
+        );
+        let shadow = self.advance_shadow(t, pose.speed > 0.05 || env_active);
+        let true_csi = self.channel.csi_at(pose.pos, pose.heading);
+        let snr_db = self.channel.snr_db(&true_csi) + shadow;
+        let csi = self.channel.with_estimation_noise(&true_csi, &mut self.rng);
+        let rssi_dbm = (true_csi.rx_power_dbm(self.cfg.channel.tx_power_dbm)
+            + shadow
+            + self.rng.normal(0.0, self.cfg.channel.rssi_noise_db))
+        .round();
+        let distance_m = self.channel.distance_to(pose.pos);
+
+        let truth = self.ground_truth(t, pose.pos, pose.speed);
+        self.prev = Some((t, pose.pos));
+
+        Observation {
+            at: t,
+            pos: pose.pos,
+            heading: pose.heading,
+            csi,
+            rssi_dbm,
+            snr_db,
+            distance_m,
+            speed_mps: pose.speed,
+            truth,
+        }
+    }
+
+    fn ground_truth(&self, t: Nanos, pos: Vec2, speed: f64) -> GroundTruth {
+        let mode = self.kind.true_mode();
+        if mode != MobilityMode::Macro {
+            return GroundTruth::of(mode);
+        }
+        // A finished walk is a parked device: the ground truth follows
+        // what the user is doing, not the scenario label.
+        if speed < 0.05 && self.kind != ScenarioKind::Orbit {
+            return GroundTruth::of(MobilityMode::Static);
+        }
+        // Direction from radial velocity since the last observation.
+        let direction = match self.prev {
+            Some((pt, ppos)) if t > pt => {
+                let dt = (t - pt) as f64 / 1e9;
+                mode::radial_direction(
+                    ppos,
+                    pos,
+                    self.cfg.ap_pos,
+                    self.cfg.direction_threshold_mps * dt,
+                )
+            }
+            _ => match self.kind {
+                ScenarioKind::MacroTowards => Some(Direction::Towards),
+                ScenarioKind::MacroAway => Some(Direction::Away),
+                _ => None,
+            },
+        };
+        GroundTruth { mode, direction }
+    }
+}
+
+fn random_point_at_range(
+    cfg: &ScenarioConfig,
+    rng: &mut DetRng,
+    min_d: f64,
+    max_d: f64,
+) -> Vec2 {
+    random_point_at_range_with(&cfg.room_lo, &cfg.room_hi, cfg.ap_pos, rng, min_d, max_d)
+}
+
+/// Rejection-samples a point in the room whose distance to `ap` lies in
+/// `[min_d, max_d]`, falling back to clamped ring placement if the box is
+/// too tight.
+fn random_point_at_range_with(
+    lo: &Vec2,
+    hi: &Vec2,
+    ap: Vec2,
+    rng: &mut DetRng,
+    min_d: f64,
+    max_d: f64,
+) -> Vec2 {
+    for _ in 0..256 {
+        let p = rng.point_in_box(*lo, *hi);
+        let d = p.dist(ap);
+        if d >= min_d && d <= max_d {
+            return p;
+        }
+    }
+    // Fallback: pick a direction and clamp the ring point into the room.
+    let dir = rng.unit_vector();
+    (ap + dir * rng.uniform_in(min_d, max_d)).clamp_box(*lo, *hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobisense_phy::csi::csi_similarity;
+    use mobisense_util::units::{MILLISECOND, SECOND};
+
+    #[test]
+    fn static_scenario_csi_stays_similar() {
+        let mut s = Scenario::new(ScenarioKind::Static, 1);
+        let a = s.observe(0);
+        let b = s.observe(500 * MILLISECOND);
+        let sim = csi_similarity(&a.csi, &b.csi);
+        assert!(sim > 0.97, "static similarity {sim}");
+        assert_eq!(a.truth.mode, MobilityMode::Static);
+        assert_eq!(a.distance_m, b.distance_m);
+    }
+
+    #[test]
+    fn macro_scenario_decorrelates_and_moves() {
+        let mut s = Scenario::new(ScenarioKind::MacroAway, 2);
+        let a = s.observe(0);
+        let b = s.observe(2 * SECOND);
+        let sim = csi_similarity(&a.csi, &b.csi);
+        assert!(sim < 0.7, "macro similarity {sim}");
+        assert!(b.distance_m > a.distance_m + 1.0);
+        assert_eq!(b.truth.mode, MobilityMode::Macro);
+        assert_eq!(b.truth.direction, Some(Direction::Away));
+    }
+
+    #[test]
+    fn macro_towards_approaches() {
+        let mut s = Scenario::new(ScenarioKind::MacroTowards, 3);
+        let a = s.observe(0);
+        let b = s.observe(4 * SECOND);
+        assert!(b.distance_m < a.distance_m - 2.0);
+        assert_eq!(b.truth.direction, Some(Direction::Towards));
+    }
+
+    #[test]
+    fn environmental_scenario_partially_decorrelates() {
+        let mut s = Scenario::new(
+            ScenarioKind::Environmental(EnvIntensity::Strong),
+            4,
+        );
+        // Warm the movers, then compare across a sampling period.
+        let mut sims = Vec::new();
+        let mut prev = s.observe(0);
+        for i in 1..=20u64 {
+            let cur = s.observe(i * 500 * MILLISECOND);
+            sims.push(csi_similarity(&prev.csi, &cur.csi));
+            prev = cur;
+        }
+        let mean = mobisense_util::stats::mean(&sims).unwrap();
+        assert!(
+            mean < 0.99 && mean > 0.4,
+            "environmental mean similarity {mean} ({sims:?})"
+        );
+        // Device is parked: distance constant.
+        assert_eq!(prev.truth.mode, MobilityMode::Environmental);
+    }
+
+    #[test]
+    fn micro_scenario_confined_but_decorrelated() {
+        let mut s = Scenario::new(ScenarioKind::Micro, 5);
+        let a = s.observe(0);
+        let mut max_move: f64 = 0.0;
+        let mut prev = a.clone();
+        let mut sims = Vec::new();
+        for i in 1..=30u64 {
+            let cur = s.observe(i * 500 * MILLISECOND);
+            max_move = max_move.max(cur.pos.dist(a.pos));
+            sims.push(csi_similarity(&prev.csi, &cur.csi));
+            prev = cur;
+        }
+        assert!(max_move < 1.2, "micro escaped: {max_move} m");
+        let mean = mobisense_util::stats::mean(&sims).unwrap();
+        assert!(mean < 0.8, "micro similarity too high: {mean}");
+    }
+
+    #[test]
+    fn orbit_keeps_distance_but_decorrelates() {
+        let mut s = Scenario::new(ScenarioKind::Orbit, 6);
+        let a = s.observe(0);
+        let b = s.observe(5 * SECOND);
+        assert!((a.distance_m - b.distance_m).abs() < 0.1);
+        assert!(csi_similarity(&a.csi, &b.csi) < 0.7);
+        assert_eq!(b.truth.mode, MobilityMode::Macro);
+        assert_eq!(b.truth.direction, None, "orbit has no radial direction");
+    }
+
+    #[test]
+    fn scenarios_are_reproducible() {
+        let mut a = Scenario::new(ScenarioKind::MacroRandom, 7);
+        let mut b = Scenario::new(ScenarioKind::MacroRandom, 7);
+        for i in 0..10u64 {
+            let oa = a.observe(i * SECOND);
+            let ob = b.observe(i * SECOND);
+            assert_eq!(oa.pos, ob.pos);
+            assert_eq!(oa.rssi_dbm, ob.rssi_dbm);
+            assert_eq!(oa.csi, ob.csi);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Scenario::new(ScenarioKind::Static, 8);
+        let mut b = Scenario::new(ScenarioKind::Static, 9);
+        assert_ne!(a.observe(0).pos, b.observe(0).pos);
+    }
+
+    #[test]
+    fn snr_in_plausible_indoor_band() {
+        for seed in 0..5 {
+            let mut s = Scenario::new(ScenarioKind::Static, 100 + seed);
+            let o = s.observe(0);
+            assert!(o.snr_db > 8.0 && o.snr_db < 70.0, "snr {}", o.snr_db);
+        }
+    }
+
+    #[test]
+    fn labels_cover_kinds() {
+        assert_eq!(ScenarioKind::MacroAway.label(), "macro-away");
+        assert_eq!(
+            ScenarioKind::Environmental(EnvIntensity::Strong).label(),
+            "env-strong"
+        );
+        assert_eq!(
+            ScenarioKind::Environmental(EnvIntensity::Quiet).true_mode(),
+            MobilityMode::Static
+        );
+    }
+}

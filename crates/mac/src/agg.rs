@@ -1,0 +1,110 @@
+//! Frame-aggregation policies (paper section 5).
+//!
+//! The driver knob is the *maximum allowed aggregation time*; the actual
+//! aggregate size follows from the current bit-rate
+//! (`size = time limit / per-MPDU duration`). The paper's adaptive scheme
+//! maps the client's mobility mode to a limit — 8 ms when the channel is
+//! stable (static/environmental), 2 ms when the device moves — while the
+//! stock Atheros driver uses a fixed 4 ms.
+
+use mobisense_core::classifier::Classification;
+use mobisense_core::policy::MobilityPolicy;
+use mobisense_phy::airtime;
+use mobisense_phy::mcs::Mcs;
+use mobisense_util::units::{Nanos, MILLISECOND};
+
+/// How the transmitter chooses its aggregation time limit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggPolicy {
+    /// A statically configured limit (stock driver behaviour).
+    Fixed(Nanos),
+    /// The mobility-aware limit from Table 2; falls back to the given
+    /// limit when no classification is available yet.
+    MobilityAware {
+        /// Limit used before the first classification arrives.
+        fallback: Nanos,
+    },
+}
+
+impl AggPolicy {
+    /// The stock Atheros configuration: fixed 4 ms.
+    pub fn stock() -> Self {
+        AggPolicy::Fixed(4 * MILLISECOND)
+    }
+
+    /// The paper's adaptive policy with the stock fallback.
+    pub fn adaptive() -> Self {
+        AggPolicy::MobilityAware {
+            fallback: 4 * MILLISECOND,
+        }
+    }
+
+    /// Current aggregation time limit given the latest mobility hint.
+    pub fn limit(&self, hint: Option<Classification>) -> Nanos {
+        match *self {
+            AggPolicy::Fixed(l) => l,
+            AggPolicy::MobilityAware { fallback } => hint
+                .map(|c| MobilityPolicy::for_classification(c).aggregation_limit)
+                .unwrap_or(fallback),
+        }
+    }
+
+    /// Number of MPDUs to aggregate at the given MCS under this policy.
+    pub fn n_mpdus(
+        &self,
+        mcs: Mcs,
+        mpdu_payload_bytes: usize,
+        hint: Option<Classification>,
+    ) -> usize {
+        airtime::mpdus_for_time_limit(mcs, mpdu_payload_bytes, self.limit(hint))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobisense_mobility::{Direction, MobilityMode};
+
+    #[test]
+    fn fixed_ignores_hints() {
+        let p = AggPolicy::stock();
+        let hint = Some(Classification::macro_with(Direction::Away));
+        assert_eq!(p.limit(None), 4 * MILLISECOND);
+        assert_eq!(p.limit(hint), 4 * MILLISECOND);
+    }
+
+    #[test]
+    fn adaptive_follows_table_2() {
+        let p = AggPolicy::adaptive();
+        assert_eq!(p.limit(None), 4 * MILLISECOND);
+        assert_eq!(
+            p.limit(Some(Classification::of(MobilityMode::Static))),
+            8 * MILLISECOND
+        );
+        assert_eq!(
+            p.limit(Some(Classification::of(MobilityMode::Environmental))),
+            8 * MILLISECOND
+        );
+        assert_eq!(
+            p.limit(Some(Classification::of(MobilityMode::Micro))),
+            2 * MILLISECOND
+        );
+        assert_eq!(
+            p.limit(Some(Classification::macro_with(Direction::Towards))),
+            2 * MILLISECOND
+        );
+    }
+
+    #[test]
+    fn n_mpdus_scales_with_rate_and_limit() {
+        let p = AggPolicy::adaptive();
+        let static_hint = Some(Classification::of(MobilityMode::Static));
+        let macro_hint = Some(Classification::macro_with(Direction::Away));
+        let n_static = p.n_mpdus(Mcs(15), 1500, static_hint);
+        let n_macro = p.n_mpdus(Mcs(15), 1500, macro_hint);
+        assert!(n_static > n_macro);
+        // Low rate fits fewer MPDUs in the same window.
+        assert!(p.n_mpdus(Mcs(0), 1500, static_hint) < n_static);
+        assert!(p.n_mpdus(Mcs(0), 1500, macro_hint) >= 1);
+    }
+}

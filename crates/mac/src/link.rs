@@ -1,0 +1,188 @@
+//! Simulation of a single A-MPDU frame exchange.
+//!
+//! The channel is summarised by an effective SNR and a coherence time;
+//! each MPDU inside the aggregate draws an independent error with a
+//! probability that grows with its time offset from the preamble
+//! (equalisation staleness — the paper's section 5 mechanism). The
+//! Block-ACK is returned whenever at least one MPDU was decodable; a
+//! completely failed aggregate yields no Block-ACK, which is the event
+//! the Atheros rate control reacts to most aggressively (section 4.1).
+
+use mobisense_phy::airtime;
+use mobisense_phy::mcs::Mcs;
+use mobisense_phy::per;
+use mobisense_util::units::{nanos_to_secs, Nanos};
+use mobisense_util::DetRng;
+
+/// Channel condition during one frame exchange.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkState {
+    /// Effective (capacity-equivalent) SNR in dB.
+    pub esnr_db: f64,
+    /// Channel coherence time in seconds (`f64::INFINITY` when static).
+    pub coherence_secs: f64,
+}
+
+impl LinkState {
+    /// A static link at the given SNR.
+    pub fn static_at(esnr_db: f64) -> Self {
+        LinkState {
+            esnr_db,
+            coherence_secs: f64::INFINITY,
+        }
+    }
+}
+
+/// Result of one A-MPDU exchange.
+#[derive(Clone, Copy, Debug)]
+pub struct FrameOutcome {
+    /// MCS the frame was sent at.
+    pub mcs: Mcs,
+    /// MPDUs in the aggregate.
+    pub n_mpdus: usize,
+    /// MPDUs acknowledged.
+    pub n_delivered: usize,
+    /// Whether a Block-ACK came back (false = complete loss).
+    pub block_ack: bool,
+    /// Total medium time consumed by the exchange.
+    pub airtime: Nanos,
+    /// Effective SNR the frame actually experienced — what a SoftRate-
+    /// style PHY feedback would report back to the transmitter.
+    pub esnr_db: f64,
+    /// Effective SNR at the frame's midpoint, aging included — what
+    /// per-frame SoftPHY confidences actually measure: the channel as
+    /// decoded, not the channel at the preamble.
+    pub mid_aged_esnr_db: f64,
+}
+
+impl FrameOutcome {
+    /// Instantaneous packet error rate of this frame.
+    pub fn per(&self) -> f64 {
+        if self.n_mpdus == 0 {
+            return 0.0;
+        }
+        1.0 - self.n_delivered as f64 / self.n_mpdus as f64
+    }
+
+    /// Payload bits delivered.
+    pub fn delivered_bits(&self, mpdu_payload_bytes: usize) -> u64 {
+        (self.n_delivered * mpdu_payload_bytes * 8) as u64
+    }
+}
+
+/// Simulates one A-MPDU exchange of `n_mpdus` MPDUs of
+/// `mpdu_payload_bytes` each at the given MCS over the given channel.
+pub fn simulate_ampdu(
+    state: &LinkState,
+    mcs: Mcs,
+    n_mpdus: usize,
+    mpdu_payload_bytes: usize,
+    rng: &mut DetRng,
+) -> FrameOutcome {
+    assert!(n_mpdus > 0, "aggregate must contain at least one MPDU");
+    let bits = (mpdu_payload_bytes * 8) as f64;
+    let mut delivered = 0;
+    for i in 0..n_mpdus {
+        let age = nanos_to_secs(airtime::mpdu_offset(mcs, i, mpdu_payload_bytes));
+        let p = per::mpdu_error_prob_aged(state.esnr_db, mcs, bits, age, state.coherence_secs);
+        if !rng.chance(p) {
+            delivered += 1;
+        }
+    }
+    let mid_age = nanos_to_secs(airtime::mpdu_offset(mcs, n_mpdus / 2, mpdu_payload_bytes));
+    FrameOutcome {
+        mcs,
+        n_mpdus,
+        n_delivered: delivered,
+        block_ack: delivered > 0,
+        airtime: airtime::ampdu_exchange(mcs, n_mpdus, mpdu_payload_bytes),
+        esnr_db: state.esnr_db,
+        mid_aged_esnr_db: per::aged_snr_db(state.esnr_db, mid_age, state.coherence_secs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn good_channel_delivers_everything() {
+        let mut r = rng();
+        let s = LinkState::static_at(40.0);
+        let o = simulate_ampdu(&s, Mcs(15), 32, 1500, &mut r);
+        assert_eq!(o.n_delivered, 32);
+        assert!(o.block_ack);
+        assert_eq!(o.per(), 0.0);
+        assert_eq!(o.delivered_bits(1500), 32 * 1500 * 8);
+    }
+
+    #[test]
+    fn hopeless_channel_delivers_nothing() {
+        let mut r = rng();
+        let s = LinkState::static_at(-5.0);
+        let o = simulate_ampdu(&s, Mcs(15), 16, 1500, &mut r);
+        assert_eq!(o.n_delivered, 0);
+        assert!(!o.block_ack);
+        assert_eq!(o.per(), 1.0);
+    }
+
+    #[test]
+    fn marginal_channel_partial_delivery() {
+        let mut r = rng();
+        let s = LinkState::static_at(Mcs(12).snr_mid_db());
+        let mut total = 0;
+        for _ in 0..50 {
+            total += simulate_ampdu(&s, Mcs(12), 16, 1500, &mut r).n_delivered;
+        }
+        let frac = total as f64 / (50.0 * 16.0);
+        assert!((frac - 0.5).abs() < 0.1, "delivery fraction {frac}");
+    }
+
+    #[test]
+    fn mobility_hurts_long_aggregates_only() {
+        let mut r = rng();
+        // Walking coherence time ~18 ms; deliverable SNR.
+        let s = LinkState {
+            esnr_db: Mcs(12).snr_mid_db() + 8.0,
+            coherence_secs: 0.018,
+        };
+        let mut short_ok = 0usize;
+        let mut long_tail_ok = 0usize;
+        let trials = 60;
+        for _ in 0..trials {
+            // 4 MPDUs ~ 0.9 ms of data at MCS12: well inside coherence.
+            short_ok += simulate_ampdu(&s, Mcs(12), 4, 1500, &mut r).n_delivered;
+        }
+        for _ in 0..trials {
+            // 40 MPDUs ~ 9 ms: the tail is older than the coherence time.
+            let o = simulate_ampdu(&s, Mcs(12), 40, 1500, &mut r);
+            long_tail_ok += o.n_delivered;
+        }
+        let short_frac = short_ok as f64 / (trials * 4) as f64;
+        let long_frac = long_tail_ok as f64 / (trials * 40) as f64;
+        assert!(short_frac > 0.95, "short frames should survive: {short_frac}");
+        assert!(
+            long_frac < short_frac - 0.15,
+            "long aggregates should lose their tail: short {short_frac} long {long_frac}"
+        );
+    }
+
+    #[test]
+    fn outcome_reports_esnr() {
+        let mut r = rng();
+        let s = LinkState::static_at(23.5);
+        let o = simulate_ampdu(&s, Mcs(4), 4, 1500, &mut r);
+        assert_eq!(o.esnr_db, 23.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MPDU")]
+    fn zero_mpdus_panics() {
+        let mut r = rng();
+        simulate_ampdu(&LinkState::static_at(20.0), Mcs(0), 0, 1500, &mut r);
+    }
+}

@@ -1,0 +1,367 @@
+//! The frame-based Atheros MIMO rate adaptation (paper section 4.1) and
+//! its mobility-aware variant (section 4.2).
+//!
+//! Stock behaviour:
+//! * keeps a weighted moving average of PER per rate
+//!   (`PER_avg = alpha * PER_new + (1 - alpha) * PER_avg`, `alpha = 1/8`),
+//!   with ladder-wide monotonicity repair;
+//! * starts at the highest rate;
+//! * steps down when an aggregate gets no Block-ACK, or when the averaged
+//!   PER at the current rate exceeds a half;
+//! * probes the next higher rate after the current rate has been
+//!   successful for a probing interval.
+//!
+//! The mobility-aware variant (enabled by supplying mobility hints)
+//! applies the paper's three optimisations through [`MobilityPolicy`]:
+//! 1. on a complete loss, retry the current rate `rate_retries` times
+//!    before stepping down — except when the client moves away (0 retries);
+//! 2. scale the PER smoothing factor with mobility intensity;
+//! 3. shorten the probe interval when moving towards the AP, lengthen it
+//!    when moving away.
+
+use mobisense_core::classifier::Classification;
+use mobisense_core::policy::MobilityPolicy;
+use mobisense_phy::mcs::Mcs;
+use mobisense_util::units::Nanos;
+
+use crate::link::FrameOutcome;
+use crate::rate::{RateAdapter, RateTable};
+
+/// PER (averaged) above which the current rate is abandoned.
+const PER_DOWN_THRESHOLD: f64 = 0.5;
+/// Instantaneous PER below which a probe frame promotes the rate.
+const PROBE_ACCEPT_PER: f64 = 0.35;
+/// Averaged PER at the current rate below which probing is considered.
+const PROBE_ELIGIBLE_PER: f64 = 0.15;
+/// Minimum spacing between successive rate decreases. The driver
+/// updates its rate decision per statistics interval, not per aggregate:
+/// a burst of failed frames inside one interval costs one step, not one
+/// step per frame.
+const DOWNSHIFT_DAMPING: Nanos = 100 * mobisense_util::units::MILLISECOND;
+/// After an accepted probe the next probe may follow quickly — climbing
+/// out of an over-deep drop is cheap while probes keep succeeding.
+const PROBE_CLIMB_DIVISOR: u64 = 5;
+
+/// The Atheros MIMO rate-adaptation algorithm.
+#[derive(Clone, Debug)]
+pub struct AtherosRa {
+    table: RateTable,
+    cur: usize,
+    probing: Option<usize>,
+    last_probe: Nanos,
+    /// Set after an accepted probe: the next probe may come sooner.
+    climbing: bool,
+    last_downshift: Nanos,
+    full_loss_streak: u32,
+    policy: MobilityPolicy,
+    mobility_aware: bool,
+}
+
+impl AtherosRa {
+    /// Stock configuration (mobility-oblivious): `alpha = 1/8`, no
+    /// retry-before-downshift, fixed probe interval.
+    pub fn stock() -> Self {
+        let policy = MobilityPolicy::oblivious_default();
+        let mut ra = AtherosRa {
+            table: RateTable::new(policy.per_smoothing),
+            cur: 0,
+            probing: None,
+            last_probe: 0,
+            climbing: false,
+            last_downshift: 0,
+            full_loss_streak: 0,
+            policy,
+            mobility_aware: false,
+        };
+        ra.cur = ra.table.len() - 1; // starts with the highest bit-rate
+        ra
+    }
+
+    /// Mobility-aware configuration: identical until hints arrive, then
+    /// follows Table 2.
+    pub fn mobility_aware() -> Self {
+        let mut ra = AtherosRa::stock();
+        ra.mobility_aware = true;
+        ra
+    }
+
+    /// The currently selected (non-probe) rate.
+    pub fn current_rate(&self) -> Mcs {
+        self.table.mcs(self.cur)
+    }
+
+    /// The active policy parameters.
+    pub fn policy(&self) -> &MobilityPolicy {
+        &self.policy
+    }
+
+    fn step_down(&mut self, now: Nanos) {
+        if now.saturating_sub(self.last_downshift) < DOWNSHIFT_DAMPING {
+            return;
+        }
+        if self.cur > 0 {
+            self.cur -= 1;
+            self.last_downshift = now;
+            self.climbing = false;
+        }
+    }
+
+    fn probe_interval(&self) -> Nanos {
+        if self.climbing {
+            (self.policy.probe_interval / PROBE_CLIMB_DIVISOR).max(1)
+        } else {
+            self.policy.probe_interval
+        }
+    }
+}
+
+impl RateAdapter for AtherosRa {
+    fn name(&self) -> &'static str {
+        if self.mobility_aware {
+            "motion-aware-atheros"
+        } else {
+            "atheros"
+        }
+    }
+
+    fn select(&mut self, now: Nanos) -> Mcs {
+        if let Some(p) = self.probing {
+            return self.table.mcs(p);
+        }
+        // Probe the next higher rate when the current one has been clean
+        // for a full probing interval.
+        if self.cur + 1 < self.table.len()
+            && now.saturating_sub(self.last_probe) >= self.probe_interval()
+            && self.table.per(self.cur) < PROBE_ELIGIBLE_PER
+        {
+            self.probing = Some(self.cur + 1);
+            return self.table.mcs(self.cur + 1);
+        }
+        self.table.mcs(self.cur)
+    }
+
+    fn report(&mut self, now: Nanos, outcome: &FrameOutcome) {
+        let Some(idx) = self.table.index_of(outcome.mcs) else {
+            return; // off-ladder frame (not ours)
+        };
+        let inst_per = if outcome.block_ack { outcome.per() } else { 1.0 };
+        self.table.update(idx, inst_per);
+
+        if self.probing == Some(idx) {
+            self.probing = None;
+            self.last_probe = now;
+            if inst_per < PROBE_ACCEPT_PER {
+                self.cur = idx;
+                self.climbing = true;
+            } else {
+                self.climbing = false;
+            }
+            return;
+        }
+        if idx != self.cur {
+            return; // stale report from before a rate change
+        }
+
+        if !outcome.block_ack {
+            // Complete loss: the stock algorithm steps down immediately;
+            // the mobility-aware variant retries unless moving away.
+            self.full_loss_streak += 1;
+            if self.full_loss_streak > self.policy.rate_retries {
+                self.full_loss_streak = 0;
+                self.step_down(now);
+            }
+        } else {
+            self.full_loss_streak = 0;
+            if self.table.per(self.cur) > PER_DOWN_THRESHOLD {
+                self.step_down(now);
+            }
+        }
+    }
+
+    fn set_mobility_hint(&mut self, hint: Option<Classification>) {
+        if !self.mobility_aware {
+            return;
+        }
+        let policy = match hint {
+            Some(c) => MobilityPolicy::for_classification(c),
+            None => MobilityPolicy::oblivious_default(),
+        };
+        if (policy.per_smoothing - self.table.alpha()).abs() > f64::EPSILON {
+            self.table.set_alpha(policy.per_smoothing);
+        }
+        self.policy = policy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{simulate_ampdu, LinkState};
+    use mobisense_mobility::Direction;
+    use mobisense_util::units::{MILLISECOND, SECOND};
+    use mobisense_util::DetRng;
+
+    /// Drives an adapter against a fixed channel for `secs` simulated
+    /// seconds and returns the delivered goodput in Mbps.
+    fn run(ra: &mut dyn RateAdapter, esnr_db: f64, secs: u64, seed: u64) -> f64 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let state = LinkState::static_at(esnr_db);
+        let mut t: Nanos = 0;
+        let mut bits = 0u64;
+        while t < secs * SECOND {
+            let mcs = ra.select(t);
+            let o = simulate_ampdu(&state, mcs, 16, 1500, &mut rng);
+            ra.report(t, &o);
+            bits += o.delivered_bits(1500);
+            t += o.airtime;
+        }
+        bits as f64 / (secs as f64) / 1e6
+    }
+
+    #[test]
+    fn starts_at_top_rate() {
+        let mut ra = AtherosRa::stock();
+        assert_eq!(ra.select(0), Mcs(15));
+    }
+
+    #[test]
+    fn converges_down_on_weak_channel() {
+        let mut ra = AtherosRa::stock();
+        // SNR that supports roughly MCS 2-3 only.
+        let tp = run(&mut ra, 12.0, 5, 1);
+        let cur = ra.current_rate();
+        assert!(cur <= Mcs(3), "should settle low, got {cur}");
+        assert!(tp > 10.0, "still delivers: {tp} Mbps");
+    }
+
+    #[test]
+    fn stays_high_on_strong_channel() {
+        let mut ra = AtherosRa::stock();
+        let tp = run(&mut ra, 40.0, 5, 2);
+        assert_eq!(ra.current_rate(), Mcs(15));
+        assert!(tp > 150.0, "top-rate goodput {tp} Mbps");
+    }
+
+    #[test]
+    fn recovers_upward_after_channel_improves() {
+        let mut rng = DetRng::seed_from_u64(3);
+        let mut ra = AtherosRa::stock();
+        // Phase 1: weak channel drags the rate down.
+        let weak = LinkState::static_at(10.0);
+        let mut t: Nanos = 0;
+        while t < 2 * SECOND {
+            let mcs = ra.select(t);
+            let o = simulate_ampdu(&weak, mcs, 16, 1500, &mut rng);
+            ra.report(t, &o);
+            t += o.airtime;
+        }
+        let low = ra.current_rate();
+        assert!(low <= Mcs(2), "settled at {low}");
+        // Phase 2: strong channel; probing must climb back up.
+        let strong = LinkState::static_at(40.0);
+        while t < 12 * SECOND {
+            let mcs = ra.select(t);
+            let o = simulate_ampdu(&strong, mcs, 16, 1500, &mut rng);
+            ra.report(t, &o);
+            t += o.airtime;
+        }
+        assert!(
+            ra.current_rate() >= Mcs(13),
+            "climbed back to {}",
+            ra.current_rate()
+        );
+    }
+
+    #[test]
+    fn full_loss_steps_down_immediately_when_stock() {
+        let mut ra = AtherosRa::stock();
+        let top = ra.select(0);
+        let o = FrameOutcome {
+            mcs: top,
+            n_mpdus: 16,
+            n_delivered: 0,
+            block_ack: false,
+            airtime: MILLISECOND,
+            esnr_db: 0.0,
+            mid_aged_esnr_db: 0.0,
+        };
+        ra.report(200 * MILLISECOND, &o);
+        assert!(ra.current_rate() < top);
+        // A second full loss inside the damping window costs nothing
+        // more: the driver decides per interval, not per aggregate.
+        let cur = ra.current_rate();
+        ra.report(201 * MILLISECOND, &o);
+        assert_eq!(ra.current_rate(), cur, "damped");
+    }
+
+    #[test]
+    fn mobility_aware_retries_before_downshift() {
+        let mut ra = AtherosRa::mobility_aware();
+        ra.set_mobility_hint(Some(Classification::macro_with(Direction::Towards)));
+        let top = ra.current_rate();
+        let o = FrameOutcome {
+            mcs: top,
+            n_mpdus: 16,
+            n_delivered: 0,
+            block_ack: false,
+            airtime: MILLISECOND,
+            esnr_db: 0.0,
+            mid_aged_esnr_db: 0.0,
+        };
+        // One retry allowed when moving towards: first full loss holds.
+        ra.report(200 * MILLISECOND, &o);
+        assert_eq!(ra.current_rate(), top, "first loss is retried");
+        ra.report(200 * MILLISECOND + 1, &o);
+        assert!(ra.current_rate() < top, "second loss steps down");
+    }
+
+    #[test]
+    fn moving_away_never_retries() {
+        let mut ra = AtherosRa::mobility_aware();
+        ra.set_mobility_hint(Some(Classification::macro_with(Direction::Away)));
+        let top = ra.current_rate();
+        let o = FrameOutcome {
+            mcs: top,
+            n_mpdus: 16,
+            n_delivered: 0,
+            block_ack: false,
+            airtime: MILLISECOND,
+            esnr_db: 0.0,
+            mid_aged_esnr_db: 0.0,
+        };
+        ra.report(200 * MILLISECOND, &o);
+        assert!(ra.current_rate() < top, "away steps down at once");
+    }
+
+    #[test]
+    fn hints_ignored_when_stock() {
+        let mut ra = AtherosRa::stock();
+        ra.set_mobility_hint(Some(Classification::macro_with(Direction::Away)));
+        assert_eq!(ra.policy().per_smoothing, 1.0 / 8.0);
+        assert_eq!(ra.name(), "atheros");
+    }
+
+    #[test]
+    fn hints_change_policy_when_aware() {
+        let mut ra = AtherosRa::mobility_aware();
+        ra.set_mobility_hint(Some(Classification::macro_with(Direction::Away)));
+        assert_eq!(ra.policy().per_smoothing, 1.0 / 3.0);
+        assert_eq!(ra.policy().rate_retries, 0);
+        assert_eq!(ra.name(), "motion-aware-atheros");
+        // Hint disappearing reverts to defaults.
+        ra.set_mobility_hint(None);
+        assert_eq!(ra.policy().per_smoothing, 1.0 / 8.0);
+    }
+
+    #[test]
+    fn probing_uses_policy_interval() {
+        let mut ra = AtherosRa::mobility_aware();
+        ra.set_mobility_hint(Some(Classification::macro_with(Direction::Towards)));
+        // Move the current rate down first so there is headroom to probe.
+        ra.cur = 3;
+        // At t just before the 100 ms towards-interval: no probe.
+        assert_eq!(ra.select(99 * MILLISECOND), ra.table.mcs(3));
+        // After the interval: probes one rung up.
+        assert_eq!(ra.select(101 * MILLISECOND), ra.table.mcs(4));
+    }
+}

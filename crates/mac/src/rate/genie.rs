@@ -1,0 +1,217 @@
+//! PHY-feedback rate adaptation: SoftRate and ESNR (paper section 4.3).
+//!
+//! Both schemes require client modifications the paper's own system
+//! avoids — they are the strong baselines in Figure 9(b):
+//!
+//! * **SoftRate** (Vutukuru et al., SIGCOMM'09): the client decodes each
+//!   frame and feeds back a per-frame channel-quality estimate; the
+//!   transmitter reacts on the next frame. We model it as a one-frame-
+//!   delayed effective-SNR genie.
+//! * **ESNR** (Halperin et al., SIGCOMM'10): the client's CSI is fed back
+//!   and converted to an effective SNR that directly indexes the best
+//!   rate — a zero-delay genie, but one that needs per-client calibration
+//!   of the ESNR-to-rate mapping in practice.
+
+use mobisense_phy::mcs::Mcs;
+use mobisense_phy::per;
+use mobisense_util::units::Nanos;
+
+use crate::link::FrameOutcome;
+use crate::rate::RateAdapter;
+
+/// Target per-MPDU error rate for threshold-based rate selection.
+const TARGET_PER: f64 = 0.1;
+/// MPDU size assumed by the selection rule.
+const SELECT_MPDU_BITS: f64 = 12_000.0;
+
+/// Picks the fastest ladder rate whose predicted PER at `esnr_db` stays
+/// under the target.
+fn best_rate_for_esnr(esnr_db: f64) -> Mcs {
+    let mut best = Mcs(0);
+    for m in Mcs::ladder() {
+        if per::mpdu_error_prob(esnr_db, m, SELECT_MPDU_BITS) <= TARGET_PER {
+            best = m;
+        }
+    }
+    best
+}
+
+/// SoftRate: per-frame PHY feedback with one frame of delay.
+#[derive(Clone, Debug, Default)]
+pub struct SoftRateRa {
+    last_esnr_db: Option<f64>,
+}
+
+impl SoftRateRa {
+    /// Creates a SoftRate adapter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RateAdapter for SoftRateRa {
+    fn name(&self) -> &'static str {
+        "softrate"
+    }
+
+    fn select(&mut self, _now: Nanos) -> Mcs {
+        match self.last_esnr_db {
+            Some(e) => best_rate_for_esnr(e),
+            // No feedback yet: start conservatively mid-ladder.
+            None => Mcs(3),
+        }
+    }
+
+    fn report(&mut self, _now: Nanos, outcome: &FrameOutcome) {
+        // The client's SoftPHY hints ride back on the Block-ACK. When the
+        // whole aggregate is lost there is no feedback — the transmitter
+        // only learns that the channel was far below the attempted rate.
+        if outcome.block_ack {
+            self.last_esnr_db = Some(outcome.mid_aged_esnr_db);
+        } else {
+            // Back off the belief: the channel no longer supports the
+            // attempted rate.
+            let pessimistic = outcome.mcs.snr_mid_db() - 5.0;
+            self.last_esnr_db = Some(match self.last_esnr_db {
+                Some(e) => e.min(pessimistic),
+                None => pessimistic,
+            });
+        }
+    }
+}
+
+/// ESNR: CSI-feedback effective-SNR rate selection (zero delay).
+///
+/// The real scheme needs per-client calibration of the ESNR-to-rate
+/// mapping (paper section 4.3); that calibration implicitly absorbs the
+/// average intra-frame aging of the deployment's aggregate length, so we
+/// model it as an aging-aware goodput maximisation over a stock 4 ms
+/// aggregate.
+#[derive(Clone, Debug, Default)]
+pub struct EsnrRa {
+    esnr_db: Option<f64>,
+    coherence_secs: Option<f64>,
+}
+
+impl EsnrRa {
+    /// Creates an ESNR adapter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RateAdapter for EsnrRa {
+    fn name(&self) -> &'static str {
+        "esnr"
+    }
+
+    fn select(&mut self, _now: Nanos) -> Mcs {
+        match self.esnr_db {
+            // ESNR picks the rate its calibrated effective-SNR model
+            // predicts will deliver the most goodput over a whole
+            // aggregate (Halperin et al.), aging included.
+            Some(e) => per::oracle_mcs_aged(
+                e,
+                1500,
+                4 * mobisense_util::units::MILLISECOND,
+                self.coherence_secs.unwrap_or(f64::INFINITY),
+            ),
+            None => Mcs(3),
+        }
+    }
+
+    fn report(&mut self, _now: Nanos, _outcome: &FrameOutcome) {}
+
+    fn observe_csi_esnr(&mut self, _now: Nanos, esnr_db: f64) {
+        self.esnr_db = Some(esnr_db);
+    }
+
+    fn observe_coherence(&mut self, _now: Nanos, coherence_secs: f64) {
+        self.coherence_secs = Some(coherence_secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobisense_util::units::MILLISECOND;
+
+    #[test]
+    fn rate_threshold_monotone_in_snr() {
+        let mut last = Mcs(0);
+        for snr in 0..45 {
+            let m = best_rate_for_esnr(snr as f64);
+            assert!(m >= last, "rate dropped as SNR rose");
+            last = m;
+        }
+        assert_eq!(best_rate_for_esnr(0.0), Mcs(0));
+        assert_eq!(best_rate_for_esnr(45.0), Mcs(15));
+    }
+
+    #[test]
+    fn selected_rate_meets_per_target() {
+        for snr in [8.0, 15.0, 22.0, 30.0] {
+            let m = best_rate_for_esnr(snr);
+            assert!(per::mpdu_error_prob(snr, m, SELECT_MPDU_BITS) <= TARGET_PER);
+        }
+    }
+
+    #[test]
+    fn esnr_follows_feedback_instantly() {
+        let mut ra = EsnrRa::new();
+        assert_eq!(ra.select(0), Mcs(3), "no feedback yet");
+        ra.observe_csi_esnr(0, 40.0);
+        assert_eq!(ra.select(1), Mcs(15));
+        ra.observe_csi_esnr(2, 4.0);
+        assert!(ra.select(3) <= Mcs(1));
+    }
+
+    #[test]
+    fn softrate_lags_one_frame() {
+        let mut ra = SoftRateRa::new();
+        let o = FrameOutcome {
+            mcs: Mcs(3),
+            n_mpdus: 8,
+            n_delivered: 8,
+            block_ack: true,
+            airtime: MILLISECOND,
+            esnr_db: 40.0,
+            mid_aged_esnr_db: 40.0,
+        };
+        assert_eq!(ra.select(0), Mcs(3));
+        ra.report(0, &o);
+        assert_eq!(ra.select(1), Mcs(15), "uses last frame's channel");
+    }
+
+    #[test]
+    fn softrate_backs_off_on_silence() {
+        let mut ra = SoftRateRa::new();
+        ra.report(
+            0,
+            &FrameOutcome {
+                mcs: Mcs(3),
+                n_mpdus: 8,
+                n_delivered: 8,
+                block_ack: true,
+                airtime: MILLISECOND,
+                esnr_db: 40.0,
+                mid_aged_esnr_db: 40.0,
+            },
+        );
+        assert_eq!(ra.select(1), Mcs(15));
+        // Complete loss at the top rate: belief collapses below it.
+        ra.report(
+            2,
+            &FrameOutcome {
+                mcs: Mcs(15),
+                n_mpdus: 8,
+                n_delivered: 0,
+                block_ack: false,
+                airtime: MILLISECOND,
+                esnr_db: 0.0,
+                mid_aged_esnr_db: 0.0,
+            },
+        );
+        assert!(ra.select(3) < Mcs(15));
+    }
+}

@@ -1,0 +1,194 @@
+//! Rate-adaptation algorithms.
+//!
+//! All adapters implement [`RateAdapter`]; the link simulator
+//! ([`crate::sim`]) calls `select` before each frame and `report` after
+//! it. Side-channel information is pushed through the optional methods:
+//! CSI-feedback effective SNR (used only by [`EsnrRa`]) and mobility
+//! hints (used by the mobility-aware Atheros variant and the
+//! accelerometer-style [`SensorHintRa`]).
+
+mod atheros;
+mod genie;
+mod sample;
+
+pub use atheros::AtherosRa;
+pub use genie::{EsnrRa, SoftRateRa};
+pub use sample::{RapidSampleRa, SampleRateRa, SensorHintRa};
+
+use mobisense_core::classifier::Classification;
+use mobisense_phy::mcs::Mcs;
+use mobisense_util::units::Nanos;
+
+use crate::link::FrameOutcome;
+
+/// A transmit-side bit-rate selection algorithm.
+pub trait RateAdapter {
+    /// Human-readable scheme name (used in benchmark output).
+    fn name(&self) -> &'static str;
+
+    /// Picks the MCS for the next frame.
+    fn select(&mut self, now: Nanos) -> Mcs;
+
+    /// Learns the outcome of a transmitted frame.
+    fn report(&mut self, now: Nanos, outcome: &FrameOutcome);
+
+    /// Receives the effective SNR computed from explicit CSI feedback.
+    /// Only CSI-feedback schemes (ESNR) use this; the default ignores it.
+    fn observe_csi_esnr(&mut self, _now: Nanos, _esnr_db: f64) {}
+
+    /// Receives the channel coherence time implied by the client's
+    /// motion — part of what a calibrated CSI-feedback pipeline learns.
+    /// Only ESNR uses this; the default ignores it.
+    fn observe_coherence(&mut self, _now: Nanos, _coherence_secs: f64) {}
+
+    /// Receives the latest mobility classification (or `None` when the
+    /// classifier has not decided yet). Mobility-oblivious schemes ignore
+    /// it; the accelerometer-style scheme uses only its binary
+    /// device-motion aspect.
+    fn set_mobility_hint(&mut self, _hint: Option<Classification>) {}
+}
+
+/// Shared per-rate PER bookkeeping over the monotone MCS ladder, with the
+/// Atheros-style monotonicity repair: an observation at one rate bounds
+/// the estimates of faster (worse-or-equal PER) and slower
+/// (better-or-equal PER) rates.
+#[derive(Clone, Debug)]
+pub(crate) struct RateTable {
+    ladder: Vec<Mcs>,
+    per_avg: Vec<f64>,
+    alpha: f64,
+}
+
+impl RateTable {
+    pub(crate) fn new(alpha: f64) -> Self {
+        let ladder = Mcs::ladder();
+        let n = ladder.len();
+        RateTable {
+            ladder,
+            per_avg: vec![0.0; n],
+            alpha,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.ladder.len()
+    }
+
+    pub(crate) fn mcs(&self, idx: usize) -> Mcs {
+        self.ladder[idx]
+    }
+
+    pub(crate) fn index_of(&self, mcs: Mcs) -> Option<usize> {
+        self.ladder.iter().position(|&m| m == mcs)
+    }
+
+    pub(crate) fn per(&self, idx: usize) -> f64 {
+        self.per_avg[idx]
+    }
+
+    pub(crate) fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    pub(crate) fn set_alpha(&mut self, alpha: f64) {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        self.alpha = alpha;
+    }
+
+    /// Feeds an instantaneous PER observation for one rate (paper Eq. 2)
+    /// and repairs monotonicity across the ladder.
+    pub(crate) fn update(&mut self, idx: usize, inst_per: f64) {
+        let a = self.alpha;
+        self.per_avg[idx] = a * inst_per + (1.0 - a) * self.per_avg[idx];
+        let anchor = self.per_avg[idx];
+        for j in (idx + 1)..self.per_avg.len() {
+            if self.per_avg[j] < anchor {
+                self.per_avg[j] = anchor;
+            }
+        }
+        for j in 0..idx {
+            if self.per_avg[j] > anchor {
+                self.per_avg[j] = anchor;
+            }
+        }
+    }
+
+    /// Expected MAC goodput (bps) of a ladder entry under current
+    /// estimates.
+    pub(crate) fn expected_goodput(&self, idx: usize) -> f64 {
+        self.mcs(idx).rate_bps() * (1.0 - self.per_avg[idx])
+    }
+
+    /// Ladder index with the best expected goodput.
+    pub(crate) fn best_index(&self) -> usize {
+        let mut best = 0;
+        let mut best_tp = f64::NEG_INFINITY;
+        for i in 0..self.len() {
+            let tp = self.expected_goodput(i);
+            if tp > best_tp {
+                best_tp = tp;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_starts_optimistic() {
+        let t = RateTable::new(0.125);
+        assert_eq!(t.len(), Mcs::ladder().len());
+        assert_eq!(t.best_index(), t.len() - 1, "highest rate wins at PER 0");
+    }
+
+    #[test]
+    fn update_applies_ewma() {
+        let mut t = RateTable::new(0.5);
+        t.update(3, 1.0);
+        assert_eq!(t.per(3), 0.5);
+        t.update(3, 1.0);
+        assert_eq!(t.per(3), 0.75);
+    }
+
+    #[test]
+    fn monotonicity_repair() {
+        let mut t = RateTable::new(1.0);
+        t.update(4, 0.6);
+        // All faster rates must now estimate PER >= 0.6.
+        for j in 5..t.len() {
+            assert!(t.per(j) >= 0.6, "rate {j} per {}", t.per(j));
+        }
+        // Slower rates stay at 0 (0 < 0.6 is fine for them).
+        for j in 0..4 {
+            assert!(t.per(j) <= 0.6);
+        }
+        // A success at a fast rate pulls slower estimates down.
+        t.update(7, 0.0);
+        for j in 0..7 {
+            assert_eq!(t.per(j), 0.0);
+        }
+    }
+
+    #[test]
+    fn best_index_balances_rate_and_per() {
+        let mut t = RateTable::new(1.0);
+        let top = t.len() - 1;
+        // Top rate failing completely, the one below perfect.
+        t.update(top, 1.0);
+        t.update(top - 1, 0.0);
+        assert_eq!(t.best_index(), top - 1);
+    }
+
+    #[test]
+    fn index_of_roundtrip() {
+        let t = RateTable::new(0.1);
+        for i in 0..t.len() {
+            assert_eq!(t.index_of(t.mcs(i)), Some(i));
+        }
+        assert_eq!(t.index_of(Mcs(5)), None, "MCS5 is skipped by the ladder");
+    }
+}

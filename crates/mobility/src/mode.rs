@@ -1,0 +1,171 @@
+//! Mobility mode taxonomy — the four classes the paper defines.
+
+/// The four broad categories of client mobility (paper section 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MobilityMode {
+    /// Stationary client, no significant environmental change.
+    Static,
+    /// Stationary client, channel changing due to external movement
+    /// (people walking nearby).
+    Environmental,
+    /// Device moving, but confined within a small area (~1 m): handling,
+    /// gestures, VoIP head movement.
+    Micro,
+    /// Device moving with the user walking from one location to another.
+    Macro,
+}
+
+impl MobilityMode {
+    /// All four modes, in the paper's order.
+    pub const ALL: [MobilityMode; 4] = [
+        MobilityMode::Static,
+        MobilityMode::Environmental,
+        MobilityMode::Micro,
+        MobilityMode::Macro,
+    ];
+
+    /// Whether the device itself is moving (micro or macro).
+    pub fn is_device_mobility(self) -> bool {
+        matches!(self, MobilityMode::Micro | MobilityMode::Macro)
+    }
+
+    /// Short label used in benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MobilityMode::Static => "static",
+            MobilityMode::Environmental => "environmental",
+            MobilityMode::Micro => "micro",
+            MobilityMode::Macro => "macro",
+        }
+    }
+}
+
+impl std::fmt::Display for MobilityMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Direction of macro-mobility relative to a reference AP.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// The client's distance to the AP is shrinking.
+    Towards,
+    /// The client's distance to the AP is growing.
+    Away,
+}
+
+impl Direction {
+    /// Short label used in benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Towards => "towards",
+            Direction::Away => "away",
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Ground-truth mobility state of a client at an instant, as a scenario
+/// generator knows it. `direction` is meaningful only under macro-mobility
+/// and is always relative to a particular AP.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroundTruth {
+    /// The true mobility mode.
+    pub mode: MobilityMode,
+    /// Radial direction relative to the reference AP (macro only).
+    pub direction: Option<Direction>,
+}
+
+impl GroundTruth {
+    /// Ground truth for a non-macro mode.
+    pub fn of(mode: MobilityMode) -> Self {
+        GroundTruth {
+            mode,
+            direction: None,
+        }
+    }
+
+    /// Ground truth for macro-mobility with a known radial direction.
+    pub fn macro_with(direction: Direction) -> Self {
+        GroundTruth {
+            mode: MobilityMode::Macro,
+            direction: Some(direction),
+        }
+    }
+}
+
+/// Infers the radial direction of motion relative to `ap` from two
+/// successive positions. Returns `None` when the radial displacement is
+/// below `min_radial_m` (purely tangential motion, e.g. orbiting).
+pub fn radial_direction(
+    prev: mobisense_util::Vec2,
+    next: mobisense_util::Vec2,
+    ap: mobisense_util::Vec2,
+    min_radial_m: f64,
+) -> Option<Direction> {
+    let dr = next.dist(ap) - prev.dist(ap);
+    if dr > min_radial_m {
+        Some(Direction::Away)
+    } else if dr < -min_radial_m {
+        Some(Direction::Towards)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobisense_util::Vec2;
+
+    #[test]
+    fn device_mobility_split() {
+        assert!(!MobilityMode::Static.is_device_mobility());
+        assert!(!MobilityMode::Environmental.is_device_mobility());
+        assert!(MobilityMode::Micro.is_device_mobility());
+        assert!(MobilityMode::Macro.is_device_mobility());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: Vec<&str> = MobilityMode::ALL.iter().map(|m| m.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+
+    #[test]
+    fn radial_direction_inference() {
+        let ap = Vec2::ZERO;
+        let a = Vec2::new(10.0, 0.0);
+        let closer = Vec2::new(8.0, 0.0);
+        let farther = Vec2::new(12.0, 0.0);
+        assert_eq!(
+            radial_direction(a, closer, ap, 0.1),
+            Some(Direction::Towards)
+        );
+        assert_eq!(
+            radial_direction(a, farther, ap, 0.1),
+            Some(Direction::Away)
+        );
+        // Tangential step: same radius, no radial direction.
+        let tangential = Vec2::new(0.0, 10.0);
+        assert_eq!(radial_direction(a, tangential, ap, 0.1), None);
+    }
+
+    #[test]
+    fn ground_truth_constructors() {
+        let g = GroundTruth::of(MobilityMode::Micro);
+        assert_eq!(g.mode, MobilityMode::Micro);
+        assert_eq!(g.direction, None);
+        let m = GroundTruth::macro_with(Direction::Away);
+        assert_eq!(m.mode, MobilityMode::Macro);
+        assert_eq!(m.direction, Some(Direction::Away));
+    }
+}

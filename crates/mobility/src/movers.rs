@@ -1,0 +1,232 @@
+//! Environment dynamics: moving scatterer points.
+//!
+//! Environmental mobility (the cafeteria at lunch hour) is people moving
+//! *around* a static device. In the ray channel, people are mobile
+//! reflectors; this module drives their positions. The glue in
+//! `mobisense-core` copies these point positions onto the channel's
+//! mobile reflectors before each CSI sample.
+
+use mobisense_util::units::{nanos_to_secs, Nanos};
+use mobisense_util::{DetRng, Vec2};
+
+/// Intensity presets for environmental motion, mapping to the paper's
+/// "environmental (weak)" and "environmental (strong)" curves in
+/// Figure 2(b).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnvIntensity {
+    /// A quiet lab with a few people occasionally shifting.
+    Quiet,
+    /// Weak environmental mobility: some movement nearby.
+    Weak,
+    /// Strong environmental mobility: cafeteria during lunch hours.
+    Strong,
+}
+
+impl EnvIntensity {
+    /// Mean mover speed in m/s.
+    pub fn speed(self) -> f64 {
+        match self {
+            EnvIntensity::Quiet => 0.0,
+            EnvIntensity::Weak => 0.35,
+            EnvIntensity::Strong => 0.8,
+        }
+    }
+
+    /// Fraction of time each mover spends moving (vs standing).
+    pub fn duty_cycle(self) -> f64 {
+        match self {
+            EnvIntensity::Quiet => 0.0,
+            EnvIntensity::Weak => 0.25,
+            EnvIntensity::Strong => 1.0,
+        }
+    }
+
+    /// Bounds of each mover's walk/stand dwell time (seconds): a busy
+    /// cafeteria re-decides often, a quiet office rarely.
+    pub fn dwell_secs(self) -> (f64, f64) {
+        match self {
+            EnvIntensity::Quiet | EnvIntensity::Weak => (0.5, 3.0),
+            EnvIntensity::Strong => (0.3, 1.5),
+        }
+    }
+}
+
+/// A set of wandering points (people) confined to a box.
+///
+/// Each point alternates between standing still and walking towards a
+/// random nearby target, with the walk/stand duty cycle and speed set by
+/// the intensity. Positions evolve in 20 ms internal steps.
+#[derive(Clone, Debug)]
+pub struct MoverField {
+    lo: Vec2,
+    hi: Vec2,
+    intensity: EnvIntensity,
+    rng: DetRng,
+    movers: Vec<Mover>,
+    last_t: Nanos,
+}
+
+#[derive(Clone, Debug)]
+struct Mover {
+    pos: Vec2,
+    target: Vec2,
+    moving: bool,
+    state_until: Nanos,
+}
+
+impl MoverField {
+    /// Creates `n` movers uniformly placed in the box `[lo, hi]`.
+    pub fn new(lo: Vec2, hi: Vec2, n: usize, intensity: EnvIntensity, mut rng: DetRng) -> Self {
+        let movers = (0..n)
+            .map(|_| {
+                let pos = rng.point_in_box(lo, hi);
+                Mover {
+                    pos,
+                    target: pos,
+                    moving: false,
+                    state_until: 0,
+                }
+            })
+            .collect();
+        MoverField {
+            lo,
+            hi,
+            intensity,
+            rng,
+            movers,
+            last_t: 0,
+        }
+    }
+
+    /// Number of movers.
+    pub fn len(&self) -> usize {
+        self.movers.len()
+    }
+
+    /// True when the field has no movers.
+    pub fn is_empty(&self) -> bool {
+        self.movers.is_empty()
+    }
+
+    /// Current mover positions.
+    pub fn positions(&self) -> Vec<Vec2> {
+        self.movers.iter().map(|m| m.pos).collect()
+    }
+
+    /// Advances the field to time `t` (non-decreasing) and returns the
+    /// new positions.
+    pub fn advance_to(&mut self, t: Nanos) -> Vec<Vec2> {
+        const STEP: Nanos = 20 * mobisense_util::units::MILLISECOND;
+        while self.last_t + STEP <= t {
+            self.last_t += STEP;
+            let now = self.last_t;
+            self.step(now, nanos_to_secs(STEP));
+        }
+        self.positions()
+    }
+
+    fn step(&mut self, now: Nanos, dt: f64) {
+        let speed = self.intensity.speed();
+        let duty = self.intensity.duty_cycle();
+        if duty <= 0.0 {
+            return;
+        }
+        for i in 0..self.movers.len() {
+            // Borrow-friendly: operate via index, draw RNG through self.
+            if now >= self.movers[i].state_until {
+                let moving = self.rng.uniform() < duty;
+                let (dwell_lo, dwell_hi) = self.intensity.dwell_secs();
+                let hold = self.rng.uniform_in(dwell_lo, dwell_hi);
+                self.movers[i].moving = moving;
+                self.movers[i].state_until =
+                    now + mobisense_util::units::secs_to_nanos(hold);
+                if moving {
+                    let cur = self.movers[i].pos;
+                    let jump = self.rng.unit_vector() * self.rng.uniform_in(1.0, 4.0);
+                    self.movers[i].target = (cur + jump).clamp_box(self.lo, self.hi);
+                }
+            }
+            if self.movers[i].moving {
+                let to_target = self.movers[i].target - self.movers[i].pos;
+                let dist = to_target.norm();
+                if dist < 0.05 {
+                    self.movers[i].moving = false;
+                    continue;
+                }
+                let step = (speed * dt).min(dist);
+                self.movers[i].pos += to_target / dist * step;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobisense_util::units::SECOND;
+
+    fn field(intensity: EnvIntensity, seed: u64) -> MoverField {
+        MoverField::new(
+            Vec2::new(-10.0, -10.0),
+            Vec2::new(10.0, 10.0),
+            5,
+            intensity,
+            DetRng::seed_from_u64(seed),
+        )
+    }
+
+    fn total_displacement(f: &mut MoverField, secs: u64) -> f64 {
+        let start = f.advance_to(0);
+        let end = f.advance_to(secs * SECOND);
+        start
+            .iter()
+            .zip(&end)
+            .map(|(a, b)| a.dist(*b))
+            .sum::<f64>()
+    }
+
+    #[test]
+    fn quiet_field_is_static() {
+        let mut f = field(EnvIntensity::Quiet, 1);
+        assert_eq!(total_displacement(&mut f, 30), 0.0);
+    }
+
+    #[test]
+    fn strong_moves_more_than_weak() {
+        let mut weak = field(EnvIntensity::Weak, 2);
+        let mut strong = field(EnvIntensity::Strong, 2);
+        let dw = total_displacement(&mut weak, 30);
+        let ds = total_displacement(&mut strong, 30);
+        assert!(dw > 0.1, "weak field did not move: {dw}");
+        assert!(ds > dw, "strong ({ds}) <= weak ({dw})");
+    }
+
+    #[test]
+    fn movers_stay_in_box() {
+        let lo = Vec2::new(0.0, 0.0);
+        let hi = Vec2::new(5.0, 5.0);
+        let mut f = MoverField::new(lo, hi, 8, EnvIntensity::Strong, DetRng::seed_from_u64(3));
+        for i in 0..120u64 {
+            for p in f.advance_to(i * SECOND / 2) {
+                assert!(p.x >= -1e-9 && p.x <= 5.0 + 1e-9);
+                assert!(p.y >= -1e-9 && p.y <= 5.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = field(EnvIntensity::Strong, 7);
+        let mut b = field(EnvIntensity::Strong, 7);
+        a.advance_to(10 * SECOND);
+        b.advance_to(10 * SECOND);
+        assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    fn intensity_parameters_ordered() {
+        assert!(EnvIntensity::Strong.speed() > EnvIntensity::Weak.speed());
+        assert!(EnvIntensity::Strong.duty_cycle() > EnvIntensity::Weak.duty_cycle());
+        assert_eq!(EnvIntensity::Quiet.speed(), 0.0);
+    }
+}

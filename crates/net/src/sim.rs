@@ -1,0 +1,210 @@
+//! Full-stack end-to-end simulation (paper section 7, Figure 13).
+//!
+//! One client walks a trajectory across a six-AP office floor while the
+//! AP-side stack serves saturated downlink traffic. Two stacks are
+//! compared under identical worlds:
+//!
+//! * **mobility-oblivious default** — client-default roaming, stock
+//!   Atheros rate adaptation, fixed 4 ms aggregation, 200 ms beamforming
+//!   feedback;
+//! * **mobility-aware** — controller-based roaming, motion-aware Atheros
+//!   rate adaptation, Table-2 aggregation limits, and Table-2 beamforming
+//!   feedback periods, all driven by the current AP's CSI/ToF classifier.
+
+use mobisense_core::classifier::Classification;
+use mobisense_core::policy::MobilityPolicy;
+use mobisense_mac::agg::AggPolicy;
+use mobisense_mac::link::{simulate_ampdu, LinkState};
+use mobisense_mac::rate::{AtherosRa, RateAdapter};
+use mobisense_phy::per::{coherence_time_secs, csi_effective_snr_db};
+use mobisense_util::units::{Nanos, MILLISECOND};
+use mobisense_util::DetRng;
+
+use crate::beamform::{SuBeamformer, CSI_FEEDBACK_AIRTIME};
+use crate::roaming::{Roamer, RoamingConfig, RoamingScheme};
+use crate::wlan::MultiApWorld;
+
+/// Which protocol stack the AP side runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stack {
+    /// Mobility-oblivious defaults everywhere.
+    Default,
+    /// All four mobility-aware optimisations.
+    MotionAware,
+}
+
+impl Stack {
+    /// Stack label for benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stack::Default => "802.11n-default",
+            Stack::MotionAware => "motion-aware",
+        }
+    }
+}
+
+/// Result of one end-to-end run.
+#[derive(Clone, Copy, Debug)]
+pub struct EndToEndStats {
+    /// Goodput over the whole walk (Mbps).
+    pub mbps: f64,
+    /// Handoffs performed.
+    pub handoffs: u32,
+    /// Frames transmitted.
+    pub frames: u64,
+}
+
+/// World-observation cadence: the classifier and roamer see the world at
+/// this granularity; data frames reuse the latest observation.
+const OBS_STEP: Nanos = 10 * MILLISECOND;
+
+/// Runs one stack over one world for `duration` and returns goodput.
+pub fn run_end_to_end(
+    world: &mut MultiApWorld,
+    stack: Stack,
+    duration: Nanos,
+    seed: u64,
+) -> EndToEndStats {
+    let scheme = match stack {
+        Stack::Default => RoamingScheme::ClientDefault,
+        Stack::MotionAware => RoamingScheme::Controller,
+    };
+    let mut roamer = Roamer::new(RoamingConfig::for_scheme(scheme), world.n_aps(), seed);
+    let mut ra: AtherosRa = match stack {
+        Stack::Default => AtherosRa::stock(),
+        Stack::MotionAware => AtherosRa::mobility_aware(),
+    };
+    let agg = match stack {
+        Stack::Default => AggPolicy::stock(),
+        Stack::MotionAware => AggPolicy::adaptive(),
+    };
+    let mut bf = SuBeamformer::new();
+    let mut rng = DetRng::seed_from_u64(seed ^ 0x65326532);
+    let wavelength = world.config().base.channel.wavelength();
+
+    let mut now: Nanos = 0;
+    let mut next_obs: Nanos = 0;
+    let mut next_feedback: Nanos = 0;
+    let mut obs = world.observe(0);
+    let mut assoc = roamer.step(&obs);
+    let mut last_ap = assoc.ap;
+    let mut bits = 0u64;
+    let mut frames = 0u64;
+
+    while now < duration {
+        if now >= next_obs {
+            obs = world.observe(now);
+            assoc = roamer.step(&obs);
+            if assoc.ap != last_ap {
+                // Roamed: beamforming state is per-AP.
+                bf.reset();
+                next_feedback = now;
+                last_ap = assoc.ap;
+            }
+            next_obs += OBS_STEP;
+        }
+        if assoc.in_outage {
+            now = next_obs;
+            continue;
+        }
+
+        let hint: Option<Classification> = match stack {
+            Stack::Default => None,
+            Stack::MotionAware => roamer.classification(),
+        };
+
+        // CSI feedback for transmit beamforming.
+        let feedback_period = match stack {
+            Stack::Default => MobilityPolicy::oblivious_default().bf_feedback_period,
+            Stack::MotionAware => hint
+                .map(|c| MobilityPolicy::for_classification(c).bf_feedback_period)
+                .unwrap_or_else(|| MobilityPolicy::oblivious_default().bf_feedback_period),
+        };
+        if now >= next_feedback {
+            bf.update_from_csi(&obs.aps[assoc.ap].csi);
+            next_feedback = now + feedback_period;
+            now += CSI_FEEDBACK_AIRTIME;
+        }
+
+        // One saturated downlink A-MPDU.
+        let ap_view = &obs.aps[assoc.ap];
+        let true_csi = world
+            .channel(assoc.ap)
+            .csi_at(obs.pos, 0.0);
+        let esnr = csi_effective_snr_db(&ap_view.csi, ap_view.snr_db) + bf.gain_db(&true_csi);
+        let state = LinkState {
+            esnr_db: esnr,
+            coherence_secs: coherence_time_secs(obs.speed_mps, wavelength),
+        };
+        ra.set_mobility_hint(hint);
+        let mcs = ra.select(now);
+        let n = agg.n_mpdus(mcs, 1500, hint);
+        let outcome = simulate_ampdu(&state, mcs, n, 1500, &mut rng);
+        ra.report(now, &outcome);
+        bits += outcome.delivered_bits(1500);
+        frames += 1;
+        now += outcome.airtime;
+    }
+
+    EndToEndStats {
+        mbps: bits as f64 / (duration as f64 / 1e9) / 1e6,
+        handoffs: roamer.handoffs(),
+        frames,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wlan::WorldConfig;
+    use mobisense_util::units::SECOND;
+    use mobisense_util::Vec2;
+
+    fn corridor(seed: u64) -> MultiApWorld {
+        MultiApWorld::new(
+            WorldConfig::default(),
+            vec![
+                Vec2::new(4.0, 10.0),
+                Vec2::new(46.0, 10.0),
+            ],
+            seed,
+        )
+    }
+
+    #[test]
+    fn both_stacks_deliver_traffic() {
+        let mut w1 = corridor(1);
+        let d = run_end_to_end(&mut w1, Stack::Default, 20 * SECOND, 1);
+        let mut w2 = corridor(1);
+        let m = run_end_to_end(&mut w2, Stack::MotionAware, 20 * SECOND, 1);
+        assert!(d.mbps > 5.0, "default {:.1} Mbps", d.mbps);
+        assert!(m.mbps > 5.0, "aware {:.1} Mbps", m.mbps);
+        assert!(d.frames > 1000);
+    }
+
+    #[test]
+    fn motion_aware_wins_on_average_over_walks() {
+        let mut aware = 0.0;
+        let mut default = 0.0;
+        for seed in 0..4u64 {
+            let mut w1 = corridor(seed);
+            default += run_end_to_end(&mut w1, Stack::Default, 35 * SECOND, seed).mbps;
+            let mut w2 = corridor(seed);
+            aware += run_end_to_end(&mut w2, Stack::MotionAware, 35 * SECOND, seed).mbps;
+        }
+        assert!(
+            aware > default,
+            "motion-aware {aware:.1} vs default {default:.1} (summed Mbps)"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut w1 = corridor(7);
+        let a = run_end_to_end(&mut w1, Stack::MotionAware, 10 * SECOND, 7);
+        let mut w2 = corridor(7);
+        let b = run_end_to_end(&mut w2, Stack::MotionAware, 10 * SECOND, 7);
+        assert_eq!(a.mbps, b.mbps);
+        assert_eq!(a.frames, b.frames);
+    }
+}

@@ -1,0 +1,145 @@
+//! 802.11n medium-time accounting.
+//!
+//! Converts MAC decisions (MCS, aggregate size) into microseconds of
+//! channel airtime, which is what ultimately turns into throughput. The
+//! constants follow the 802.11n standard for a 40 MHz channel in
+//! greenfield-compatible mixed mode.
+
+use crate::mcs::Mcs;
+use mobisense_util::units::{Nanos, MICROSECOND};
+
+/// Short interframe space.
+pub const SIFS: Nanos = 16 * MICROSECOND;
+/// Slot time (OFDM PHY).
+pub const SLOT: Nanos = 9 * MICROSECOND;
+/// DCF interframe space: SIFS + 2 slots.
+pub const DIFS: Nanos = SIFS + 2 * SLOT;
+/// Minimum contention window (CWmin = 15 slots).
+pub const CW_MIN_SLOTS: u32 = 15;
+/// OFDM symbol duration with the long guard interval.
+pub const SYMBOL: Nanos = 4 * MICROSECOND;
+
+/// Legacy preamble + L-SIG (20 us) plus HT-SIG (8 us) and HT-STF (4 us).
+const PLCP_FIXED: Nanos = 32 * MICROSECOND;
+/// One HT-LTF per spatial stream.
+const HT_LTF: Nanos = 4 * MICROSECOND;
+
+/// Per-MPDU MAC framing overhead inside an A-MPDU: MAC header + FCS
+/// (~36 B) plus the 4-byte MPDU delimiter and padding.
+pub const MPDU_OVERHEAD_BYTES: usize = 40;
+
+/// Block-ACK response duration: legacy preamble (20 us) plus a 32-byte
+/// compressed BA at the 24 Mbps basic rate.
+pub const BLOCK_ACK: Nanos = 32 * MICROSECOND;
+
+/// PHY preamble duration for a transmission with the given stream count.
+pub fn preamble(streams: u32) -> Nanos {
+    PLCP_FIXED + HT_LTF * streams.max(1) as u64
+}
+
+/// Duration of the data portion carrying `payload_bytes` of MPDU payload
+/// (framing overhead added internally per MPDU) at the given MCS.
+pub fn data_duration(mcs: Mcs, n_mpdus: usize, mpdu_payload_bytes: usize) -> Nanos {
+    let total_bytes = n_mpdus * (mpdu_payload_bytes + MPDU_OVERHEAD_BYTES);
+    let bits = (total_bytes * 8) as f64;
+    let secs = bits / mcs.rate_bps();
+    // Round up to whole OFDM symbols.
+    let symbols = (secs * 1e9 / SYMBOL as f64).ceil() as u64;
+    symbols.max(1) * SYMBOL
+}
+
+/// Total medium time of one A-MPDU exchange: average backoff + DIFS +
+/// preamble + data + SIFS + block-ACK.
+pub fn ampdu_exchange(mcs: Mcs, n_mpdus: usize, mpdu_payload_bytes: usize) -> Nanos {
+    let backoff = (CW_MIN_SLOTS as u64 / 2) * SLOT;
+    DIFS + backoff + preamble(mcs.streams()) + data_duration(mcs, n_mpdus, mpdu_payload_bytes)
+        + SIFS
+        + BLOCK_ACK
+}
+
+/// How many MPDUs of the given payload size fit in `limit` of *data*
+/// airtime at the given MCS (the driver "aggregation time" knob from the
+/// paper's section 5: `aggregation size = max allowed time / bit-rate`).
+/// Always returns at least 1 and at most 64 (the Block-ACK window).
+pub fn mpdus_for_time_limit(mcs: Mcs, mpdu_payload_bytes: usize, limit: Nanos) -> usize {
+    let per_mpdu_bits = ((mpdu_payload_bytes + MPDU_OVERHEAD_BYTES) * 8) as f64;
+    let per_mpdu_secs = per_mpdu_bits / mcs.rate_bps();
+    let n = (limit as f64 / 1e9 / per_mpdu_secs).floor() as usize;
+    n.clamp(1, 64)
+}
+
+/// Time offset of MPDU `i` (0-based) within the data portion of a frame —
+/// used for the per-MPDU channel-aging PER in [`crate::per`]. The preamble
+/// duration is included, since equalisation happens at its HT-LTFs.
+pub fn mpdu_offset(mcs: Mcs, i: usize, mpdu_payload_bytes: usize) -> Nanos {
+    let per_mpdu = data_duration(mcs, 1, mpdu_payload_bytes);
+    preamble(mcs.streams()) + per_mpdu * i as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_standard() {
+        assert_eq!(SIFS, 16_000);
+        assert_eq!(DIFS, 34_000);
+        assert_eq!(SLOT, 9_000);
+    }
+
+    #[test]
+    fn preamble_grows_with_streams() {
+        assert_eq!(preamble(1), 36 * MICROSECOND);
+        assert_eq!(preamble(2), 40 * MICROSECOND);
+        assert_eq!(preamble(0), 36 * MICROSECOND); // clamped
+    }
+
+    #[test]
+    fn data_duration_scales_with_mpdus() {
+        let one = data_duration(Mcs(7), 1, 1500);
+        let ten = data_duration(Mcs(7), 10, 1500);
+        assert!(ten > one * 9);
+        assert!(ten <= one * 10);
+        // 1540 bytes at 135 Mbps ~ 91 us -> 23 symbols.
+        assert_eq!(one, 23 * SYMBOL);
+    }
+
+    #[test]
+    fn aggregation_amortises_overhead() {
+        // Efficiency (payload bits / total time) must increase with
+        // aggregation — the premise of the paper's section 5.
+        let eff = |n: usize| {
+            let t = ampdu_exchange(Mcs(15), n, 1500) as f64 / 1e9;
+            (n * 1500 * 8) as f64 / t
+        };
+        assert!(eff(16) > 2.0 * eff(1), "eff(1)={} eff(16)={}", eff(1), eff(16));
+        assert!(eff(32) > eff(16));
+    }
+
+    #[test]
+    fn mpdus_for_time_limit_basics() {
+        // At MCS15 (270 Mbps), a 2 ms limit fits many 1540 B MPDUs but is
+        // clamped to the 64-MPDU Block-ACK window.
+        assert_eq!(mpdus_for_time_limit(Mcs(15), 1500, 2_000_000), 43);
+        // At MCS0 (13.5 Mbps), one MPDU takes ~0.91 ms: only 2 fit in 2 ms.
+        assert_eq!(mpdus_for_time_limit(Mcs(0), 1500, 2_000_000), 2);
+        // Never zero.
+        assert_eq!(mpdus_for_time_limit(Mcs(0), 1500, 100_000), 1);
+        // 8 ms at a high rate hits the 64-MPDU cap.
+        assert_eq!(mpdus_for_time_limit(Mcs(15), 1500, 8_000_000), 64);
+    }
+
+    #[test]
+    fn mpdu_offsets_increase() {
+        let o0 = mpdu_offset(Mcs(12), 0, 1500);
+        let o5 = mpdu_offset(Mcs(12), 5, 1500);
+        assert_eq!(o0, preamble(2));
+        assert!(o5 > o0);
+    }
+
+    #[test]
+    fn exchange_includes_fixed_overheads() {
+        let t = ampdu_exchange(Mcs(0), 1, 100);
+        assert!(t > DIFS + SIFS + BLOCK_ACK + preamble(1));
+    }
+}

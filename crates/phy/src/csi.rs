@@ -1,0 +1,253 @@
+//! The Channel State Information matrix and quantities derived from it.
+
+use mobisense_util::{stats, C64};
+
+/// One CSI snapshot: complex channel gains for every
+/// `(tx antenna, rx antenna, subcarrier)` triple, as exported by the
+/// Atheros AR9390 on packet reception (paper section 2.3).
+///
+/// Layout is `[tx][rx][subcarrier]`, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csi {
+    n_tx: usize,
+    n_rx: usize,
+    n_sc: usize,
+    data: Vec<C64>,
+}
+
+impl Csi {
+    /// Creates an all-zero CSI matrix.
+    pub fn zeros(n_tx: usize, n_rx: usize, n_sc: usize) -> Self {
+        assert!(n_tx > 0 && n_rx > 0 && n_sc > 0, "CSI dims must be positive");
+        Csi {
+            n_tx,
+            n_rx,
+            n_sc,
+            data: vec![C64::ZERO; n_tx * n_rx * n_sc],
+        }
+    }
+
+    /// Transmit antenna count.
+    pub fn n_tx(&self) -> usize {
+        self.n_tx
+    }
+
+    /// Receive antenna count.
+    pub fn n_rx(&self) -> usize {
+        self.n_rx
+    }
+
+    /// Subcarrier bin count.
+    pub fn n_subcarriers(&self) -> usize {
+        self.n_sc
+    }
+
+    #[inline]
+    fn idx(&self, tx: usize, rx: usize, sc: usize) -> usize {
+        debug_assert!(tx < self.n_tx && rx < self.n_rx && sc < self.n_sc);
+        (tx * self.n_rx + rx) * self.n_sc + sc
+    }
+
+    /// Channel gain for one antenna pair and subcarrier.
+    #[inline]
+    pub fn get(&self, tx: usize, rx: usize, sc: usize) -> C64 {
+        self.data[self.idx(tx, rx, sc)]
+    }
+
+    /// Sets the channel gain for one antenna pair and subcarrier.
+    #[inline]
+    pub fn set(&mut self, tx: usize, rx: usize, sc: usize, v: C64) {
+        let i = self.idx(tx, rx, sc);
+        self.data[i] = v;
+    }
+
+    /// The complex channel vector across transmit antennas for a given
+    /// receive antenna and subcarrier — the quantity a beamformer steers on.
+    pub fn tx_vector(&self, rx: usize, sc: usize) -> Vec<C64> {
+        (0..self.n_tx).map(|tx| self.get(tx, rx, sc)).collect()
+    }
+
+    /// Magnitude profile across subcarriers, averaged over all antenna
+    /// pairs. This is the 52-element vector the paper's CSI-similarity
+    /// metric (Eq. 1) operates on.
+    pub fn magnitude_profile(&self) -> Vec<f64> {
+        let pairs = (self.n_tx * self.n_rx) as f64;
+        (0..self.n_sc)
+            .map(|sc| {
+                let mut s = 0.0;
+                for tx in 0..self.n_tx {
+                    for rx in 0..self.n_rx {
+                        s += self.get(tx, rx, sc).abs();
+                    }
+                }
+                s / pairs
+            })
+            .collect()
+    }
+
+    /// Mean power gain over all dimensions: `E[|h|^2]`.
+    pub fn mean_power_gain(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|h| h.norm_sq()).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Received power in dBm given a transmit power, modelling what an
+    /// RSSI register reports: total power collected across receive chains
+    /// (transmit power is split across transmit antennas).
+    ///
+    /// Returns `f64::NEG_INFINITY` for an all-zero channel.
+    pub fn rx_power_dbm(&self, tx_power_dbm: f64) -> f64 {
+        // Per-tx-antenna power is P/n_tx; receive chains add up.
+        let mut gain = 0.0;
+        for sc in 0..self.n_sc {
+            for rx in 0..self.n_rx {
+                for tx in 0..self.n_tx {
+                    gain += self.get(tx, rx, sc).norm_sq();
+                }
+            }
+        }
+        gain /= (self.n_sc * self.n_tx) as f64;
+        if gain <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        tx_power_dbm + mobisense_util::units::ratio_to_db(gain)
+    }
+
+    /// Per-subcarrier power gain averaged over antenna pairs. Feeds the
+    /// effective-SNR computation in [`crate::per`].
+    pub fn subcarrier_power_gains(&self) -> Vec<f64> {
+        let pairs = (self.n_tx * self.n_rx) as f64;
+        (0..self.n_sc)
+            .map(|sc| {
+                let mut s = 0.0;
+                for tx in 0..self.n_tx {
+                    for rx in 0..self.n_rx {
+                        s += self.get(tx, rx, sc).norm_sq();
+                    }
+                }
+                s / pairs
+            })
+            .collect()
+    }
+
+    /// Raw access to the flattened `[tx][rx][subcarrier]` data.
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Mutable access to the flattened data (used by the channel sampler
+    /// to add estimation noise).
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+}
+
+/// CSI similarity between two snapshots — the paper's Equation (1).
+///
+/// The Pearson correlation coefficient, across subcarriers, of the
+/// antenna-pair-averaged magnitude profiles of the two CSI samples.
+/// `1.0` means an unchanged channel; values near `0` mean the multipath
+/// structure has completely changed.
+///
+/// Returns `1.0` when either profile is degenerate (zero variance across
+/// subcarriers), which can only happen for pathological synthetic inputs:
+/// a flat channel that stays flat has not changed.
+pub fn csi_similarity(a: &Csi, b: &Csi) -> f64 {
+    let pa = a.magnitude_profile();
+    let pb = b.magnitude_profile();
+    stats::pearson(&pa, &pb).unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobisense_util::DetRng;
+
+    fn random_csi(rng: &mut DetRng, n_tx: usize, n_rx: usize, n_sc: usize) -> Csi {
+        let mut c = Csi::zeros(n_tx, n_rx, n_sc);
+        for tx in 0..n_tx {
+            for rx in 0..n_rx {
+                for sc in 0..n_sc {
+                    c.set(tx, rx, sc, rng.complex_gaussian(1.0));
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut c = Csi::zeros(3, 2, 52);
+        c.set(2, 1, 51, C64::new(1.5, -0.5));
+        assert_eq!(c.get(2, 1, 51), C64::new(1.5, -0.5));
+        assert_eq!(c.get(0, 0, 0), C64::ZERO);
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let mut rng = DetRng::seed_from_u64(1);
+        let c = random_csi(&mut rng, 3, 2, 52);
+        assert!((csi_similarity(&c, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_channels_have_low_similarity() {
+        let mut rng = DetRng::seed_from_u64(2);
+        let mut sims = Vec::new();
+        for _ in 0..50 {
+            let a = random_csi(&mut rng, 3, 2, 52);
+            let b = random_csi(&mut rng, 3, 2, 52);
+            sims.push(csi_similarity(&a, &b));
+        }
+        let mean = sims.iter().sum::<f64>() / sims.len() as f64;
+        assert!(mean.abs() < 0.2, "mean similarity {mean}");
+        assert!(sims.iter().all(|s| s.abs() < 0.8));
+    }
+
+    #[test]
+    fn similarity_ignores_common_scaling() {
+        // RSSI-style global power changes must not affect similarity:
+        // Pearson is scale-invariant, which is why CSI similarity sees
+        // multipath structure while RSSI only sees aggregate power.
+        let mut rng = DetRng::seed_from_u64(3);
+        let a = random_csi(&mut rng, 3, 2, 52);
+        let mut b = a.clone();
+        for v in b.as_mut_slice() {
+            *v = *v * 3.0;
+        }
+        assert!((csi_similarity(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn magnitude_profile_len() {
+        let mut rng = DetRng::seed_from_u64(4);
+        let c = random_csi(&mut rng, 3, 2, 52);
+        assert_eq!(c.magnitude_profile().len(), 52);
+        assert!(c.magnitude_profile().iter().all(|&m| m > 0.0));
+    }
+
+    #[test]
+    fn rx_power_tracks_gain() {
+        let mut c = Csi::zeros(1, 1, 4);
+        for sc in 0..4 {
+            c.set(0, 0, sc, C64::new(0.01, 0.0)); // |h|^2 = 1e-4 -> -40 dB
+        }
+        let p = c.rx_power_dbm(20.0);
+        assert!((p - (20.0 - 40.0)).abs() < 1e-9, "p={p}");
+        let z = Csi::zeros(1, 1, 4);
+        assert_eq!(z.rx_power_dbm(20.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn tx_vector_extraction() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let c = random_csi(&mut rng, 3, 2, 8);
+        let v = c.tx_vector(1, 3);
+        assert_eq!(v.len(), 3);
+        for (tx, &h) in v.iter().enumerate() {
+            assert_eq!(h, c.get(tx, 1, 3));
+        }
+    }
+}

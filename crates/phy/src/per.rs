@@ -1,0 +1,340 @@
+//! Packet-error-rate model.
+//!
+//! Three pieces stack up to a per-MPDU error probability:
+//!
+//! 1. **Effective SNR** across the frequency-selective channel: the
+//!    capacity-equivalent flat SNR of the per-subcarrier SNRs (the same
+//!    construction as Halperin et al.'s ESNR, which the paper compares
+//!    against in section 4.3).
+//! 2. **Logistic PER-vs-SNR curves** per MCS, anchored at standard
+//!    802.11n receiver-sensitivity midpoints ([`crate::mcs`]).
+//! 3. **Intra-frame channel aging**: receivers equalise with the channel
+//!    estimate from the frame preamble; an MPDU transmitted `t` seconds
+//!    into the frame sees a channel that has drifted for `t` seconds.
+//!    The decorrelated channel fraction becomes self-interference,
+//!    capping the post-equalisation SINR (see [`aged_snr_db`]). This is
+//!    the mechanism behind the paper's Figure 10(a): long aggregates
+//!    lose packets under mobility.
+
+use crate::csi::Csi;
+use crate::mcs::Mcs;
+use mobisense_util::units::db_to_ratio;
+
+/// Steepness of the logistic PER curve, in 1/dB. Real 802.11n PER-vs-SNR
+/// curves fall from 90% to 10% over roughly 3 dB; a slope of 1.5/dB
+/// reproduces that.
+const PER_SLOPE_PER_DB: f64 = 1.5;
+
+/// Fraction of channel variation the receiver's pilot tracking cannot
+/// compensate. Pilots track common phase/frequency drift, so only this
+/// residual of the Doppler-induced channel change turns into
+/// equalisation self-interference.
+const PILOT_TRACKING_RESIDUAL: f64 = 0.3;
+
+/// Floor on the self-interference-limited SINR (linear) so the model
+/// stays numerically sane for absurdly stale equalisation.
+const MIN_AGED_SINR: f64 = 1e-3;
+
+/// Reference MPDU size for the PER anchors.
+pub const REF_MPDU_BITS: f64 = 12_000.0; // 1500 bytes
+
+/// Effective (capacity-equivalent) SNR in dB for a set of per-subcarrier
+/// power gains and a flat noise floor.
+///
+/// Solves `log2(1 + snr_eff) = mean_i log2(1 + snr_i)`.
+pub fn effective_snr_db(subcarrier_gains: &[f64], mean_snr_db: f64, mean_gain: f64) -> f64 {
+    if subcarrier_gains.is_empty() || mean_gain <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let mean_snr = db_to_ratio(mean_snr_db);
+    let mut cap = 0.0;
+    for &g in subcarrier_gains {
+        let snr_i = mean_snr * g / mean_gain;
+        cap += (1.0 + snr_i).log2();
+    }
+    cap /= subcarrier_gains.len() as f64;
+    let snr_eff = 2f64.powf(cap) - 1.0;
+    10.0 * snr_eff.log10()
+}
+
+/// Effective SNR for a CSI snapshot given the link's mean SNR.
+pub fn csi_effective_snr_db(csi: &Csi, mean_snr_db: f64) -> f64 {
+    let gains = csi.subcarrier_power_gains();
+    let mean_gain = gains.iter().sum::<f64>() / gains.len() as f64;
+    effective_snr_db(&gains, mean_snr_db, mean_gain)
+}
+
+/// Error probability of a single MPDU of `mpdu_bits` bits at the given
+/// effective SNR and MCS, with no channel aging.
+///
+/// The logistic midpoint is per-MCS; packet size rescales the curve: a
+/// packet `k` times longer has `k` times the chance of containing an
+/// uncorrectable error at a given bit-error level, which shifts the curve
+/// by `10 log10(k) / slope-equivalent` — implemented exactly via the
+/// survival-probability power law.
+pub fn mpdu_error_prob(snr_db: f64, mcs: Mcs, mpdu_bits: f64) -> f64 {
+    let x = PER_SLOPE_PER_DB * (snr_db - mcs.snr_mid_db());
+    // PER for the reference 1500-byte MPDU.
+    let per_ref = 1.0 / (1.0 + x.exp());
+    // Success probability scales with length: P_succ = P_succ_ref^(L/Lref).
+    let p_succ = (1.0 - per_ref).powf(mpdu_bits / REF_MPDU_BITS);
+    (1.0 - p_succ).clamp(0.0, 1.0)
+}
+
+/// Bessel function J0 via its power series, clamped to zero past its
+/// first zero crossing (x ~ 2.405). Accurate to <1e-3 on [0, 2.4], which
+/// is all the autocorrelation model needs.
+fn bessel_j0(x: f64) -> f64 {
+    if x >= 2.405 {
+        return 0.0;
+    }
+    let x2 = x * x;
+    (1.0 - x2 / 4.0 + x2 * x2 / 64.0 - x2 * x2 * x2 / 2304.0).max(0.0)
+}
+
+/// Effective SINR (dB) seen by an MPDU that starts `age_secs` after the
+/// frame preamble, on a channel with the given coherence time.
+///
+/// The receiver equalises with the preamble-time channel estimate. Under
+/// Clarke fading the channel correlation at lag `t` is
+/// `rho = J0(2 pi f_d t)` (with `f_d = 0.423 / T_c`); the decorrelated
+/// part `1 - rho^2` of the signal becomes self-interference, capping the
+/// post-equalisation SINR at `rho^2 / (1 - rho^2)` regardless of how
+/// strong the signal is. Pilot tracking compensates most of the drift, so
+/// only the pilot-tracking residual (30%) of the Doppler enters the lag.
+/// This
+/// ceiling is what makes long aggregates lossy under motion while barely
+/// touching short ones — the mechanism behind the paper's Figure 10(a).
+pub fn aged_snr_db(snr_db: f64, age_secs: f64, coherence_secs: f64) -> f64 {
+    if coherence_secs <= 0.0 || !coherence_secs.is_finite() || age_secs <= 0.0 {
+        return snr_db;
+    }
+    let f_d = 0.423 / coherence_secs;
+    let rho = bessel_j0(
+        2.0 * std::f64::consts::PI * f_d * PILOT_TRACKING_RESIDUAL * age_secs,
+    );
+    let rho2 = rho * rho;
+    let snr_lin = db_to_ratio(snr_db);
+    let sinr = if rho2 >= 1.0 {
+        snr_lin
+    } else if rho2 <= 0.0 {
+        MIN_AGED_SINR
+    } else {
+        let self_interference = (1.0 - rho2) / rho2;
+        (1.0 / (1.0 / snr_lin + self_interference)).max(MIN_AGED_SINR)
+    };
+    10.0 * sinr.log10()
+}
+
+/// Error probability of an MPDU `age_secs` into a frame.
+pub fn mpdu_error_prob_aged(
+    snr_db: f64,
+    mcs: Mcs,
+    mpdu_bits: f64,
+    age_secs: f64,
+    coherence_secs: f64,
+) -> f64 {
+    mpdu_error_prob(aged_snr_db(snr_db, age_secs, coherence_secs), mcs, mpdu_bits)
+}
+
+/// Channel coherence time (seconds) for a given speed, via the standard
+/// Clarke-model rule of thumb `T_c = 0.423 / f_d`, `f_d = v / lambda`.
+///
+/// Returns `f64::INFINITY` for a static channel.
+pub fn coherence_time_secs(speed_mps: f64, wavelength_m: f64) -> f64 {
+    if speed_mps <= 0.0 {
+        return f64::INFINITY;
+    }
+    0.423 * wavelength_m / speed_mps
+}
+
+/// Expected MAC-layer goodput (bits/s of successful payload) used by
+/// SNR-driven rate pickers: `rate * (1 - PER)`.
+pub fn expected_goodput_bps(snr_db: f64, mcs: Mcs, mpdu_bits: f64) -> f64 {
+    mcs.rate_bps() * (1.0 - mpdu_error_prob(snr_db, mcs, mpdu_bits))
+}
+
+/// The MCS with the highest expected *delivered* goodput for a full
+/// A-MPDU exchange, accounting for intra-frame channel aging: later
+/// MPDUs of a long aggregate see a staler channel, so on fast channels
+/// the best rate is lower than the instantaneous-SNR optimum. This is
+/// what a calibrated CSI-feedback scheme (ESNR) effectively learns.
+pub fn oracle_mcs_aged(
+    snr_db: f64,
+    mpdu_payload_bytes: usize,
+    agg_limit: mobisense_util::units::Nanos,
+    coherence_secs: f64,
+) -> Mcs {
+    let bits = (mpdu_payload_bytes * 8) as f64;
+    let mut best = Mcs(0);
+    let mut best_tp = f64::NEG_INFINITY;
+    for m in Mcs::ladder() {
+        let n = crate::airtime::mpdus_for_time_limit(m, mpdu_payload_bytes, agg_limit);
+        let mut delivered = 0.0;
+        for i in 0..n {
+            let age = crate::airtime::mpdu_offset(m, i, mpdu_payload_bytes) as f64 / 1e9;
+            delivered += 1.0 - mpdu_error_prob_aged(snr_db, m, bits, age, coherence_secs);
+        }
+        let airtime = crate::airtime::ampdu_exchange(m, n, mpdu_payload_bytes) as f64 / 1e9;
+        let tp = delivered * bits / airtime;
+        if tp > best_tp {
+            best_tp = tp;
+            best = m;
+        }
+    }
+    best
+}
+
+/// The MCS with the highest expected goodput at a given effective SNR —
+/// the "oracle" rate used for the paper's Figure 8 optimal-rate study.
+pub fn oracle_mcs(snr_db: f64, mpdu_bits: f64) -> Mcs {
+    let mut best = Mcs(0);
+    let mut best_tp = f64::NEG_INFINITY;
+    for m in Mcs::ladder() {
+        let tp = expected_goodput_bps(snr_db, m, mpdu_bits);
+        if tp > best_tp {
+            best_tp = tp;
+            best = m;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_is_monotone_in_snr() {
+        let m = Mcs(4);
+        let mut last = 1.0;
+        for snr in (0..40).map(|s| s as f64) {
+            let p = mpdu_error_prob(snr, m, REF_MPDU_BITS);
+            assert!(p <= last + 1e-12);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn per_midpoint_at_anchor() {
+        for m in Mcs::ladder() {
+            let p = mpdu_error_prob(m.snr_mid_db(), m, REF_MPDU_BITS);
+            assert!((p - 0.5).abs() < 1e-9, "{m}: {p}");
+        }
+    }
+
+    #[test]
+    fn per_extremes() {
+        let m = Mcs(7);
+        assert!(mpdu_error_prob(m.snr_mid_db() + 15.0, m, REF_MPDU_BITS) < 1e-4);
+        assert!(mpdu_error_prob(m.snr_mid_db() - 15.0, m, REF_MPDU_BITS) > 0.999);
+    }
+
+    #[test]
+    fn longer_packets_fail_more() {
+        let m = Mcs(3);
+        let snr = m.snr_mid_db() + 2.0;
+        let short = mpdu_error_prob(snr, m, 4_000.0);
+        let long = mpdu_error_prob(snr, m, 24_000.0);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn aged_snr_is_a_ceiling() {
+        // Fresh or static: untouched.
+        assert_eq!(aged_snr_db(30.0, 0.0, 0.02), 30.0);
+        assert_eq!(aged_snr_db(30.0, 0.004, f64::INFINITY), 30.0);
+        // Aged on a walking channel (Tc ~ 18 ms): monotone decreasing in
+        // age, and independent of the input SNR once the ceiling binds.
+        let a2 = aged_snr_db(40.0, 0.002, 0.018);
+        let a4 = aged_snr_db(40.0, 0.004, 0.018);
+        let a8 = aged_snr_db(40.0, 0.008, 0.018);
+        assert!(a2 > a4 && a4 > a8, "{a2} {a4} {a8}");
+        // 8 ms into the frame the ceiling dominates a strong signal.
+        let weak = aged_snr_db(25.0, 0.008, 0.018);
+        assert!((a8 - weak).abs() < 2.0, "ceiling binds: {a8} vs {weak}");
+        // Absurd staleness hits the floor, not a panic.
+        let floor = aged_snr_db(40.0, 10.0, 0.018);
+        assert!((floor - 10.0 * MIN_AGED_SINR.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bessel_j0_sanity() {
+        assert!((bessel_j0(0.0) - 1.0).abs() < 1e-12);
+        assert!((bessel_j0(1.0) - 0.7652).abs() < 2e-3);
+        assert!((bessel_j0(2.0) - 0.2239).abs() < 2e-2);
+        assert_eq!(bessel_j0(3.0), 0.0);
+    }
+
+    #[test]
+    fn aged_mpdus_fail_more_under_mobility() {
+        let m = Mcs(12);
+        let snr = m.snr_mid_db() + 6.0;
+        let tc = coherence_time_secs(1.2, 0.0515); // walking: ~18 ms
+        assert!((tc - 0.01815).abs() < 5e-4, "tc={tc}");
+        let early = mpdu_error_prob_aged(snr, m, REF_MPDU_BITS, 0.0005, tc);
+        let late = mpdu_error_prob_aged(snr, m, REF_MPDU_BITS, 0.007, tc);
+        assert!(late > early * 2.0, "early {early} late {late}");
+    }
+
+    #[test]
+    fn static_channel_has_infinite_coherence() {
+        assert_eq!(coherence_time_secs(0.0, 0.05), f64::INFINITY);
+        let m = Mcs(12);
+        let snr = m.snr_mid_db() + 6.0;
+        let a = mpdu_error_prob_aged(snr, m, REF_MPDU_BITS, 0.008, f64::INFINITY);
+        let b = mpdu_error_prob(snr, m, REF_MPDU_BITS);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn effective_snr_flat_channel_is_mean() {
+        let gains = vec![1.0; 52];
+        let e = effective_snr_db(&gains, 20.0, 1.0);
+        assert!((e - 20.0).abs() < 1e-9, "e={e}");
+    }
+
+    #[test]
+    fn effective_snr_selective_channel_below_mean() {
+        // Deep fades pull effective SNR below the arithmetic mean.
+        let mut gains = vec![1.9; 26];
+        gains.extend(vec![0.1; 26]);
+        let e = effective_snr_db(&gains, 20.0, 1.0);
+        assert!(e < 20.0, "e={e}");
+        assert!(e > 10.0, "e={e}");
+    }
+
+    #[test]
+    fn oracle_tracks_snr() {
+        assert_eq!(oracle_mcs(2.0, REF_MPDU_BITS), Mcs(0));
+        let top = oracle_mcs(45.0, REF_MPDU_BITS);
+        assert_eq!(top, Mcs(15));
+        // Mid SNR lands strictly inside the ladder.
+        let mid = oracle_mcs(18.0, REF_MPDU_BITS);
+        assert!(mid > Mcs(0) && mid < Mcs(15), "mid={mid}");
+    }
+
+    #[test]
+    fn aged_oracle_backs_off_on_fast_channels() {
+        let snr = 32.0;
+        let agg = 4_000_000; // 4 ms
+        let static_pick = oracle_mcs_aged(snr, 1500, agg, f64::INFINITY);
+        let walking_pick = oracle_mcs_aged(snr, 1500, agg, 0.018);
+        assert!(
+            walking_pick < static_pick,
+            "walking pick {walking_pick} should be below static pick {static_pick}"
+        );
+        // And the static pick matches the plain oracle.
+        assert_eq!(static_pick, oracle_mcs(snr, REF_MPDU_BITS));
+    }
+
+    #[test]
+    fn goodput_peaks_at_oracle() {
+        let snr = 22.0;
+        let best = oracle_mcs(snr, REF_MPDU_BITS);
+        let tp_best = expected_goodput_bps(snr, best, REF_MPDU_BITS);
+        for m in Mcs::ladder() {
+            assert!(expected_goodput_bps(snr, m, REF_MPDU_BITS) <= tp_best + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Recorded channel traces for trace-based emulation.
+//!
+//! The paper evaluates rate adaptation (section 4.3) and MU-MIMO
+//! (section 6.2) by replaying CSI traces collected while walking, so that
+//! every scheme sees *identical* channel conditions. This module is the
+//! recording format: a time series of channel snapshots, each carrying the
+//! measured CSI, link SNR, RSSI, true distance and instantaneous speed.
+
+use crate::csi::Csi;
+use mobisense_util::units::Nanos;
+
+/// One recorded channel snapshot.
+#[derive(Clone, Debug)]
+pub struct TraceSample {
+    /// Sample timestamp.
+    pub at: Nanos,
+    /// Measured CSI (estimation noise included).
+    pub csi: Csi,
+    /// True mean link SNR in dB (before frequency-selective weighting).
+    pub snr_db: f64,
+    /// Reported RSSI in dBm.
+    pub rssi_dbm: f64,
+    /// True AP-client distance in metres.
+    pub distance_m: f64,
+    /// Instantaneous client speed in m/s (sets the coherence time).
+    pub speed_mps: f64,
+}
+
+/// A recorded channel trace between one AP and one client.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelTrace {
+    samples: Vec<TraceSample>,
+}
+
+impl ChannelTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Samples must be pushed in non-decreasing time
+    /// order.
+    pub fn push(&mut self, s: TraceSample) {
+        if let Some(last) = self.samples.last() {
+            assert!(
+                s.at >= last.at,
+                "trace samples must be time-ordered ({} < {})",
+                s.at,
+                last.at
+            );
+        }
+        self.samples.push(s);
+    }
+
+    /// All samples in time order.
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total covered duration (last minus first timestamp).
+    pub fn duration(&self) -> Nanos {
+        match (self.samples.first(), self.samples.last()) {
+            (Some(f), Some(l)) => l.at - f.at,
+            _ => 0,
+        }
+    }
+
+    /// The most recent sample at or before time `t`, if any — what a
+    /// replay sees as "the channel now".
+    pub fn sample_at(&self, t: Nanos) -> Option<&TraceSample> {
+        match self.samples.partition_point(|s| s.at <= t) {
+            0 => None,
+            i => Some(&self.samples[i - 1]),
+        }
+    }
+
+    /// Iterates over samples within `[from, to)`.
+    pub fn range(&self, from: Nanos, to: Nanos) -> impl Iterator<Item = &TraceSample> {
+        self.samples
+            .iter()
+            .skip_while(move |s| s.at < from)
+            .take_while(move |s| s.at < to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(at: Nanos, d: f64) -> TraceSample {
+        TraceSample {
+            at,
+            csi: Csi::zeros(1, 1, 4),
+            snr_db: 20.0,
+            rssi_dbm: -60.0,
+            distance_m: d,
+            speed_mps: 1.0,
+        }
+    }
+
+    #[test]
+    fn ordered_push_and_lookup() {
+        let mut t = ChannelTrace::new();
+        for i in 0..10u64 {
+            t.push(sample(i * 100, i as f64));
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.duration(), 900);
+        assert_eq!(t.sample_at(0).unwrap().distance_m, 0.0);
+        assert_eq!(t.sample_at(250).unwrap().distance_m, 2.0);
+        assert_eq!(t.sample_at(5000).unwrap().distance_m, 9.0);
+    }
+
+    #[test]
+    fn sample_before_start_is_none() {
+        let mut t = ChannelTrace::new();
+        t.push(sample(100, 1.0));
+        assert!(t.sample_at(50).is_none());
+        assert!(t.sample_at(100).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_push_panics() {
+        let mut t = ChannelTrace::new();
+        t.push(sample(100, 1.0));
+        t.push(sample(50, 2.0));
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut t = ChannelTrace::new();
+        for i in 0..10u64 {
+            t.push(sample(i * 100, i as f64));
+        }
+        let got: Vec<f64> = t.range(200, 500).map(|s| s.distance_m).collect();
+        assert_eq!(got, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = ChannelTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), 0);
+        assert!(t.sample_at(0).is_none());
+    }
+}

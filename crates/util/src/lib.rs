@@ -1,0 +1,27 @@
+//! # mobisense-util
+//!
+//! Foundation substrate for the `mobisense` workspace: deterministic
+//! random-number fan-out, complex arithmetic, small complex linear algebra
+//! (for MIMO precoding), descriptive statistics, CDF construction, and the
+//! streaming filters (median, moving average, EWMA) that the paper's
+//! classification pipeline is built from.
+//!
+//! Everything in this crate is `std`-only, allocation-light, and free of
+//! global state: all randomness flows from explicitly seeded [`rng::DetRng`]
+//! values so that every experiment in the workspace is bit-reproducible.
+
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod complex;
+pub mod filter;
+pub mod linalg;
+pub mod rng;
+pub mod stats;
+pub mod units;
+pub mod vec2;
+
+pub use cdf::Cdf;
+pub use complex::C64;
+pub use rng::DetRng;
+pub use vec2::Vec2;

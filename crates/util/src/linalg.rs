@@ -1,0 +1,489 @@
+//! Small dense complex linear algebra for MIMO precoding.
+//!
+//! MU-MIMO zero-forcing needs the right pseudo-inverse of a `K x Nt`
+//! channel matrix with `K <= Nt <= 4`; SU beamforming needs Hermitian inner
+//! products. A straightforward Gauss–Jordan on matrices this small is both
+//! fast and easy to verify, so we avoid pulling in a linear-algebra crate.
+
+use crate::C64;
+
+/// A dense, row-major complex matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        CMat {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices. All rows must have equal length.
+    pub fn from_rows(rows: &[Vec<C64>]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "need at least one column");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "ragged rows in CMat::from_rows"
+        );
+        CMat {
+            rows: rows.len(),
+            cols,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[C64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` as a vector (by copy).
+    pub fn col(&self, j: usize) -> Vec<C64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Conjugate (Hermitian) transpose.
+    pub fn hermitian(&self) -> CMat {
+        let mut out = CMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "dimension mismatch in matmul: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch in matvec");
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .map(|(&a, &x)| a * x)
+                    .sum::<C64>()
+            })
+            .collect()
+    }
+
+    /// Scales every entry by a real factor.
+    pub fn scaled(&self, k: f64) -> CMat {
+        CMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z.scale(k)).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sq()).sum::<f64>().sqrt()
+    }
+
+    /// Inverse of a square matrix via Gauss–Jordan with partial pivoting.
+    /// Returns `None` for a (numerically) singular matrix.
+    pub fn inverse(&self) -> Option<CMat> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = CMat::identity(n);
+        for col in 0..n {
+            // Partial pivot: pick the row with the largest magnitude entry.
+            let pivot = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[(r1, col)]
+                        .abs()
+                        .partial_cmp(&a[(r2, col)].abs())
+                        .expect("finite magnitudes")
+                })
+                .expect("non-empty range");
+            if a[(pivot, col)].abs() < 1e-12 {
+                return None;
+            }
+            a.swap_rows(col, pivot);
+            inv.swap_rows(col, pivot);
+            let p = a[(col, col)].recip();
+            for j in 0..n {
+                a[(col, j)] *= p;
+                inv[(col, j)] *= p;
+            }
+            for row in 0..n {
+                if row == col {
+                    continue;
+                }
+                let f = a[(row, col)];
+                if f == C64::ZERO {
+                    continue;
+                }
+                for j in 0..n {
+                    let ac = a[(col, j)];
+                    let ic = inv[(col, j)];
+                    a[(row, j)] -= f * ac;
+                    inv[(row, j)] -= f * ic;
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Right pseudo-inverse `A^H (A A^H)^{-1}` of a fat matrix
+    /// (`rows <= cols`). This is the zero-forcing precoder: for channel
+    /// `H` (users x antennas), `W = pinv_right(H)` satisfies `H W = I`.
+    pub fn pinv_right(&self) -> Option<CMat> {
+        assert!(
+            self.rows <= self.cols,
+            "pinv_right requires a fat matrix ({}x{})",
+            self.rows,
+            self.cols
+        );
+        let ah = self.hermitian();
+        let gram = self.matmul(&ah); // rows x rows
+        Some(ah.matmul(&gram.inverse()?))
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(r1 * self.cols + j, r2 * self.cols + j);
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Eigendecomposition of a Hermitian matrix via the cyclic complex
+/// Jacobi method. Returns `(eigenvalues, eigenvectors)` with eigenvalues
+/// ascending and eigenvectors as matrix columns. Intended for the small
+/// (2-8 dim) antenna-array covariance matrices used by AoA estimation.
+pub fn eigh(a: &CMat) -> (Vec<f64>, CMat) {
+    assert_eq!(a.rows(), a.cols(), "eigh needs a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = CMat::identity(n);
+    // Cyclic Jacobi sweeps: annihilate each off-diagonal pair with a
+    // complex rotation until the off-diagonal mass is negligible.
+    for _sweep in 0..64 {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m[(p, q)].norm_sq();
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-18 {
+                    continue;
+                }
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                // Phase that makes the pivot real, then a real rotation.
+                // Unitary plane rotation J: J[pp]=c, J[pq]=s e^{j phi},
+                // J[qp]=-s e^{-j phi}, J[qq]=c with phi = arg(A[pq]) and
+                // tan(2 theta) = 2|A[pq]| / (A[qq] - A[pp]); then
+                // (J^H A J)[pq] = 0. Apply A <- J^H A J, V <- V J.
+                let phi = apq.arg();
+                let g = apq.abs();
+                let theta = 0.5 * (2.0 * g).atan2(aqq - app);
+                let (s_t, c_t) = theta.sin_cos();
+                let e_nphi = C64::cis(-phi);
+                let e_pphi = C64::cis(phi);
+                // Column update (A <- A J).
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = mkp * c_t - mkq * e_nphi * s_t;
+                    m[(k, q)] = mkp * e_pphi * s_t + mkq * c_t;
+                }
+                // Row update (A <- J^H A).
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = mpk * c_t - mqk * e_pphi * s_t;
+                    m[(q, k)] = mpk * e_nphi * s_t + mqk * c_t;
+                }
+                // Accumulate eigenvectors (V <- V J).
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = vkp * c_t - vkq * e_nphi * s_t;
+                    v[(k, q)] = vkp * e_pphi * s_t + vkq * c_t;
+                }
+            }
+        }
+    }
+    // Extract (real) eigenvalues and sort ascending with their vectors.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let evals: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    idx.sort_by(|&i, &j| evals[i].partial_cmp(&evals[j]).expect("finite"));
+    let sorted_vals: Vec<f64> = idx.iter().map(|&i| evals[i]).collect();
+    let mut sorted_vecs = CMat::zeros(n, n);
+    for (new_col, &old_col) in idx.iter().enumerate() {
+        for r in 0..n {
+            sorted_vecs[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    (sorted_vals, sorted_vecs)
+}
+
+/// Hermitian inner product `<a, b> = sum a_i * conj(b_i)`.
+pub fn inner(a: &[C64], b: &[C64]) -> C64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch in inner product");
+    a.iter().zip(b).map(|(&x, &y)| x * y.conj()).sum()
+}
+
+/// Plain (bilinear) dot product `sum a_i * b_i` — what a transmit
+/// precoder actually produces at the receiver: `y = sum h_i w_i`.
+pub fn dot(a: &[C64], b: &[C64]) -> C64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch in dot product");
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean norm of a complex vector.
+pub fn vnorm(v: &[C64]) -> f64 {
+    v.iter().map(|z| z.norm_sq()).sum::<f64>().sqrt()
+}
+
+/// Scales a complex vector to unit norm; zero vectors are returned as-is.
+pub fn normalize(v: &[C64]) -> Vec<C64> {
+    let n = vnorm(v);
+    if n > 0.0 {
+        v.iter().map(|&z| z / n).collect()
+    } else {
+        v.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_close(a: &CMat, b: &CMat, eps: f64) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && (0..a.rows()).all(|i| (0..a.cols()).all(|j| (a[(i, j)] - b[(i, j)]).abs() < eps))
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = CMat::from_rows(&[
+            vec![C64::new(1.0, 2.0), C64::new(-1.0, 0.5)],
+            vec![C64::new(0.0, -3.0), C64::new(4.0, 0.0)],
+        ]);
+        let i = CMat::identity(2);
+        assert!(mat_close(&a.matmul(&i), &a, 1e-12));
+        assert!(mat_close(&i.matmul(&a), &a, 1e-12));
+    }
+
+    #[test]
+    fn hermitian_involution() {
+        let a = CMat::from_rows(&[
+            vec![C64::new(1.0, 2.0), C64::new(-1.0, 0.5), C64::new(0.2, 0.0)],
+            vec![C64::new(0.0, -3.0), C64::new(4.0, 0.0), C64::new(1.0, 1.0)],
+        ]);
+        assert!(mat_close(&a.hermitian().hermitian(), &a, 1e-15));
+        assert_eq!(a.hermitian().rows(), 3);
+        assert_eq!(a.hermitian().cols(), 2);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = CMat::from_rows(&[
+            vec![C64::new(2.0, 1.0), C64::new(0.0, -1.0), C64::new(1.0, 0.0)],
+            vec![C64::new(1.0, 0.0), C64::new(3.0, 0.5), C64::new(0.0, 0.0)],
+            vec![C64::new(0.0, 2.0), C64::new(1.0, -1.0), C64::new(2.0, 2.0)],
+        ]);
+        let inv = a.inverse().expect("invertible");
+        assert!(mat_close(&a.matmul(&inv), &CMat::identity(3), 1e-9));
+        assert!(mat_close(&inv.matmul(&a), &CMat::identity(3), 1e-9));
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = CMat::from_rows(&[
+            vec![C64::new(1.0, 0.0), C64::new(2.0, 0.0)],
+            vec![C64::new(2.0, 0.0), C64::new(4.0, 0.0)],
+        ]);
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn pinv_right_is_zero_forcing() {
+        // 2 users, 3 antennas: H * W must be the 2x2 identity.
+        let h = CMat::from_rows(&[
+            vec![C64::new(1.0, 0.2), C64::new(-0.5, 1.0), C64::new(0.3, -0.3)],
+            vec![C64::new(0.1, -1.0), C64::new(2.0, 0.0), C64::new(-1.0, 0.4)],
+        ]);
+        let w = h.pinv_right().expect("full row rank");
+        assert_eq!(w.rows(), 3);
+        assert_eq!(w.cols(), 2);
+        assert!(mat_close(&h.matmul(&w), &CMat::identity(2), 1e-9));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = CMat::from_rows(&[
+            vec![C64::new(1.0, 0.0), C64::new(0.0, 1.0)],
+            vec![C64::new(2.0, -1.0), C64::new(1.0, 1.0)],
+        ]);
+        let v = vec![C64::new(1.0, 1.0), C64::new(-2.0, 0.0)];
+        let got = a.matvec(&v);
+        let vm = CMat::from_rows(&[vec![v[0]], vec![v[1]]]);
+        let want = a.matmul(&vm);
+        assert!((got[0] - want[(0, 0)]).abs() < 1e-12);
+        assert!((got[1] - want[(1, 0)]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_product_properties() {
+        let a = vec![C64::new(1.0, 2.0), C64::new(0.0, -1.0)];
+        // <a, a> is real, positive, equals |a|^2.
+        let p = inner(&a, &a);
+        assert!(p.im.abs() < 1e-12);
+        assert!((p.re - (a[0].norm_sq() + a[1].norm_sq())).abs() < 1e-12);
+        assert!((vnorm(&a) - p.re.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigh_diagonal_matrix() {
+        let mut a = CMat::zeros(3, 3);
+        a[(0, 0)] = C64::new(3.0, 0.0);
+        a[(1, 1)] = C64::new(1.0, 0.0);
+        a[(2, 2)] = C64::new(2.0, 0.0);
+        let (vals, _) = eigh(&a);
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert!((vals[1] - 2.0).abs() < 1e-10);
+        assert!((vals[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigh_reconstructs_hermitian() {
+        // Build a random Hermitian matrix H = B^H B and verify
+        // H v_i = lambda_i v_i for every pair.
+        let b = CMat::from_rows(&[
+            vec![C64::new(1.0, 0.5), C64::new(-0.3, 1.1), C64::new(0.2, -0.7)],
+            vec![C64::new(0.9, -1.2), C64::new(2.0, 0.0), C64::new(1.0, 0.4)],
+            vec![C64::new(-0.5, 0.3), C64::new(0.6, -0.6), C64::new(1.5, 0.9)],
+        ]);
+        let h = b.hermitian().matmul(&b);
+        let (vals, vecs) = eigh(&h);
+        // Eigenvalues of B^H B are non-negative and ascending.
+        assert!(vals[0] >= -1e-9);
+        assert!(vals.windows(2).all(|w| w[1] >= w[0]));
+        for i in 0..3 {
+            let v: Vec<C64> = (0..3).map(|r| vecs[(r, i)]).collect();
+            let hv = h.matvec(&v);
+            for r in 0..3 {
+                let want = v[r].scale(vals[i]);
+                assert!(
+                    (hv[r] - want).abs() < 1e-7,
+                    "eigpair {i} row {r}: {:?} vs {:?}",
+                    hv[r],
+                    want
+                );
+            }
+        }
+        // Eigenvectors are orthonormal.
+        for i in 0..3 {
+            for j in 0..3 {
+                let vi: Vec<C64> = (0..3).map(|r| vecs[(r, i)]).collect();
+                let vj: Vec<C64> = (0..3).map(|r| vecs[(r, j)]).collect();
+                let d = inner(&vi, &vj);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (d.abs() - expect).abs() < 1e-8,
+                    "orthonormality {i},{j}: {d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_vs_inner() {
+        let h = vec![C64::new(1.0, 2.0), C64::new(-0.5, 1.0)];
+        // MRT: w = conj(h)/|h| makes the plain dot real and equal to |h|.
+        let w = normalize(&h.iter().map(|z| z.conj()).collect::<Vec<_>>());
+        let y = dot(&h, &w);
+        assert!(y.im.abs() < 1e-12);
+        assert!((y.re - vnorm(&h)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let v = vec![C64::new(3.0, 0.0), C64::new(0.0, 4.0)];
+        let u = normalize(&v);
+        assert!((vnorm(&u) - 1.0).abs() < 1e-12);
+        let z = vec![C64::ZERO, C64::ZERO];
+        assert_eq!(normalize(&z), z);
+    }
+}

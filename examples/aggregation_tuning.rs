@@ -1,0 +1,61 @@
+//! Aggregation tuning: why the A-MPDU aggregation window must follow the
+//! client's mobility (paper section 5).
+//!
+//! For each mobility mode, transmits a saturated downlink with three
+//! fixed aggregation windows and the mobility-aware adaptive policy,
+//! showing the static/mobile crossover and that adaptive tracks the best
+//! fixed choice in every mode.
+//!
+//! Run with: `cargo run --release --example aggregation_tuning`
+
+use mobisense_bench::{TraceBundle, TRACE_STEP};
+use mobisense_core::scenario::{Scenario, ScenarioKind};
+use mobisense_mac::agg::AggPolicy;
+use mobisense_mac::rate::AtherosRa;
+use mobisense_mac::sim::LinkRun;
+use mobisense_mobility::movers::EnvIntensity;
+use mobisense_util::units::{MILLISECOND, SECOND};
+use mobisense_util::DetRng;
+
+fn throughput(bundle: &TraceBundle, agg: AggPolicy, hints: bool) -> f64 {
+    let mut ra = AtherosRa::stock();
+    let mut rng = DetRng::seed_from_u64(5);
+    LinkRun::new()
+        .with_agg(agg)
+        .run(
+            &mut ra,
+            |t| bundle.link_state_at(t),
+            |t| if hints { bundle.phy_hint_at(t) } else { None },
+            bundle.duration(),
+            &mut rng,
+        )
+        .mbps
+}
+
+fn main() {
+    println!("mode           2ms      4ms      8ms      adaptive (classifier-driven)");
+    println!("----           ---      ---      ---      --------");
+    for (label, kind) in [
+        ("static", ScenarioKind::Static),
+        (
+            "environmental",
+            ScenarioKind::Environmental(EnvIntensity::Strong),
+        ),
+        ("micro", ScenarioKind::Micro),
+        ("macro", ScenarioKind::MacroRandom),
+    ] {
+        let mut sc = Scenario::new(kind, 77);
+        let bundle = TraceBundle::record(&mut sc, 25 * SECOND, TRACE_STEP, 77);
+        let t2 = throughput(&bundle, AggPolicy::Fixed(2 * MILLISECOND), false);
+        let t4 = throughput(&bundle, AggPolicy::Fixed(4 * MILLISECOND), false);
+        let t8 = throughput(&bundle, AggPolicy::Fixed(8 * MILLISECOND), false);
+        let ad = throughput(&bundle, AggPolicy::adaptive(), true);
+        println!("{label:<14} {t2:>6.1}   {t4:>6.1}   {t8:>6.1}   {ad:>6.1}  Mbps");
+    }
+    println!();
+    println!(
+        "Stable channels amortise PHY overhead with long aggregates; \
+         moving channels lose the tail of long frames to equalisation \
+         staleness. The adaptive policy follows the classifier (Table 2)."
+    );
+}

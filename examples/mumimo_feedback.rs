@@ -1,0 +1,55 @@
+//! MU-MIMO feedback scheduling: serving three clients with different
+//! mobility from one 3-antenna AP (paper section 6.2/6.3).
+//!
+//! Shows the stale-CSI interference problem (uniform slow feedback kills
+//! the walking client) and the fix (per-client mobility-aware feedback
+//! periods chosen by the classifier).
+//!
+//! Run with: `cargo run --release --example mumimo_feedback`
+
+use mobisense_net::beamform::mumimo::MuMimoEmulator;
+use mobisense_util::units::{MILLISECOND, SECOND};
+
+fn main() {
+    let clients = ["environmental", "micro-mobility", "macro-mobility"];
+
+    println!("uniform CSI feedback period sweep (3 clients, zero-forcing):");
+    println!("period    env      micro    macro    total");
+    for period_ms in [20u64, 100, 200, 1000] {
+        let mut e = MuMimoEmulator::paper_mix(3);
+        let s = e.run([period_ms * MILLISECOND; 3], 2 * MILLISECOND, 10 * SECOND);
+        println!(
+            "{:>4} ms  {:>6.1}   {:>6.1}   {:>6.1}   {:>6.1}  Mbps",
+            period_ms,
+            s.per_client_mbps[0],
+            s.per_client_mbps[1],
+            s.per_client_mbps[2],
+            s.total_mbps
+        );
+    }
+
+    println!();
+    println!("per-client adaptive feedback (classifier-driven, Table 2):");
+    let mut e1 = MuMimoEmulator::paper_mix(3);
+    let adaptive = e1.run_adaptive(2 * MILLISECOND, 10 * SECOND);
+    let mut e2 = MuMimoEmulator::paper_mix(3);
+    let fixed = e2.run([200 * MILLISECOND; 3], 2 * MILLISECOND, 10 * SECOND);
+    for (k, name) in clients.iter().enumerate() {
+        println!(
+            "  {name:<16} fixed-200ms {:>6.1} Mbps -> adaptive {:>6.1} Mbps",
+            fixed.per_client_mbps[k], adaptive.per_client_mbps[k]
+        );
+    }
+    println!(
+        "  network total    fixed-200ms {:>6.1} Mbps -> adaptive {:>6.1} Mbps ({:+.0}%)",
+        fixed.total_mbps,
+        adaptive.total_mbps,
+        100.0 * (adaptive.total_mbps - fixed.total_mbps) / fixed.total_mbps
+    );
+    println!();
+    println!(
+        "Stale CSI from the walking client leaks as inter-user \
+         interference; refreshing only that client's feedback restores \
+         the zero-forcing nulls without drowning the channel in sounding."
+    );
+}

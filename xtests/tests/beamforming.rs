@@ -1,0 +1,87 @@
+//! Beamforming and MU-MIMO integration: staleness-vs-overhead trade-offs
+//! driven by real (simulated) channel geometry.
+
+use mobisense_core::scenario::{Scenario, ScenarioKind};
+use mobisense_net::beamform::mumimo::MuMimoEmulator;
+use mobisense_net::beamform::{
+    run_su_beamforming, run_su_beamforming_adaptive, SuBeamformer,
+};
+use mobisense_util::units::{MILLISECOND, SECOND};
+
+#[test]
+fn beamforming_gain_is_bounded_by_array_size() {
+    // |h^H w|^2 <= |h|^2 (Cauchy-Schwarz), so the gain over the
+    // power-split baseline is at most Nt = 4.77 dB, whatever the CSI.
+    for seed in 400..406u64 {
+        let mut sc = Scenario::new(ScenarioKind::Static, seed);
+        let obs = sc.observe(0);
+        let mut bf = SuBeamformer::new();
+        bf.update_from_csi(&obs.csi);
+        let g = bf.gain_db(&sc.channel().csi_at(obs.pos, obs.heading));
+        assert!(g <= 4.78, "gain {g} dB exceeds the array bound");
+        assert!(g > 2.0, "fresh gain {g} dB suspiciously low");
+    }
+}
+
+#[test]
+fn adaptive_feedback_never_collapses() {
+    for (kind, seed) in [
+        (ScenarioKind::Static, 410u64),
+        (ScenarioKind::Micro, 411),
+        (ScenarioKind::MacroRandom, 412),
+    ] {
+        let mut sc = Scenario::new(kind, seed);
+        let stats = run_su_beamforming_adaptive(&mut sc, 10 * SECOND, seed);
+        assert!(stats.mbps > 20.0, "{kind:?}: {:.1} Mbps", stats.mbps);
+        assert!(stats.feedbacks > 0);
+    }
+}
+
+#[test]
+fn adaptive_matches_or_beats_the_stock_period_on_average() {
+    let kinds = [
+        ScenarioKind::Static,
+        ScenarioKind::Micro,
+        ScenarioKind::MacroRandom,
+    ];
+    let mut aware = 0.0;
+    let mut fixed = 0.0;
+    for (i, kind) in kinds.iter().enumerate() {
+        for seed in 0..3u64 {
+            let s = 420 + 10 * i as u64 + seed;
+            let mut s1 = Scenario::new(*kind, s);
+            aware += run_su_beamforming_adaptive(&mut s1, 12 * SECOND, s).mbps;
+            let mut s2 = Scenario::new(*kind, s);
+            fixed += run_su_beamforming(&mut s2, 200 * MILLISECOND, 12 * SECOND, s).mbps;
+        }
+    }
+    assert!(
+        aware > fixed * 0.97,
+        "adaptive {aware:.1} far below fixed {fixed:.1} (summed Mbps)"
+    );
+}
+
+#[test]
+fn mumimo_total_exceeds_single_user_share() {
+    // Serving 3 clients concurrently must beat a third of the medium
+    // each — that is MU-MIMO's whole point.
+    let mut e = MuMimoEmulator::paper_mix(430);
+    let s = e.run([100 * MILLISECOND; 3], 2 * MILLISECOND, 8 * SECOND);
+    assert!(s.total_mbps > 40.0, "total {:.1}", s.total_mbps);
+    for (k, tp) in s.per_client_mbps.iter().enumerate() {
+        assert!(*tp > 3.0, "client {k} starved: {tp:.1} Mbps");
+    }
+}
+
+#[test]
+fn mumimo_adaptive_beats_stock_period() {
+    let mut gain_sum = 0.0;
+    for seed in 440..444u64 {
+        let mut e1 = MuMimoEmulator::paper_mix(seed);
+        let aware = e1.run_adaptive(2 * MILLISECOND, 8 * SECOND);
+        let mut e2 = MuMimoEmulator::paper_mix(seed);
+        let stock = e2.run([200 * MILLISECOND; 3], 2 * MILLISECOND, 8 * SECOND);
+        gain_sum += aware.total_mbps - stock.total_mbps;
+    }
+    assert!(gain_sum > 0.0, "adaptive MU-MIMO lost overall: {gain_sum:.1}");
+}

@@ -1,0 +1,134 @@
+//! End-to-end classification: the whole pipeline (geometry -> channel ->
+//! CSI/ToF measurements -> classifier) against ground truth, across all
+//! scenario kinds.
+
+use mobisense_core::pipeline::{run_classification, Confusion, PipelineConfig};
+use mobisense_core::scenario::{Scenario, ScenarioConfig, ScenarioKind};
+use mobisense_mobility::movers::EnvIntensity;
+use mobisense_mobility::{Direction, MobilityMode};
+use mobisense_util::units::SECOND;
+use mobisense_util::Vec2;
+
+fn accuracy(kind: ScenarioKind, seeds: std::ops::Range<u64>, secs: u64) -> f64 {
+    let cfg = PipelineConfig::default();
+    let mut conf = Confusion::new();
+    for seed in seeds {
+        let mut sc = Scenario::new(kind, seed);
+        conf.add_all(&run_classification(&mut sc, &cfg, secs * SECOND, seed));
+    }
+    conf.accuracy(kind.true_mode()).unwrap_or(0.0)
+}
+
+#[test]
+fn static_clients_classified_static() {
+    let acc = accuracy(ScenarioKind::Static, 100..105, 30);
+    assert!(acc > 0.85, "static accuracy {acc}");
+}
+
+#[test]
+fn cafeteria_classified_environmental() {
+    let acc = accuracy(
+        ScenarioKind::Environmental(EnvIntensity::Strong),
+        110..116,
+        30,
+    );
+    assert!(acc > 0.6, "environmental accuracy {acc}");
+}
+
+#[test]
+fn gestures_classified_micro() {
+    let acc = accuracy(ScenarioKind::Micro, 120..126, 30);
+    assert!(acc > 0.75, "micro accuracy {acc}");
+}
+
+#[test]
+fn long_radial_walks_classified_macro_with_direction() {
+    // The paper's Table 1 macro methodology: radial walks in a hall.
+    let mut cfg_s = ScenarioConfig::default();
+    cfg_s.room_hi = Vec2::new(56.0, 36.0);
+    cfg_s.ap_pos = Vec2::new(28.0, 18.0);
+    cfg_s.radial_range = (22.0, 26.0);
+    let cfg = PipelineConfig::default();
+    let mut total = 0u64;
+    let mut ok = 0u64;
+    let mut dir_ok = 0u64;
+    let mut dir_total = 0u64;
+    for (kind, dir) in [
+        (ScenarioKind::MacroAway, Direction::Away),
+        (ScenarioKind::MacroTowards, Direction::Towards),
+    ] {
+        for seed in 130..136u64 {
+            let mut sc = Scenario::with_config(kind, cfg_s.clone(), seed);
+            for r in run_classification(&mut sc, &cfg, 20 * SECOND, seed) {
+                if r.truth.mode != MobilityMode::Macro {
+                    continue;
+                }
+                total += 1;
+                if r.decision.mode == MobilityMode::Macro {
+                    ok += 1;
+                    dir_total += 1;
+                    if r.decision.direction == Some(dir) {
+                        dir_ok += 1;
+                    }
+                }
+            }
+        }
+    }
+    let acc = ok as f64 / total as f64;
+    assert!(acc > 0.75, "macro accuracy {acc} ({ok}/{total})");
+    let dir_acc = dir_ok as f64 / dir_total.max(1) as f64;
+    assert!(dir_acc > 0.95, "direction accuracy {dir_acc}");
+}
+
+#[test]
+fn orbiting_the_ap_is_the_documented_blind_spot() {
+    // Paper section 9: circular motion around the AP shows no ToF trend
+    // and must be (mis)classified as micro-mobility.
+    let cfg = PipelineConfig::default();
+    let mut micro = 0u64;
+    let mut total = 0u64;
+    for seed in 140..143u64 {
+        let mut sc = Scenario::new(ScenarioKind::Orbit, seed);
+        for r in run_classification(&mut sc, &cfg, 30 * SECOND, seed) {
+            total += 1;
+            if r.decision.mode == MobilityMode::Micro {
+                micro += 1;
+            }
+        }
+    }
+    assert!(
+        micro as f64 / total as f64 > 0.6,
+        "orbit should read as micro: {micro}/{total}"
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let cfg = PipelineConfig::default();
+    let run = |seed| {
+        let mut sc = Scenario::new(ScenarioKind::MacroRandom, seed);
+        run_classification(&mut sc, &cfg, 15 * SECOND, seed)
+            .iter()
+            .map(|r| (r.at, r.decision))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8), "different seeds must differ");
+}
+
+#[test]
+fn tof_measurement_is_demand_driven() {
+    // A static client must not keep the ToF machinery running (the
+    // Figure 5 design point: ToF costs NULL-frame airtime).
+    use mobisense_core::classifier::{ClassifierConfig, MobilityClassifier};
+    let mut sc = Scenario::new(ScenarioKind::Static, 150);
+    let mut cl = MobilityClassifier::new(ClassifierConfig::default());
+    let mut t = 0u64;
+    while t <= 20 * SECOND {
+        let obs = sc.observe(t);
+        cl.on_frame_csi(t, &obs.csi);
+        t += 100 * mobisense_util::units::MILLISECOND;
+    }
+    assert!(!cl.tof_measurement_active());
+    assert_eq!(cl.current().unwrap().mode, MobilityMode::Static);
+}

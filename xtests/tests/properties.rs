@@ -1,0 +1,168 @@
+//! Property-based tests on cross-crate invariants.
+
+use mobisense_phy::airtime;
+use mobisense_phy::csi::{csi_similarity, Csi};
+use mobisense_phy::mcs::Mcs;
+use mobisense_phy::per;
+use mobisense_phy::tof::TofConfig;
+use mobisense_util::{C64, Cdf, DetRng};
+use proptest::prelude::*;
+
+fn arb_mcs() -> impl Strategy<Value = Mcs> {
+    prop::sample::select(Mcs::ladder())
+}
+
+proptest! {
+    #[test]
+    fn per_always_a_probability(
+        snr in -30.0..60.0f64,
+        mcs in arb_mcs(),
+        bits in 64.0..65536.0f64,
+        age in 0.0..0.1f64,
+        coherence in 0.001..10.0f64,
+    ) {
+        let p = per::mpdu_error_prob_aged(snr, mcs, bits, age, coherence);
+        prop_assert!((0.0..=1.0).contains(&p), "per={p}");
+    }
+
+    #[test]
+    fn aged_snr_never_exceeds_input(
+        snr in -10.0..50.0f64,
+        age in 0.0..0.05f64,
+        coherence in 0.001..10.0f64,
+    ) {
+        let aged = per::aged_snr_db(snr, age, coherence);
+        prop_assert!(aged <= snr + 1e-9, "aged {aged} > input {snr}");
+    }
+
+    #[test]
+    fn aging_monotone_in_age(
+        snr in 0.0..50.0f64,
+        coherence in 0.005..1.0f64,
+        a1 in 0.0..0.02f64,
+        delta in 0.0..0.02f64,
+    ) {
+        let e1 = per::aged_snr_db(snr, a1, coherence);
+        let e2 = per::aged_snr_db(snr, a1 + delta, coherence);
+        prop_assert!(e2 <= e1 + 1e-9);
+    }
+
+    #[test]
+    fn airtime_monotone_in_mpdus(
+        mcs in arb_mcs(),
+        n in 1usize..63,
+        payload in 100usize..1500,
+    ) {
+        let t1 = airtime::ampdu_exchange(mcs, n, payload);
+        let t2 = airtime::ampdu_exchange(mcs, n + 1, payload);
+        prop_assert!(t2 > t1);
+    }
+
+    #[test]
+    fn aggregation_efficiency_increases(
+        mcs in arb_mcs(),
+        payload in 500usize..1500,
+    ) {
+        // payload bits per second of airtime grows with aggregation.
+        let eff = |n: usize| {
+            (n * payload * 8) as f64
+                / (airtime::ampdu_exchange(mcs, n, payload) as f64 / 1e9)
+        };
+        prop_assert!(eff(16) > eff(1));
+    }
+
+    #[test]
+    fn mpdus_for_limit_within_bounds(
+        mcs in arb_mcs(),
+        limit_ms in 1u64..12,
+    ) {
+        let n = airtime::mpdus_for_time_limit(mcs, 1500, limit_ms * 1_000_000);
+        prop_assert!((1..=64).contains(&n));
+        // The data portion must honour the limit (unless clamped to 1).
+        if n > 1 {
+            let t = airtime::data_duration(mcs, n, 1500);
+            // One extra symbol of rounding slack per MPDU is acceptable.
+            prop_assert!(t <= limit_ms * 1_000_000 + (n as u64) * airtime::SYMBOL);
+        }
+    }
+
+    #[test]
+    fn similarity_is_bounded_and_symmetric(seed in 0u64..5000) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut a = Csi::zeros(3, 2, 52);
+        let mut b = Csi::zeros(3, 2, 52);
+        for v in a.as_mut_slice() {
+            *v = rng.complex_gaussian(1.0);
+        }
+        for v in b.as_mut_slice() {
+            *v = rng.complex_gaussian(1.0);
+        }
+        let s_ab = csi_similarity(&a, &b);
+        let s_ba = csi_similarity(&b, &a);
+        prop_assert!((-1.0..=1.0).contains(&s_ab));
+        prop_assert!((s_ab - s_ba).abs() < 1e-12);
+        prop_assert!((csi_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_invariant_to_common_gain(
+        seed in 0u64..5000,
+        scale in 0.01..100.0f64,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut a = Csi::zeros(2, 1, 16);
+        for v in a.as_mut_slice() {
+            *v = rng.complex_gaussian(1.0);
+        }
+        let mut b = a.clone();
+        for v in b.as_mut_slice() {
+            *v = *v * scale;
+        }
+        prop_assert!((csi_similarity(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tof_cycles_distance_roundtrip(d in 0.1..100.0f64) {
+        let cfg = TofConfig::default();
+        let c = cfg.cycles_for_distance(d);
+        prop_assert!((cfg.distance_for_cycles(c) - d).abs() < 1e-9);
+        prop_assert!(c > 0.0);
+    }
+
+    #[test]
+    fn cdf_quantiles_are_monotone(mut xs in prop::collection::vec(-1e6..1e6f64, 1..200)) {
+        xs.retain(|x| x.is_finite());
+        prop_assume!(!xs.is_empty());
+        let cdf = Cdf::from_samples(&xs);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = cdf.quantile(i as f64 / 10.0).unwrap();
+            prop_assert!(q >= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn oracle_rate_monotone_in_snr(
+        s1 in -5.0..45.0f64,
+        delta in 0.0..20.0f64,
+    ) {
+        let lo = per::oracle_mcs(s1, per::REF_MPDU_BITS);
+        let hi = per::oracle_mcs(s1 + delta, per::REF_MPDU_BITS);
+        prop_assert!(hi.rate_bps() >= lo.rate_bps());
+    }
+
+    #[test]
+    fn complex_field_axioms(
+        re1 in -100.0..100.0f64, im1 in -100.0..100.0f64,
+        re2 in -100.0..100.0f64, im2 in -100.0..100.0f64,
+    ) {
+        let a = C64::new(re1, im1);
+        let b = C64::new(re2, im2);
+        // |a*b| = |a||b| and conj distributes over multiplication.
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-6);
+        let lhs = (a * b).conj();
+        let rhs = a.conj() * b.conj();
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+}

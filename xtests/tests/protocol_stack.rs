@@ -1,0 +1,157 @@
+//! MAC-layer protocol integration: rate adaptation and aggregation over
+//! recorded channel traces, with and without mobility hints.
+
+use mobisense_bench::{link_scenario, TraceBundle, TRACE_STEP};
+use mobisense_core::scenario::ScenarioKind;
+use mobisense_mac::agg::AggPolicy;
+use mobisense_mac::rate::{AtherosRa, EsnrRa, RateAdapter, SensorHintRa, SoftRateRa};
+use mobisense_mac::sim::LinkRun;
+use mobisense_util::units::{MILLISECOND, SECOND};
+use mobisense_util::DetRng;
+
+/// Records a trace on a link with per-link wall attenuation, so the
+/// link sits inside the adaptive range of the rate ladder rather than
+/// saturating at the top MCS.
+fn bundle(kind: ScenarioKind, seed: u64, secs: u64) -> TraceBundle {
+    let mut sc = link_scenario(kind, seed);
+    TraceBundle::record(&mut sc, secs * SECOND, TRACE_STEP, seed)
+}
+
+fn replay(b: &TraceBundle, ra: &mut dyn RateAdapter, phy_hints: bool, seed: u64) -> f64 {
+    let mut rng = DetRng::seed_from_u64(seed);
+    LinkRun::new()
+        .run(
+            ra,
+            |t| b.link_state_at(t),
+            |t| if phy_hints { b.phy_hint_at(t) } else { None },
+            b.duration(),
+            &mut rng,
+        )
+        .mbps
+}
+
+#[test]
+fn all_schemes_deliver_on_a_static_link() {
+    let b = bundle(ScenarioKind::Static, 200, 15);
+    let schemes: Vec<Box<dyn RateAdapter>> = vec![
+        Box::new(AtherosRa::stock()),
+        Box::new(AtherosRa::mobility_aware()),
+        Box::new(SensorHintRa::new(DetRng::seed_from_u64(1))),
+        Box::new(SoftRateRa::new()),
+        Box::new(EsnrRa::new()),
+    ];
+    for mut ra in schemes {
+        let tp = replay(&b, ra.as_mut(), false, 42);
+        assert!(tp > 40.0, "{} only reached {tp:.1} Mbps", ra.name());
+    }
+}
+
+#[test]
+fn mobility_hints_help_atheros_on_walks() {
+    // Averaged across several walking traces, the paper's section 4.2
+    // modifications must not lose to stock (and should win).
+    let mut stock_sum = 0.0;
+    let mut aware_sum = 0.0;
+    for seed in 210..222u64 {
+        let b = bundle(ScenarioKind::MacroRandom, seed, 25);
+        let mut stock = AtherosRa::stock();
+        stock_sum += replay(&b, &mut stock, false, seed);
+        let mut aware = AtherosRa::mobility_aware();
+        aware_sum += replay(&b, &mut aware, true, seed);
+    }
+    assert!(
+        aware_sum > stock_sum,
+        "motion-aware {aware_sum:.1} <= stock {stock_sum:.1}"
+    );
+}
+
+#[test]
+fn esnr_upper_bounds_blind_schemes_on_walks() {
+    let b = bundle(ScenarioKind::MacroRandom, 220, 25);
+    let mut esnr = EsnrRa::new();
+    let genie = replay(&b, &mut esnr, false, 1);
+    let mut stock = AtherosRa::stock();
+    let blind = replay(&b, &mut stock, false, 1);
+    assert!(
+        genie > blind * 0.95,
+        "ESNR {genie:.1} should not lose to blind Atheros {blind:.1}"
+    );
+}
+
+#[test]
+fn long_aggregation_wins_when_static_short_wins_when_walking() {
+    let static_b = bundle(ScenarioKind::Static, 230, 15);
+    let walk_b = bundle(ScenarioKind::MacroRandom, 231, 20);
+    let run_fixed = |b: &TraceBundle, ms: u64| {
+        let mut ra = AtherosRa::stock();
+        let mut rng = DetRng::seed_from_u64(9);
+        LinkRun::new()
+            .with_agg(AggPolicy::Fixed(ms * MILLISECOND))
+            .run(
+                &mut ra,
+                |t| b.link_state_at(t),
+                |_| None,
+                b.duration(),
+                &mut rng,
+            )
+            .mbps
+    };
+    let s2 = run_fixed(&static_b, 2);
+    let s8 = run_fixed(&static_b, 8);
+    assert!(s8 > s2, "static: 8 ms ({s8:.1}) must beat 2 ms ({s2:.1})");
+    let w2 = run_fixed(&walk_b, 2);
+    let w8 = run_fixed(&walk_b, 8);
+    assert!(w2 > w8, "walking: 2 ms ({w2:.1}) must beat 8 ms ({w8:.1})");
+}
+
+#[test]
+fn adaptive_aggregation_tracks_the_best_fixed_choice() {
+    for (kind, seed) in [
+        (ScenarioKind::Static, 240u64),
+        (ScenarioKind::MacroRandom, 241),
+    ] {
+        let b = bundle(kind, seed, 20);
+        let mut best_fixed: f64 = 0.0;
+        for ms in [2u64, 4, 8] {
+            let mut ra = AtherosRa::stock();
+            let mut rng = DetRng::seed_from_u64(3);
+            let tp = LinkRun::new()
+                .with_agg(AggPolicy::Fixed(ms * MILLISECOND))
+                .run(
+                    &mut ra,
+                    |t| b.link_state_at(t),
+                    |_| None,
+                    b.duration(),
+                    &mut rng,
+                )
+                .mbps;
+            best_fixed = best_fixed.max(tp);
+        }
+        let mut ra = AtherosRa::stock();
+        let mut rng = DetRng::seed_from_u64(3);
+        let adaptive = LinkRun::new()
+            .with_agg(AggPolicy::adaptive())
+            .run(
+                &mut ra,
+                |t| b.link_state_at(t),
+                |t| b.phy_hint_at(t),
+                b.duration(),
+                &mut rng,
+            )
+            .mbps;
+        assert!(
+            adaptive > best_fixed * 0.85,
+            "{kind:?}: adaptive {adaptive:.1} vs best fixed {best_fixed:.1}"
+        );
+    }
+}
+
+#[test]
+fn trace_replay_is_fair_and_deterministic() {
+    let b = bundle(ScenarioKind::MacroRandom, 250, 15);
+    let mut a1 = AtherosRa::stock();
+    let t1 = replay(&b, &mut a1, false, 5);
+    let mut a2 = AtherosRa::stock();
+    let t2 = replay(&b, &mut a2, false, 5);
+    assert_eq!(t1, t2);
+}

@@ -1,0 +1,127 @@
+//! Network-level integration: multi-AP worlds, roaming schemes, and the
+//! end-to-end mobility-aware stack.
+
+use mobisense_net::roaming::{run_roaming, RoamingConfig, RoamingScheme};
+use mobisense_net::sim::{run_end_to_end, Stack};
+use mobisense_net::wlan::{MultiApWorld, WorldConfig};
+use mobisense_util::units::{MILLISECOND, SECOND};
+use mobisense_util::Vec2;
+
+fn corridor(seed: u64) -> MultiApWorld {
+    MultiApWorld::new(
+        WorldConfig::default(),
+        vec![Vec2::new(4.0, 10.0), Vec2::new(46.0, 10.0)],
+        seed,
+    )
+}
+
+#[test]
+fn every_scheme_keeps_the_client_connected() {
+    for scheme in [
+        RoamingScheme::ClientDefault,
+        RoamingScheme::SensorHint,
+        RoamingScheme::Controller,
+    ] {
+        let mut w = corridor(300);
+        let stats = run_roaming(
+            &mut w,
+            RoamingConfig::for_scheme(scheme),
+            40 * SECOND,
+            50 * MILLISECOND,
+            300,
+        );
+        assert!(
+            stats.mean_mbps > 10.0,
+            "{}: {:.1} Mbps",
+            scheme.label(),
+            stats.mean_mbps
+        );
+        assert!(
+            stats.outage_fraction < 0.2,
+            "{}: outage {:.2}",
+            scheme.label(),
+            stats.outage_fraction
+        );
+    }
+}
+
+#[test]
+fn controller_beats_default_across_walks() {
+    let mut ctrl = 0.0;
+    let mut dflt = 0.0;
+    for seed in 310..316u64 {
+        let mut w1 = MultiApWorld::with_random_walk(WorldConfig::default(), 4, seed);
+        dflt += run_roaming(
+            &mut w1,
+            RoamingConfig::for_scheme(RoamingScheme::ClientDefault),
+            45 * SECOND,
+            50 * MILLISECOND,
+            seed,
+        )
+        .mean_mbps;
+        let mut w2 = MultiApWorld::with_random_walk(WorldConfig::default(), 4, seed);
+        ctrl += run_roaming(
+            &mut w2,
+            RoamingConfig::for_scheme(RoamingScheme::Controller),
+            45 * SECOND,
+            50 * MILLISECOND,
+            seed,
+        )
+        .mean_mbps;
+    }
+    assert!(
+        ctrl > dflt,
+        "controller {ctrl:.1} <= default {dflt:.1} (summed Mbps)"
+    );
+}
+
+#[test]
+fn fast_bss_transition_reduces_outage() {
+    // Paper section 9: 802.11r cuts the 200 ms handoff to ~40 ms.
+    let run_with_outage = |outage_ms: u64| {
+        let mut w = corridor(320);
+        let cfg = RoamingConfig {
+            handoff_outage: outage_ms * MILLISECOND,
+            ..RoamingConfig::for_scheme(RoamingScheme::SensorHint)
+        };
+        run_roaming(&mut w, cfg, 40 * SECOND, 50 * MILLISECOND, 320)
+    };
+    let slow = run_with_outage(200);
+    let fast = run_with_outage(40);
+    assert!(fast.outage_fraction <= slow.outage_fraction);
+}
+
+#[test]
+fn end_to_end_motion_aware_stack_wins() {
+    let mut aware = 0.0;
+    let mut dflt = 0.0;
+    for seed in 330..334u64 {
+        let mut w1 = corridor(seed);
+        dflt += run_end_to_end(&mut w1, Stack::Default, 30 * SECOND, seed).mbps;
+        let mut w2 = corridor(seed);
+        aware += run_end_to_end(&mut w2, Stack::MotionAware, 30 * SECOND, seed).mbps;
+    }
+    assert!(
+        aware > dflt,
+        "motion-aware {aware:.1} <= default {dflt:.1} (summed Mbps)"
+    );
+}
+
+#[test]
+fn world_views_are_consistent() {
+    let mut w = corridor(340);
+    let obs = w.observe(5 * SECOND);
+    assert_eq!(obs.aps.len(), w.n_aps());
+    for (i, ap) in obs.aps.iter().enumerate() {
+        // Distance must match the AP geometry.
+        let d = w.ap_pos(i).dist(obs.pos);
+        assert!((d - ap.distance_m).abs() < 1e-9);
+        // RSSI and SNR must agree up to the constant noise floor.
+        let implied_snr = ap.rssi_dbm - w.config().base.channel.noise_floor_dbm();
+        assert!(
+            (implied_snr - ap.snr_db).abs() < 4.0,
+            "AP{i}: rssi-implied snr {implied_snr:.1} vs true {:.1}",
+            ap.snr_db
+        );
+    }
+}
