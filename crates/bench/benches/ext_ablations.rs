@@ -17,9 +17,7 @@ use mobisense_core::classifier::ClassifierConfig;
 use mobisense_core::pipeline::{run_classification, PipelineConfig};
 use mobisense_core::scenario::{Scenario, ScenarioKind};
 use mobisense_core::trend::TrendConfig;
-use mobisense_mac::modes::{
-    best_goodput_at_mode, best_goodput_at_width, ChannelWidth, MimoMode,
-};
+use mobisense_mac::modes::{best_goodput_at_mode, best_goodput_at_width, ChannelWidth, MimoMode};
 use mobisense_mobility::MobilityMode;
 use mobisense_net::roaming::{run_roaming, RoamingConfig, RoamingScheme};
 use mobisense_net::scheduler::{crossing_clients, run_schedule, Scheduler};
@@ -45,11 +43,7 @@ fn orbit_macro_fraction(with_aoa: bool, seeds: std::ops::Range<u64>) -> f64 {
             if let Some(ext) = cl.on_frame_csi(t, &obs.csi) {
                 if t >= 8 * SECOND {
                     total += 1;
-                    let mode = if with_aoa {
-                        ext.mode()
-                    } else {
-                        ext.base.mode
-                    };
+                    let mode = if with_aoa { ext.mode() } else { ext.base.mode };
                     if mode == MobilityMode::Macro {
                         macro_like += 1;
                     }
@@ -85,10 +79,7 @@ fn classifier_accuracy(cfg: &PipelineConfig, label: &str) {
             }
         }
     }
-    println!(
-        "{label}, {:.1}",
-        100.0 * ok as f64 / total.max(1) as f64
-    );
+    println!("{label}, {:.1}", 100.0 * ok as f64 / total.max(1) as f64);
 }
 
 fn main() {
@@ -99,7 +90,10 @@ fn main() {
          classifier recovers most of the orbit",
     );
     println!("classifier, orbit_as_macro_pct");
-    println!("base (CSI+ToF), {:.1}", orbit_macro_fraction(false, 600..604));
+    println!(
+        "base (CSI+ToF), {:.1}",
+        orbit_macro_fraction(false, 600..604)
+    );
     println!("with AoA, {:.1}", orbit_macro_fraction(true, 600..604));
 
     println!();

@@ -86,8 +86,10 @@ fn main() {
     );
     print_quantile_columns("mode@tau");
     for tau_ms in [50u64, 100, 250] {
-        for (label, kind) in [("micro", ScenarioKind::Micro), ("macro", ScenarioKind::MacroRandom)]
-        {
+        for (label, kind) in [
+            ("micro", ScenarioKind::Micro),
+            ("macro", ScenarioKind::MacroRandom),
+        ] {
             let cdf = Cdf::from_samples(&similarities(kind, tau_ms * MILLISECOND, 20..26));
             print_cdf_quantiles(&format!("{label}@{tau_ms}ms"), &cdf);
         }

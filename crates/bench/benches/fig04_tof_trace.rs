@@ -72,8 +72,10 @@ fn main() {
         - micro_n.iter().cloned().fold(f64::MAX, f64::min);
     let macro_span = macro_n.iter().cloned().fold(f64::MIN, f64::max)
         - macro_n.iter().cloned().fold(f64::MAX, f64::min);
-    println!("# check: micro span {micro_span:.1} cycles << macro span {macro_span:.1} cycles: {}",
-        macro_span > 2.0 * micro_span);
+    println!(
+        "# check: micro span {micro_span:.1} cycles << macro span {macro_span:.1} cycles: {}",
+        macro_span > 2.0 * micro_span
+    );
     let towards_slope = mobisense_util::stats::slope(&towards_n).unwrap_or(0.0);
     println!(
         "# check: towards-walk ToF decreasing (slope {towards_slope:.2} cyc/s < -0.3): {}",

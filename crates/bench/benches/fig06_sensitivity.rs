@@ -10,8 +10,8 @@
 use mobisense_bench::header;
 use mobisense_core::classifier::ClassifierConfig;
 use mobisense_core::pipeline::{run_classification, PipelineConfig};
-use mobisense_core::scenario::{Scenario, ScenarioKind};
 use mobisense_core::scenario::ScenarioConfig;
+use mobisense_core::scenario::{Scenario, ScenarioKind};
 use mobisense_core::trend::TrendConfig;
 use mobisense_mobility::movers::EnvIntensity;
 use mobisense_mobility::MobilityMode;
@@ -21,12 +21,13 @@ use mobisense_util::Vec2;
 /// A larger hall so radial walks last 18+ seconds: steady-state accuracy
 /// must not be confounded with warm-up latency at large ToF windows.
 fn hall() -> ScenarioConfig {
-    let mut c = ScenarioConfig::default();
-    c.room_lo = Vec2::new(0.0, 0.0);
-    c.room_hi = Vec2::new(56.0, 36.0);
-    c.ap_pos = Vec2::new(28.0, 18.0);
-    c.radial_range = (22.0, 26.0);
-    c
+    ScenarioConfig {
+        room_lo: Vec2::new(0.0, 0.0),
+        room_hi: Vec2::new(56.0, 36.0),
+        ap_pos: Vec2::new(28.0, 18.0),
+        radial_range: (22.0, 26.0),
+        ..ScenarioConfig::default()
+    }
 }
 
 /// Runs the pipeline and scores device-mobility detection: accuracy =

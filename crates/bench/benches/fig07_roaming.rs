@@ -8,9 +8,7 @@
 //!     scheme (~30% median in the paper) and sensor-hint client roaming.
 
 use mobisense_bench::{header, print_cdf_quantiles, print_quantile_columns};
-use mobisense_net::roaming::{
-    expected_throughput_mbps, run_roaming, RoamingConfig, RoamingScheme,
-};
+use mobisense_net::roaming::{expected_throughput_mbps, run_roaming, RoamingConfig, RoamingScheme};
 use mobisense_net::wlan::{MultiApWorld, WorldConfig};
 use mobisense_util::units::{Nanos, MILLISECOND, SECOND};
 use mobisense_util::{Cdf, DetRng, Vec2};
@@ -82,9 +80,7 @@ fn world_for(label: &str, seed: u64) -> MultiApWorld {
             let target = *cfg
                 .ap_positions
                 .iter()
-                .min_by(|a, b| {
-                    a.dist(start).partial_cmp(&b.dist(start)).expect("finite")
-                })
+                .min_by(|a, b| a.dist(start).partial_cmp(&b.dist(start)).expect("finite"))
                 .expect("aps");
             vec![start, target]
         }
@@ -138,10 +134,15 @@ fn main() {
     ] {
         let tps: Vec<f64> = (0..12u64)
             .map(|s| {
-                let mut w =
-                    MultiApWorld::with_random_walk(WorldConfig::default(), 5, 900 + s);
-                run_roaming(&mut w, RoamingConfig::for_scheme(scheme), 60 * SECOND, STEP, s)
-                    .mean_mbps
+                let mut w = MultiApWorld::with_random_walk(WorldConfig::default(), 5, 900 + s);
+                run_roaming(
+                    &mut w,
+                    RoamingConfig::for_scheme(scheme),
+                    60 * SECOND,
+                    STEP,
+                    s,
+                )
+                .mean_mbps
             })
             .collect();
         let cdf = Cdf::from_samples(&tps);

@@ -9,7 +9,9 @@
 //! (c) optimal MCS over time under environmental / micro mobility:
 //!     fluctuates within a small band with no trend.
 
-use mobisense_bench::{header, link_config, link_scenario, print_cdf_quantiles, print_quantile_columns};
+use mobisense_bench::{
+    header, link_config, link_scenario, print_cdf_quantiles, print_quantile_columns,
+};
 use mobisense_core::scenario::{Scenario, ScenarioKind};
 use mobisense_mobility::movers::EnvIntensity;
 use mobisense_phy::per::{csi_effective_snr_db, oracle_mcs, REF_MPDU_BITS};
@@ -86,8 +88,7 @@ fn main() {
     for (i, m) in stitched.iter().enumerate().step_by(25) {
         println!("{:.1}, {}", i as f64 * 0.02, m);
     }
-    let first_mean =
-        s1[..50].iter().map(|&m| m as f64).sum::<f64>() / 50.0;
+    let first_mean = s1[..50].iter().map(|&m| m as f64).sum::<f64>() / 50.0;
     let peak_mean = s1[s1.len() - 50..].iter().map(|&m| m as f64).sum::<f64>() / 50.0;
     let end_mean = s2[s2.len() - 50..].iter().map(|&m| m as f64).sum::<f64>() / 50.0;
     println!(

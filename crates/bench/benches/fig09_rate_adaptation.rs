@@ -24,12 +24,7 @@ enum HintSource {
     Sensor,
 }
 
-fn replay(
-    bundle: &TraceBundle,
-    ra: &mut dyn RateAdapter,
-    hint: HintSource,
-    seed: u64,
-) -> f64 {
+fn replay(bundle: &TraceBundle, ra: &mut dyn RateAdapter, hint: HintSource, seed: u64) -> f64 {
     let mut rng = DetRng::seed_from_u64(seed ^ 0x72657031);
     let duration = bundle.duration();
     let run = mobisense_mac::sim::LinkRun::new().with_agg(AggPolicy::stock());

@@ -7,7 +7,9 @@
 //! (b) CDF across links: adaptive (Table 2) aggregation vs statically
 //!     configured 8 ms and the stock 4 ms (paper: ~15% median gain).
 
-use mobisense_bench::{header, link_scenario, print_cdf_quantiles, print_quantile_columns, TraceBundle, TRACE_STEP};
+use mobisense_bench::{
+    header, link_scenario, print_cdf_quantiles, print_quantile_columns, TraceBundle, TRACE_STEP,
+};
 use mobisense_core::scenario::ScenarioKind;
 use mobisense_mac::agg::AggPolicy;
 use mobisense_mac::rate::AtherosRa;
@@ -60,15 +62,11 @@ fn main() {
             let mut sc = link_scenario(kind, 7000 + seed);
             let bundle = TraceBundle::record(&mut sc, 30 * SECOND, TRACE_STEP, 7000 + seed);
             for (i, ms) in [2u64, 4, 8].iter().enumerate() {
-                means[i] +=
-                    run_with_agg(&bundle, AggPolicy::Fixed(ms * MILLISECOND), false, seed)
-                        / n_seeds as f64;
+                means[i] += run_with_agg(&bundle, AggPolicy::Fixed(ms * MILLISECOND), false, seed)
+                    / n_seeds as f64;
             }
         }
-        println!(
-            "{label}, {:.1}, {:.1}, {:.1}",
-            means[0], means[1], means[2]
-        );
+        println!("{label}, {:.1}, {:.1}, {:.1}", means[0], means[1], means[2]);
     }
 
     println!();
@@ -91,7 +89,12 @@ fn main() {
     for link in 0..16u64 {
         let kind = kinds[(link % 4) as usize];
         let mut sc = link_scenario(kind, 7600 + link);
-        bundles.push(TraceBundle::record(&mut sc, 30 * SECOND, TRACE_STEP, 7600 + link));
+        bundles.push(TraceBundle::record(
+            &mut sc,
+            30 * SECOND,
+            TRACE_STEP,
+            7600 + link,
+        ));
     }
     let mut medians = Vec::new();
     for (label, agg, hints) in [

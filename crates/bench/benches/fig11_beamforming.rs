@@ -42,9 +42,8 @@ fn main() {
             let n = 4u64;
             for seed in 0..n {
                 let mut sc = link_scenario(kind, 8000 + seed);
-                mean += run_su_beamforming(&mut sc, p * MILLISECOND, 20 * SECOND, seed)
-                    .mbps
-                    / n as f64;
+                mean +=
+                    run_su_beamforming(&mut sc, p * MILLISECOND, 20 * SECOND, seed).mbps / n as f64;
             }
             print!(", {mean:.1}");
         }

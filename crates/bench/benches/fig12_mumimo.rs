@@ -28,13 +28,9 @@ fn main() {
         let n = 4u64;
         for seed in 0..n {
             let mut e = MuMimoEmulator::paper_mix(9000 + seed);
-            let s = e.run(
-                [period_ms * MILLISECOND; 3],
-                2 * MILLISECOND,
-                15 * SECOND,
-            );
-            for k in 0..3 {
-                acc[k] += s.per_client_mbps[k] / n as f64;
+            let s = e.run([period_ms * MILLISECOND; 3], 2 * MILLISECOND, 15 * SECOND);
+            for (a, m) in acc.iter_mut().zip(s.per_client_mbps) {
+                *a += m / n as f64;
             }
             total += s.total_mbps / n as f64;
         }
@@ -61,11 +57,12 @@ fn main() {
         let mut e2 = MuMimoEmulator::paper_mix(seed);
         let fixed = e2.run([200 * MILLISECOND; 3], 2 * MILLISECOND, 15 * SECOND);
         total_gains.push(100.0 * (aware.total_mbps - fixed.total_mbps) / fixed.total_mbps);
-        for k in 0..3 {
-            per_mode_gains[k].push(
-                100.0 * (aware.per_client_mbps[k] - fixed.per_client_mbps[k])
-                    / fixed.per_client_mbps[k].max(1e-9),
-            );
+        for ((gains, aw), fx) in per_mode_gains
+            .iter_mut()
+            .zip(aware.per_client_mbps)
+            .zip(fixed.per_client_mbps)
+        {
+            gains.push(100.0 * (aw - fx) / fx.max(1e-9));
         }
     }
     for (label, g) in [

@@ -9,7 +9,7 @@ use mobisense_core::scenario::{Scenario, ScenarioKind};
 use mobisense_phy::csi::{csi_similarity, Csi};
 use mobisense_util::linalg::CMat;
 use mobisense_util::units::MILLISECOND;
-use mobisense_util::{C64, DetRng};
+use mobisense_util::{DetRng, C64};
 
 fn random_csi(rng: &mut DetRng, n_tx: usize, n_rx: usize, n_sc: usize) -> Csi {
     let mut c = Csi::zeros(n_tx, n_rx, n_sc);
@@ -49,6 +49,34 @@ fn bench_classifier_step(c: &mut Criterion) {
     });
 }
 
+fn bench_classifier_step_traced(c: &mut Criterion) {
+    use mobisense_telemetry::Telemetry;
+    let mut rng = DetRng::seed_from_u64(2);
+    let frames: Vec<Csi> = (0..64).map(|_| random_csi(&mut rng, 3, 2, 52)).collect();
+    // Identical workload to `classifier_decision`, but with a live
+    // telemetry capture; `classifier_decision` itself runs the no-op
+    // sink, so the pair bounds the instrumentation cost from both
+    // sides (no-op must be within 5% of the pre-telemetry baseline;
+    // full capture shows the worst case).
+    c.bench_function("classifier_decision_traced", |bench| {
+        bench.iter_batched(
+            || {
+                (
+                    MobilityClassifier::new(ClassifierConfig::default()),
+                    Telemetry::new(),
+                )
+            },
+            |(mut cl, mut tel)| {
+                for (i, f) in frames.iter().enumerate() {
+                    cl.on_frame_csi_with(i as u64 * 500 * MILLISECOND, f, &mut tel);
+                }
+                (cl, tel)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 fn bench_channel_sample(c: &mut Criterion) {
     let mut sc = Scenario::new(ScenarioKind::MacroRandom, 3);
     let mut t = 0u64;
@@ -74,6 +102,7 @@ fn bench_zf_precoder(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_similarity, bench_classifier_step, bench_channel_sample, bench_zf_precoder
+    targets = bench_similarity, bench_classifier_step, bench_classifier_step_traced,
+        bench_channel_sample, bench_zf_precoder
 );
 criterion_main!(benches);

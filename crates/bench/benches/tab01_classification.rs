@@ -16,12 +16,13 @@ use mobisense_util::Vec2;
 /// A larger hall for the radial-walk runs, so towards/away walks cover
 /// 20+ metres as in the paper's office-corridor experiments.
 fn hall() -> ScenarioConfig {
-    let mut c = ScenarioConfig::default();
-    c.room_lo = Vec2::new(0.0, 0.0);
-    c.room_hi = Vec2::new(56.0, 36.0);
-    c.ap_pos = Vec2::new(28.0, 18.0);
-    c.radial_range = (22.0, 26.0);
-    c
+    ScenarioConfig {
+        room_lo: Vec2::new(0.0, 0.0),
+        room_hi: Vec2::new(56.0, 36.0),
+        ap_pos: Vec2::new(28.0, 18.0),
+        radial_range: (22.0, 26.0),
+        ..ScenarioConfig::default()
+    }
 }
 
 fn main() {

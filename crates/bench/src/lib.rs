@@ -113,10 +113,7 @@ impl TraceBundle {
             .expect("non-empty trace");
         mobisense_mac::link::LinkState {
             esnr_db: csi_effective_snr_db(&s.csi, s.snr_db),
-            coherence_secs: mobisense_phy::per::coherence_time_secs(
-                s.speed_mps,
-                self.wavelength_m,
-            ),
+            coherence_secs: mobisense_phy::per::coherence_time_secs(s.speed_mps, self.wavelength_m),
         }
     }
 
@@ -152,7 +149,10 @@ pub fn standard_modes() -> Vec<(&'static str, mobisense_core::scenario::Scenario
     use mobisense_mobility::movers::EnvIntensity;
     vec![
         ("static", ScenarioKind::Static),
-        ("environmental", ScenarioKind::Environmental(EnvIntensity::Strong)),
+        (
+            "environmental",
+            ScenarioKind::Environmental(EnvIntensity::Strong),
+        ),
         ("micro", ScenarioKind::Micro),
         ("macro", ScenarioKind::MacroRandom),
     ]
@@ -161,6 +161,52 @@ pub fn standard_modes() -> Vec<(&'static str, mobisense_core::scenario::Scenario
 /// Default trace step used by trace-based emulations (20 ms — the
 /// paper's ToF sampling cadence, also plenty for channel tracking).
 pub const TRACE_STEP: Nanos = 20 * MILLISECOND;
+
+/// Telemetry dump helpers: write a [`mobisense_telemetry::Telemetry`]
+/// capture to disk as JSONL events plus CSV summaries, so benches and
+/// examples share one on-disk format.
+pub mod dump {
+    use std::io;
+    use std::path::{Path, PathBuf};
+
+    use mobisense_telemetry::{export, Telemetry};
+
+    /// The workspace-standard dump directory, `target/telemetry`.
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target").join("telemetry")
+    }
+
+    /// Files written by one [`write_capture`] call.
+    #[derive(Clone, Debug)]
+    pub struct DumpPaths {
+        /// JSON-lines event trace (`<stem>.events.jsonl`).
+        pub events_jsonl: PathBuf,
+        /// Per-interval goodput series CSV (`<stem>.goodput.csv`).
+        pub goodput_csv: PathBuf,
+        /// Metrics registry snapshot CSV (`<stem>.metrics.csv`).
+        pub metrics_csv: PathBuf,
+    }
+
+    /// Writes a telemetry capture under `dir` with the given file stem,
+    /// creating the directory as needed. Three files are produced: the
+    /// full event trace as JSONL, the goodput series as CSV, and the
+    /// metrics registry snapshot as CSV.
+    pub fn write_capture(dir: &Path, stem: &str, tel: &Telemetry) -> io::Result<DumpPaths> {
+        std::fs::create_dir_all(dir)?;
+        let paths = DumpPaths {
+            events_jsonl: dir.join(format!("{stem}.events.jsonl")),
+            goodput_csv: dir.join(format!("{stem}.goodput.csv")),
+            metrics_csv: dir.join(format!("{stem}.metrics.csv")),
+        };
+        std::fs::write(&paths.events_jsonl, tel.to_jsonl())?;
+        std::fs::write(
+            &paths.goodput_csv,
+            export::goodput_to_csv(&tel.goodput_series()),
+        )?;
+        std::fs::write(&paths.metrics_csv, export::registry_to_csv(&tel.registry))?;
+        Ok(paths)
+    }
+}
 
 /// A link configuration with per-link wall attenuation.
 ///
@@ -184,10 +230,7 @@ pub fn link_config(link_seed: u64) -> mobisense_core::scenario::ScenarioConfig {
 }
 
 /// A link scenario with per-link wall attenuation (see [`link_config`]).
-pub fn link_scenario(
-    kind: mobisense_core::scenario::ScenarioKind,
-    seed: u64,
-) -> Scenario {
+pub fn link_scenario(kind: mobisense_core::scenario::ScenarioKind, seed: u64) -> Scenario {
     Scenario::with_config(kind, link_config(seed), seed)
 }
 
@@ -223,5 +266,31 @@ mod tests {
         let mut sc = Scenario::new(ScenarioKind::MacroAway, 3);
         let b = TraceBundle::record(&mut sc, 5 * SECOND, TRACE_STEP, 3);
         assert!(b.sensor_hint_at(3 * SECOND).is_some());
+    }
+
+    #[test]
+    fn dump_writes_all_three_files() {
+        use mobisense_telemetry::{Event, Sink, Telemetry};
+        let mut tel = Telemetry::new();
+        tel.record(Event::Goodput {
+            at: 100,
+            elapsed: 100,
+            bits: 8000,
+        });
+        tel.span_ns("scope", 1234);
+        let dir = std::env::temp_dir().join(format!("mobisense-dump-{}", std::process::id()));
+        let paths = dump::write_capture(&dir, "unit", &tel).expect("dump");
+        let events = std::fs::read_to_string(&paths.events_jsonl).expect("jsonl");
+        assert_eq!(
+            mobisense_telemetry::export::parse_jsonl(&events)
+                .expect("parses")
+                .len(),
+            1
+        );
+        let goodput = std::fs::read_to_string(&paths.goodput_csv).expect("csv");
+        assert!(goodput.contains("100,100,8000"));
+        let metrics = std::fs::read_to_string(&paths.metrics_csv).expect("csv");
+        assert!(metrics.contains("histogram,scope,1"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -91,9 +91,7 @@ impl BearingTracker {
         }
         let v = self.medians.as_vec();
         let steps = v.windows(2).map(|w| (w[1] - w[0]).abs());
-        let sweeping = steps
-            .filter(|&d| d >= self.cfg.sweep_rate_rad)
-            .count() as f64;
+        let sweeping = steps.filter(|&d| d >= self.cfg.sweep_rate_rad).count() as f64;
         sweeping >= self.cfg.sweep_fraction * (v.len() - 1) as f64
     }
 
@@ -194,10 +192,8 @@ mod tests {
     /// orbit-corrected macro decisions, total decisions after warmup).
     fn run(kind: ScenarioKind, seed: u64, secs: u64) -> (usize, usize, usize) {
         let mut sc = Scenario::new(kind, seed);
-        let mut cl = OrbitAwareClassifier::new(
-            ClassifierConfig::default(),
-            BearingConfig::default(),
-        );
+        let mut cl =
+            OrbitAwareClassifier::new(ClassifierConfig::default(), BearingConfig::default());
         let mut tof = TofSampler::new(TofConfig::default(), 0, DetRng::seed_from_u64(seed));
         let mut t = 0u64;
         let mut micro = 0;

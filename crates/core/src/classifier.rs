@@ -2,6 +2,7 @@
 
 use mobisense_mobility::{Direction, MobilityMode};
 use mobisense_phy::csi::Csi;
+use mobisense_telemetry::{Event, NoopSink, Sink};
 use mobisense_util::units::{Nanos, MILLISECOND};
 
 use crate::similarity::SimilarityTracker;
@@ -143,6 +144,30 @@ impl MobilityClassifier {
     /// period completes, runs the Figure-5 decision logic and returns the
     /// (possibly unchanged) classification.
     pub fn on_frame_csi(&mut self, now: Nanos, csi: &Csi) -> Option<Classification> {
+        self.on_frame_csi_with(now, csi, &mut NoopSink)
+    }
+
+    /// [`MobilityClassifier::on_frame_csi`] with telemetry: each
+    /// completed decision is recorded as an [`Event::Decision`] in
+    /// `sink`.
+    pub fn on_frame_csi_with<S: Sink + ?Sized>(
+        &mut self,
+        now: Nanos,
+        csi: &Csi,
+        sink: &mut S,
+    ) -> Option<Classification> {
+        let decision = self.decide(now, csi)?;
+        if sink.enabled() {
+            sink.record(Event::Decision {
+                at: now,
+                mode: decision.mode.label().to_string(),
+                direction: decision.direction.map(|d| d.label().to_string()),
+            });
+        }
+        Some(decision)
+    }
+
+    fn decide(&mut self, now: Nanos, csi: &Csi) -> Option<Classification> {
         let smoothed = self.similarity.offer(now, csi)?;
         let decision = if smoothed > self.cfg.thr_static {
             self.stop_tof();
@@ -372,9 +397,7 @@ mod tests {
         // Phase 3: device mobility again — old trend must not leak: the
         // first device-mobility decisions are micro until a fresh window
         // fills.
-        let c = cl
-            .on_frame_csi(20 * PERIOD, &random_csi(&mut rng))
-            .unwrap();
+        let c = cl.on_frame_csi(20 * PERIOD, &random_csi(&mut rng)).unwrap();
         assert_eq!(c.mode, MobilityMode::Micro);
     }
 

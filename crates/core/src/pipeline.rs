@@ -8,6 +8,7 @@
 
 use mobisense_mobility::{GroundTruth, MobilityMode};
 use mobisense_phy::tof::{TofConfig, TofSampler};
+use mobisense_telemetry::{timed, Event, NoopSink, Sink};
 use mobisense_util::units::{Nanos, MILLISECOND, SECOND};
 use mobisense_util::DetRng;
 
@@ -77,40 +78,61 @@ pub fn run_classification(
     duration: Nanos,
     seed: u64,
 ) -> Vec<DecisionRecord> {
-    let mut classifier = MobilityClassifier::new(cfg.classifier.clone());
-    let mut tof = TofSampler::new(
-        cfg.tof.clone(),
-        0,
-        DetRng::seed_from_u64(seed ^ 0x746f_665f),
-    );
-    let mut records = Vec::new();
-    let mut t: Nanos = 0;
-    while t <= duration {
-        let obs = scenario.observe(t);
-        if let Some(m) = tof.poll(t, obs.distance_m) {
-            classifier.on_tof_median(m.cycles);
-        }
-        if let Some(decision) = classifier.on_frame_csi(t, &obs.csi) {
-            if t >= cfg.warmup {
-                records.push(DecisionRecord {
-                    at: t,
-                    decision,
-                    truth: obs.truth,
-                });
-            }
-        }
-        t += cfg.step;
-    }
-    records
+    run_classification_with(scenario, cfg, duration, seed, &mut NoopSink)
 }
 
-/// Mode-level accuracy of a record set. Returns `None` when empty.
+/// [`run_classification`] with telemetry: every ToF median becomes an
+/// [`Event::TofMedian`], every decision an [`Event::Decision`], and the
+/// whole run is wall-clock timed under the `core.run_classification`
+/// span.
+pub fn run_classification_with<S: Sink + ?Sized>(
+    scenario: &mut Scenario,
+    cfg: &PipelineConfig,
+    duration: Nanos,
+    seed: u64,
+    sink: &mut S,
+) -> Vec<DecisionRecord> {
+    timed(&mut *sink, "core.run_classification", |sink| {
+        let mut classifier = MobilityClassifier::new(cfg.classifier.clone());
+        let mut tof = TofSampler::new(
+            cfg.tof.clone(),
+            0,
+            DetRng::seed_from_u64(seed ^ 0x746f_665f),
+        );
+        let mut records = Vec::new();
+        let mut t: Nanos = 0;
+        while t <= duration {
+            let obs = scenario.observe(t);
+            if let Some(m) = tof.poll(t, obs.distance_m) {
+                if sink.enabled() {
+                    sink.record(Event::TofMedian {
+                        at: t,
+                        cycles: m.cycles,
+                    });
+                }
+                classifier.on_tof_median(m.cycles);
+            }
+            if let Some(decision) = classifier.on_frame_csi_with(t, &obs.csi, sink) {
+                if t >= cfg.warmup {
+                    records.push(DecisionRecord {
+                        at: t,
+                        decision,
+                        truth: obs.truth,
+                    });
+                }
+            }
+            t += cfg.step;
+        }
+        records
+    })
+}
+
+/// Mode-level accuracy of a record set — the diagonal mass of the
+/// record set's [`Confusion`] matrix. Returns `None` when empty.
 pub fn mode_accuracy(records: &[DecisionRecord]) -> Option<f64> {
-    if records.is_empty() {
-        return None;
-    }
-    let ok = records.iter().filter(|r| r.mode_correct()).count();
-    Some(ok as f64 / records.len() as f64)
+    let mut conf = Confusion::new();
+    conf.add_all(records);
+    conf.overall_accuracy()
 }
 
 /// A confusion matrix over the four modes: `counts[truth][decision]`.
@@ -171,6 +193,60 @@ impl Confusion {
     pub fn counts(&self) -> &[[u64; 4]; 4] {
         &self.counts
     }
+
+    /// Total number of recorded decisions.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Fraction of all decisions on the diagonal (mode-level accuracy
+    /// across every ground-truth mode). Returns `None` when empty.
+    pub fn overall_accuracy(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let diag: u64 = (0..4).map(|i| self.counts[i][i]).sum();
+        Some(diag as f64 / total as f64)
+    }
+}
+
+/// The four modes in matrix order (the paper's Table 1 layout).
+const MODE_ORDER: [MobilityMode; 4] = [
+    MobilityMode::Static,
+    MobilityMode::Environmental,
+    MobilityMode::Micro,
+    MobilityMode::Macro,
+];
+
+impl std::fmt::Display for Confusion {
+    /// Renders the paper's Table-1-style percentage grid: one row per
+    /// ground-truth mode, one column per decided mode; unseen truth
+    /// rows show dashes.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:>14}", "truth\\decided")?;
+        for m in MODE_ORDER {
+            write!(f, " {:>13}", m.label())?;
+        }
+        writeln!(f)?;
+        for truth in MODE_ORDER {
+            write!(f, "{:>14}", truth.label())?;
+            match self.row_percent(truth) {
+                Some(row) => {
+                    for pct in row {
+                        write!(f, " {pct:>12.1}%")?;
+                    }
+                }
+                None => {
+                    for _ in MODE_ORDER {
+                        write!(f, " {:>13}", "-")?;
+                    }
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -183,10 +259,9 @@ mod tests {
     fn accuracy_over_seeds(kind: ScenarioKind, seeds: std::ops::Range<u64>) -> f64 {
         let cfg = PipelineConfig::default();
         let mut conf = Confusion::new();
-        let mut truth_mode = MobilityMode::Static;
+        let truth_mode = kind.true_mode();
         for seed in seeds {
             let mut sc = Scenario::new(kind, seed);
-            truth_mode = kind.true_mode();
             let recs = run_classification(&mut sc, &cfg, 40 * SECOND, seed);
             assert!(!recs.is_empty());
             conf.add_all(&recs);
@@ -202,10 +277,7 @@ mod tests {
 
     #[test]
     fn environmental_accuracy_reasonable() {
-        let acc = accuracy_over_seeds(
-            ScenarioKind::Environmental(EnvIntensity::Strong),
-            10..16,
-        );
+        let acc = accuracy_over_seeds(ScenarioKind::Environmental(EnvIntensity::Strong), 10..16);
         assert!(acc > 0.7, "environmental accuracy {acc}");
     }
 
@@ -227,10 +299,7 @@ mod tests {
             let recs = run_classification(&mut sc, &cfg, 13 * SECOND, seed);
             // Only judge instants where the user is actually walking
             // (a finished walk has static ground truth).
-            for r in recs
-                .iter()
-                .filter(|r| r.truth.mode == MobilityMode::Macro)
-            {
+            for r in recs.iter().filter(|r| r.truth.mode == MobilityMode::Macro) {
                 total += 1;
                 if r.mode_correct() {
                     macro_ok += 1;
@@ -282,5 +351,102 @@ mod tests {
         assert_eq!(c.counts()[3][2], 1);
         assert_eq!(c.accuracy(MobilityMode::Macro), Some(0.0));
         assert_eq!(c.row_percent(MobilityMode::Static), None);
+    }
+
+    fn record(truth: MobilityMode, decision: MobilityMode) -> DecisionRecord {
+        DecisionRecord {
+            at: 0,
+            decision: Classification::of(decision),
+            truth: GroundTruth::of(truth),
+        }
+    }
+
+    #[test]
+    fn overall_accuracy_counts_all_diagonal_mass() {
+        let mut c = Confusion::new();
+        assert_eq!(c.overall_accuracy(), None);
+        c.add(&record(MobilityMode::Static, MobilityMode::Static));
+        c.add(&record(MobilityMode::Micro, MobilityMode::Micro));
+        c.add(&record(MobilityMode::Macro, MobilityMode::Micro));
+        c.add(&record(MobilityMode::Macro, MobilityMode::Macro));
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.overall_accuracy(), Some(0.75));
+    }
+
+    #[test]
+    fn mode_accuracy_matches_confusion_diagonal() {
+        let recs = vec![
+            record(MobilityMode::Static, MobilityMode::Static),
+            record(MobilityMode::Environmental, MobilityMode::Static),
+            record(MobilityMode::Micro, MobilityMode::Micro),
+        ];
+        assert_eq!(mode_accuracy(&recs), Some(2.0 / 3.0));
+        assert_eq!(mode_accuracy(&[]), None);
+        let mut conf = Confusion::new();
+        conf.add_all(&recs);
+        assert_eq!(mode_accuracy(&recs), conf.overall_accuracy());
+    }
+
+    #[test]
+    fn confusion_display_renders_table_one_grid() {
+        let mut c = Confusion::new();
+        c.add(&record(MobilityMode::Static, MobilityMode::Static));
+        c.add(&record(MobilityMode::Static, MobilityMode::Micro));
+        let text = c.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "header + four truth rows:\n{text}");
+        assert!(lines[0].contains("static") && lines[0].contains("macro"));
+        assert!(
+            lines[1].contains("50.0%"),
+            "static row shows percentages:\n{text}"
+        );
+        // Unseen truth modes render as dashes, not percentages.
+        assert!(lines[4].contains('-') && !lines[4].contains('%'));
+    }
+
+    #[test]
+    fn instrumented_run_emits_decisions_and_tof_medians() {
+        use mobisense_telemetry::Telemetry;
+        let cfg = PipelineConfig::default();
+        let mut sc = Scenario::new(ScenarioKind::MacroAway, 77);
+        let mut tel = Telemetry::new();
+        let recs = run_classification_with(&mut sc, &cfg, 13 * SECOND, 77, &mut tel);
+        assert!(!recs.is_empty());
+        let decisions: Vec<_> = tel
+            .events()
+            .filter(|e| matches!(e, mobisense_telemetry::Event::Decision { .. }))
+            .collect();
+        // One Decision event per classifier decision, including warm-up
+        // ones that the record set filters out.
+        assert!(decisions.len() >= recs.len());
+        // A walking-away scenario must take ToF medians.
+        assert!(tel
+            .events()
+            .any(|e| matches!(e, mobisense_telemetry::Event::TofMedian { .. })));
+        // The run itself was span-timed.
+        let (count, mean_ns) = tel
+            .registry
+            .histogram_snapshot("core.run_classification")
+            .expect("span recorded");
+        assert_eq!(count, 1);
+        assert!(mean_ns > 0.0);
+        // Event timestamps are monotone non-decreasing (single sim clock).
+        let ats: Vec<u64> = tel.events().map(|e| e.at()).collect();
+        assert!(ats.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn noop_sink_leaves_results_identical() {
+        let cfg = PipelineConfig::default();
+        let mut a = Scenario::new(ScenarioKind::Micro, 5);
+        let mut b = Scenario::new(ScenarioKind::Micro, 5);
+        let plain = run_classification(&mut a, &cfg, 20 * SECOND, 5);
+        let mut tel = mobisense_telemetry::Telemetry::new();
+        let instrumented = run_classification_with(&mut b, &cfg, 20 * SECOND, 5, &mut tel);
+        assert_eq!(plain.len(), instrumented.len());
+        for (p, i) in plain.iter().zip(&instrumented) {
+            assert_eq!(p.at, i.at);
+            assert_eq!(p.decision, i.decision);
+        }
     }
 }

@@ -152,11 +152,9 @@ mod tests {
 
     #[test]
     fn probing_aggressive_towards_conservative_away() {
-        let towards = MobilityPolicy::for_classification(Classification::macro_with(
-            Direction::Towards,
-        ));
-        let away =
-            MobilityPolicy::for_classification(Classification::macro_with(Direction::Away));
+        let towards =
+            MobilityPolicy::for_classification(Classification::macro_with(Direction::Towards));
+        let away = MobilityPolicy::for_classification(Classification::macro_with(Direction::Away));
         let stat = MobilityPolicy::for_classification(Classification::of(MobilityMode::Static));
         assert!(towards.probe_interval < stat.probe_interval);
         assert!(away.probe_interval > stat.probe_interval);
@@ -164,15 +162,19 @@ mod tests {
 
     #[test]
     fn aggregation_follows_coherence_time() {
-        let lim = |c: Classification| {
-            MobilityPolicy::for_classification(c).aggregation_limit
-        };
-        assert_eq!(lim(Classification::of(MobilityMode::Static)), 8 * MILLISECOND);
+        let lim = |c: Classification| MobilityPolicy::for_classification(c).aggregation_limit;
+        assert_eq!(
+            lim(Classification::of(MobilityMode::Static)),
+            8 * MILLISECOND
+        );
         assert_eq!(
             lim(Classification::of(MobilityMode::Environmental)),
             8 * MILLISECOND
         );
-        assert_eq!(lim(Classification::of(MobilityMode::Micro)), 2 * MILLISECOND);
+        assert_eq!(
+            lim(Classification::of(MobilityMode::Micro)),
+            2 * MILLISECOND
+        );
         assert_eq!(
             lim(Classification::macro_with(Direction::Away)),
             2 * MILLISECOND

@@ -287,17 +287,13 @@ impl Scenario {
             // Bursty body blockage while moving.
             if moving
                 && now >= self.blockage_until
-                && self
-                    .shadow_rng
-                    .chance(self.cfg.blockage_rate_hz * dt)
+                && self.shadow_rng.chance(self.cfg.blockage_rate_hz * dt)
             {
                 let (d_lo, d_hi) = self.cfg.blockage_depth_db;
                 let (s_lo, s_hi) = self.cfg.blockage_secs;
                 self.blockage_depth = self.shadow_rng.uniform_in(d_lo, d_hi);
                 self.blockage_until = now
-                    + mobisense_util::units::secs_to_nanos(
-                        self.shadow_rng.uniform_in(s_lo, s_hi),
-                    );
+                    + mobisense_util::units::secs_to_nanos(self.shadow_rng.uniform_in(s_lo, s_hi));
             }
         }
         self.shadow_t = now;
@@ -361,7 +357,7 @@ impl Scenario {
                         2.0,
                         17.0,
                     );
-                    if pts.last().map_or(true, |l| l.dist(p) >= 14.0) {
+                    if pts.last().is_none_or(|l| l.dist(p) >= 14.0) {
                         pts.push(p);
                     }
                 }
@@ -468,12 +464,7 @@ impl Scenario {
     }
 }
 
-fn random_point_at_range(
-    cfg: &ScenarioConfig,
-    rng: &mut DetRng,
-    min_d: f64,
-    max_d: f64,
-) -> Vec2 {
+fn random_point_at_range(cfg: &ScenarioConfig, rng: &mut DetRng, min_d: f64, max_d: f64) -> Vec2 {
     random_point_at_range_with(&cfg.room_lo, &cfg.room_hi, cfg.ap_pos, rng, min_d, max_d)
 }
 
@@ -540,10 +531,7 @@ mod tests {
 
     #[test]
     fn environmental_scenario_partially_decorrelates() {
-        let mut s = Scenario::new(
-            ScenarioKind::Environmental(EnvIntensity::Strong),
-            4,
-        );
+        let mut s = Scenario::new(ScenarioKind::Environmental(EnvIntensity::Strong), 4);
         // Warm the movers, then compare across a sampling period.
         let mut sims = Vec::new();
         let mut prev = s.observe(0);

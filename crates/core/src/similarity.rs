@@ -53,11 +53,7 @@ impl SimilarityTracker {
         }
         self.recent.push_back((now, csi.magnitude_profile()));
         let horizon = now.saturating_sub(PROFILE_SMOOTHING_WINDOW);
-        while self
-            .recent
-            .front()
-            .is_some_and(|&(at, _)| at < horizon)
-        {
+        while self.recent.front().is_some_and(|&(at, _)| at < horizon) {
             self.recent.pop_front();
         }
     }

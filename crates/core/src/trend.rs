@@ -63,16 +63,12 @@ pub fn detect_trend(samples: &[f64], cfg: &TrendConfig) -> Trend {
     let w = &samples[samples.len() - cfg.window..];
     let delta = w[w.len() - 1] - w[0];
     if delta >= cfg.min_delta_cycles {
-        let consistent = w
-            .windows(2)
-            .all(|p| p[1] - p[0] > -cfg.backstep_tolerance);
+        let consistent = w.windows(2).all(|p| p[1] - p[0] > -cfg.backstep_tolerance);
         if consistent {
             return Trend::Increasing;
         }
     } else if delta <= -cfg.min_delta_cycles {
-        let consistent = w
-            .windows(2)
-            .all(|p| p[1] - p[0] < cfg.backstep_tolerance);
+        let consistent = w.windows(2).all(|p| p[1] - p[0] < cfg.backstep_tolerance);
         if consistent {
             return Trend::Decreasing;
         }

@@ -164,7 +164,10 @@ mod tests {
         }
         let short_frac = short_ok as f64 / (trials * 4) as f64;
         let long_frac = long_tail_ok as f64 / (trials * 40) as f64;
-        assert!(short_frac > 0.95, "short frames should survive: {short_frac}");
+        assert!(
+            short_frac > 0.95,
+            "short frames should survive: {short_frac}"
+        );
         assert!(
             long_frac < short_frac - 0.15,
             "long aggregates should lose their tail: short {short_frac} long {long_frac}"

@@ -84,9 +84,7 @@ pub fn best_goodput_at_width(esnr_db: f64, width: ChannelWidth) -> f64 {
     let snr = esnr_db + width.snr_bonus_db();
     Mcs::ladder()
         .into_iter()
-        .map(|m| {
-            width.rate_scale() * m.rate_bps() * (1.0 - mpdu_error_prob(snr, m, REF_MPDU_BITS))
-        })
+        .map(|m| width.rate_scale() * m.rate_bps() * (1.0 - mpdu_error_prob(snr, m, REF_MPDU_BITS)))
         .fold(0.0, f64::max)
 }
 

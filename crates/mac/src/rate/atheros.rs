@@ -144,7 +144,11 @@ impl RateAdapter for AtherosRa {
         let Some(idx) = self.table.index_of(outcome.mcs) else {
             return; // off-ladder frame (not ours)
         };
-        let inst_per = if outcome.block_ack { outcome.per() } else { 1.0 };
+        let inst_per = if outcome.block_ack {
+            outcome.per()
+        } else {
+            1.0
+        };
         self.table.update(idx, inst_per);
 
         if self.probing == Some(idx) {

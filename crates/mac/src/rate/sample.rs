@@ -57,7 +57,7 @@ impl RateAdapter for SampleRateRa {
     fn select(&mut self, _now: Nanos) -> Mcs {
         self.frames += 1;
         let best = self.table.best_index();
-        if self.frames % Self::SAMPLE_EVERY == 0 {
+        if self.frames.is_multiple_of(Self::SAMPLE_EVERY) {
             // Sample a random rate within two rungs of the current best.
             let lo = best.saturating_sub(2);
             let hi = (best + 2).min(self.table.len() - 1);
@@ -73,7 +73,11 @@ impl RateAdapter for SampleRateRa {
 
     fn report(&mut self, _now: Nanos, outcome: &FrameOutcome) {
         if let Some(idx) = self.table.index_of(outcome.mcs) {
-            let inst = if outcome.block_ack { outcome.per() } else { 1.0 };
+            let inst = if outcome.block_ack {
+                outcome.per()
+            } else {
+                1.0
+            };
             self.table.update(idx, inst);
         }
         self.sampling = None;
@@ -129,7 +133,11 @@ impl RateAdapter for RapidSampleRa {
         let Some(idx) = self.table.index_of(outcome.mcs) else {
             return;
         };
-        let inst = if outcome.block_ack { outcome.per() } else { 1.0 };
+        let inst = if outcome.block_ack {
+            outcome.per()
+        } else {
+            1.0
+        };
         self.table.update(idx, inst);
         if idx != self.cur {
             return;

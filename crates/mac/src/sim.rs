@@ -7,6 +7,7 @@
 //! advances by the airtime the exchange consumed.
 
 use mobisense_core::classifier::Classification;
+use mobisense_telemetry::{Event, NoopSink, Sink};
 use mobisense_util::units::Nanos;
 use mobisense_util::DetRng;
 
@@ -102,44 +103,87 @@ impl LinkRun {
     pub fn run(
         &self,
         ra: &mut dyn RateAdapter,
+        channel: impl FnMut(Nanos) -> LinkState,
+        hint: impl FnMut(Nanos) -> Option<Classification>,
+        duration: Nanos,
+        rng: &mut DetRng,
+    ) -> RunStats {
+        self.run_with(ra, channel, hint, duration, rng, &mut NoopSink)
+    }
+
+    /// [`LinkRun::run`] with telemetry: every A-MPDU exchange becomes an
+    /// [`Event::AmpduTx`], every MCS switch between consecutive frames
+    /// an [`Event::RateChange`] (so a rate change is always preceded in
+    /// the stream by the frame that motivated it), and the whole run is
+    /// wall-clock timed under the `mac.link_run` span.
+    pub fn run_with<S: Sink + ?Sized>(
+        &self,
+        ra: &mut dyn RateAdapter,
         mut channel: impl FnMut(Nanos) -> LinkState,
         mut hint: impl FnMut(Nanos) -> Option<Classification>,
         duration: Nanos,
         rng: &mut DetRng,
+        sink: &mut S,
     ) -> RunStats {
-        let mut meter = ThroughputMeter::new();
-        let mut frames = 0u64;
-        let mut full_losses = 0u64;
-        let mut per_sum = 0.0;
-        let mut now: Nanos = 0;
-        while now < duration {
-            let state = channel(now);
-            let h = hint(now);
-            ra.set_mobility_hint(h);
-            ra.observe_csi_esnr(now, state.esnr_db);
-            ra.observe_coherence(now, state.coherence_secs);
-            let mcs = ra.select(now);
-            let n = self.agg.n_mpdus(mcs, self.mpdu_bytes, h);
-            let outcome = simulate_ampdu(&state, mcs, n, self.mpdu_bytes, rng);
-            ra.report(now, &outcome);
-            meter.add(&outcome, self.mpdu_bytes);
-            frames += 1;
-            if !outcome.block_ack {
-                full_losses += 1;
+        mobisense_telemetry::timed(sink, "mac.link_run", |sink| {
+            let mut meter = ThroughputMeter::new();
+            let mut frames = 0u64;
+            let mut full_losses = 0u64;
+            let mut per_sum = 0.0;
+            let mut now: Nanos = 0;
+            let mut prev_mcs: Option<u8> = None;
+            while now < duration {
+                let state = channel(now);
+                let h = hint(now);
+                ra.set_mobility_hint(h);
+                ra.observe_csi_esnr(now, state.esnr_db);
+                ra.observe_coherence(now, state.coherence_secs);
+                let mcs = ra.select(now);
+                if sink.enabled() {
+                    // Only a switch relative to an actually transmitted
+                    // frame counts as a rate change.
+                    if let Some(prev) = prev_mcs {
+                        if prev != mcs.0 {
+                            sink.record(Event::RateChange {
+                                at: now,
+                                from_mcs: prev,
+                                to_mcs: mcs.0,
+                            });
+                        }
+                    }
+                }
+                let n = self.agg.n_mpdus(mcs, self.mpdu_bytes, h);
+                let outcome = simulate_ampdu(&state, mcs, n, self.mpdu_bytes, rng);
+                ra.report(now, &outcome);
+                meter.add(&outcome, self.mpdu_bytes);
+                frames += 1;
+                if !outcome.block_ack {
+                    full_losses += 1;
+                }
+                per_sum += outcome.per();
+                now += outcome.airtime;
+                if sink.enabled() {
+                    sink.record(Event::AmpduTx {
+                        at: now,
+                        mcs: outcome.mcs.0,
+                        n_mpdus: outcome.n_mpdus as u32,
+                        n_delivered: outcome.n_delivered as u32,
+                        airtime: outcome.airtime,
+                    });
+                }
+                prev_mcs = Some(outcome.mcs.0);
             }
-            per_sum += outcome.per();
-            now += outcome.airtime;
-        }
-        RunStats {
-            mbps: meter.bits() as f64 / (now as f64 / 1e9) / 1e6,
-            frames,
-            full_losses,
-            mean_per: if frames > 0 {
-                per_sum / frames as f64
-            } else {
-                0.0
-            },
-        }
+            RunStats {
+                mbps: meter.bits() as f64 / (now as f64 / 1e9) / 1e6,
+                frames,
+                full_losses,
+                mean_per: if frames > 0 {
+                    per_sum / frames as f64
+                } else {
+                    0.0
+                },
+            }
+        })
     }
 }
 
@@ -197,10 +241,66 @@ mod tests {
     }
 
     #[test]
+    fn instrumented_run_traces_frames_and_rate_changes() {
+        use mobisense_telemetry::Telemetry;
+        let mut ra = EsnrRa::new();
+        let mut rng = DetRng::seed_from_u64(9);
+        // Channel alternates so the ESNR adapter must switch rates.
+        let channel = |now: Nanos| {
+            if (now / (200 * mobisense_util::units::MILLISECOND)).is_multiple_of(2) {
+                LinkState::static_at(35.0)
+            } else {
+                LinkState::static_at(12.0)
+            }
+        };
+        let mut tel = Telemetry::new();
+        let stats =
+            LinkRun::new().run_with(&mut ra, channel, |_| None, 2 * SECOND, &mut rng, &mut tel);
+        let mut ampdus = 0u64;
+        let mut changes = 0u64;
+        let mut seen_ampdu = false;
+        for e in tel.events() {
+            match e {
+                Event::AmpduTx { .. } => {
+                    ampdus += 1;
+                    seen_ampdu = true;
+                }
+                Event::RateChange {
+                    from_mcs, to_mcs, ..
+                } => {
+                    changes += 1;
+                    assert_ne!(from_mcs, to_mcs);
+                    assert!(seen_ampdu, "rate change before any transmission");
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(ampdus, stats.frames);
+        assert!(changes > 0, "alternating channel must force rate changes");
+        assert!(tel.registry.histogram_snapshot("mac.link_run").is_some());
+    }
+
+    #[test]
+    fn noop_sink_run_matches_plain_run() {
+        let channel = |_: Nanos| LinkState::static_at(30.0);
+        let mut ra_a = AtherosRa::stock();
+        let mut ra_b = AtherosRa::stock();
+        let mut rng_a = DetRng::seed_from_u64(4);
+        let mut rng_b = DetRng::seed_from_u64(4);
+        let run = LinkRun::new();
+        let plain = run.run(&mut ra_a, channel, |_| None, SECOND, &mut rng_a);
+        let mut tel = mobisense_telemetry::Telemetry::new();
+        let traced = run.run_with(&mut ra_b, channel, |_| None, SECOND, &mut rng_b, &mut tel);
+        assert_eq!(plain.frames, traced.frames);
+        assert_eq!(plain.full_losses, traced.full_losses);
+        assert!((plain.mbps - traced.mbps).abs() < 1e-12);
+    }
+
+    #[test]
     fn oracle_beats_blind_on_fast_varying_channel() {
         // Channel alternates between strong and weak every 100 ms.
         let channel = |now: Nanos| {
-            if (now / (100 * mobisense_util::units::MILLISECOND)) % 2 == 0 {
+            if (now / (100 * mobisense_util::units::MILLISECOND)).is_multiple_of(2) {
                 LinkState::static_at(35.0)
             } else {
                 LinkState::static_at(12.0)

@@ -150,10 +150,7 @@ mod tests {
             radial_direction(a, closer, ap, 0.1),
             Some(Direction::Towards)
         );
-        assert_eq!(
-            radial_direction(a, farther, ap, 0.1),
-            Some(Direction::Away)
-        );
+        assert_eq!(radial_direction(a, farther, ap, 0.1), Some(Direction::Away));
         // Tangential step: same radius, no radial direction.
         let tangential = Vec2::new(0.0, 10.0);
         assert_eq!(radial_direction(a, tangential, ap, 0.1), None);

@@ -138,8 +138,7 @@ impl MoverField {
                 let (dwell_lo, dwell_hi) = self.intensity.dwell_secs();
                 let hold = self.rng.uniform_in(dwell_lo, dwell_hi);
                 self.movers[i].moving = moving;
-                self.movers[i].state_until =
-                    now + mobisense_util::units::secs_to_nanos(hold);
+                self.movers[i].state_until = now + mobisense_util::units::secs_to_nanos(hold);
                 if moving {
                     let cur = self.movers[i].pos;
                     let jump = self.rng.unit_vector() * self.rng.uniform_in(1.0, 4.0);
@@ -178,11 +177,7 @@ mod tests {
     fn total_displacement(f: &mut MoverField, secs: u64) -> f64 {
         let start = f.advance_to(0);
         let end = f.advance_to(secs * SECOND);
-        start
-            .iter()
-            .zip(&end)
-            .map(|(a, b)| a.dist(*b))
-            .sum::<f64>()
+        start.iter().zip(&end).map(|(a, b)| a.dist(*b)).sum::<f64>()
     }
 
     #[test]

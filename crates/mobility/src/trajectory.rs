@@ -125,9 +125,8 @@ impl MicroWander {
         if dist < 0.02 {
             // Reached the target: either pause briefly or pick a new one.
             if self.rng.chance(0.2) {
-                self.pause_until = now + mobisense_util::units::millis_to_nanos(
-                    self.rng.uniform_in(200.0, 800.0),
-                );
+                self.pause_until =
+                    now + mobisense_util::units::millis_to_nanos(self.rng.uniform_in(200.0, 800.0));
             }
             self.pick_target();
             return;
@@ -264,8 +263,7 @@ impl WaypointWalk {
             return;
         }
         // Humans do not walk at constant speed: jitter around the mean.
-        self.speed = (self.speed
-            + self.rng.normal(0.0, 0.15) * dt.sqrt() * self.speed_mean)
+        self.speed = (self.speed + self.rng.normal(0.0, 0.15) * dt.sqrt() * self.speed_mean)
             .clamp(0.6 * self.speed_mean, 1.4 * self.speed_mean);
         let step = (self.speed * dt).min(dist);
         let dir = to_target / dist;
@@ -407,10 +405,7 @@ mod tests {
         let p0 = w.pose_at(0).pos;
         let p10 = w.pose_at(10 * SECOND).pos;
         let avg_speed = p0.dist(p10) / 10.0;
-        assert!(
-            (avg_speed - 1.2).abs() < 0.35,
-            "avg speed {avg_speed} m/s"
-        );
+        assert!((avg_speed - 1.2).abs() < 0.35, "avg speed {avg_speed} m/s");
     }
 
     #[test]

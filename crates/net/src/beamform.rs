@@ -19,9 +19,10 @@ use mobisense_core::scenario::Scenario;
 use mobisense_phy::airtime;
 use mobisense_phy::csi::Csi;
 use mobisense_phy::per::{self, coherence_time_secs, REF_MPDU_BITS};
+use mobisense_telemetry::{Event, NoopSink, Sink};
 use mobisense_util::linalg;
 use mobisense_util::units::{Nanos, MICROSECOND};
-use mobisense_util::{C64, DetRng};
+use mobisense_util::{DetRng, C64};
 
 /// Airtime of one explicit CSI feedback exchange: NDP announcement +
 /// sounding NDP + compressed feedback report at a basic rate. A 3x2,
@@ -79,9 +80,9 @@ impl SuBeamformer {
         let n_sc = current_csi.n_subcarriers().min(weights.len());
         let mut num = 0.0;
         let mut den = 0.0;
-        for sc in 0..n_sc {
+        for (sc, w) in weights.iter().enumerate().take(n_sc) {
             let h = current_csi.tx_vector(0, sc);
-            let combined = linalg::dot(&h, &weights[sc]);
+            let combined = linalg::dot(&h, w);
             num += combined.norm_sq();
             den += h.iter().map(|z| z.norm_sq()).sum::<f64>() / n_tx;
         }
@@ -116,7 +117,32 @@ pub fn run_su_beamforming(
     duration: Nanos,
     seed: u64,
 ) -> BfRunStats {
+    run_su_beamforming_with(scenario, feedback_period, duration, seed, &mut NoopSink)
+}
+
+/// [`run_su_beamforming`] with telemetry: every CSI feedback exchange
+/// becomes an [`Event::Beamsound`] (single-link runs report AP 0) and
+/// the run is wall-clock timed under the `net.su_beamforming` span.
+pub fn run_su_beamforming_with<S: Sink + ?Sized>(
+    scenario: &mut Scenario,
+    feedback_period: Nanos,
+    duration: Nanos,
+    seed: u64,
+    sink: &mut S,
+) -> BfRunStats {
     assert!(feedback_period > 0);
+    mobisense_telemetry::timed(sink, "net.su_beamforming", |sink| {
+        run_su_beamforming_inner(scenario, feedback_period, duration, seed, sink)
+    })
+}
+
+fn run_su_beamforming_inner<S: Sink + ?Sized>(
+    scenario: &mut Scenario,
+    feedback_period: Nanos,
+    duration: Nanos,
+    seed: u64,
+    sink: &mut S,
+) -> BfRunStats {
     let mut rng = DetRng::seed_from_u64(seed ^ 0x62666266);
     let mut bf = SuBeamformer::new();
     let mut now: Nanos = 0;
@@ -131,6 +157,9 @@ pub fn run_su_beamforming(
             let obs = scenario.observe(now);
             bf.update_from_csi(&obs.csi);
             feedbacks += 1;
+            if sink.enabled() {
+                sink.record(Event::Beamsound { at: now, ap: 0 });
+            }
             next_feedback = now + feedback_period;
             now += CSI_FEEDBACK_AIRTIME;
         }
@@ -175,6 +204,29 @@ pub fn run_su_beamforming_adaptive(
     duration: Nanos,
     seed: u64,
 ) -> BfRunStats {
+    run_su_beamforming_adaptive_with(scenario, duration, seed, &mut NoopSink)
+}
+
+/// [`run_su_beamforming_adaptive`] with telemetry: classifier decisions,
+/// ToF medians and soundings are all traced, and the run is wall-clock
+/// timed under the `net.su_beamforming_adaptive` span.
+pub fn run_su_beamforming_adaptive_with<S: Sink + ?Sized>(
+    scenario: &mut Scenario,
+    duration: Nanos,
+    seed: u64,
+    sink: &mut S,
+) -> BfRunStats {
+    mobisense_telemetry::timed(sink, "net.su_beamforming_adaptive", |sink| {
+        run_su_beamforming_adaptive_inner(scenario, duration, seed, sink)
+    })
+}
+
+fn run_su_beamforming_adaptive_inner<S: Sink + ?Sized>(
+    scenario: &mut Scenario,
+    duration: Nanos,
+    seed: u64,
+    sink: &mut S,
+) -> BfRunStats {
     use mobisense_core::classifier::{ClassifierConfig, MobilityClassifier};
     use mobisense_core::policy::MobilityPolicy;
     use mobisense_phy::tof::{TofConfig, TofSampler};
@@ -197,9 +249,15 @@ pub fn run_su_beamforming_adaptive(
     while now < duration {
         let obs = scenario.observe(now);
         if let Some(m) = tof.poll(now, obs.distance_m) {
+            if sink.enabled() {
+                sink.record(Event::TofMedian {
+                    at: now,
+                    cycles: m.cycles,
+                });
+            }
             classifier.on_tof_median(m.cycles);
         }
-        classifier.on_frame_csi(now, &obs.csi);
+        classifier.on_frame_csi_with(now, &obs.csi, sink);
         let period = classifier
             .current()
             .map(|c| MobilityPolicy::for_classification(c).bf_feedback_period)
@@ -208,6 +266,9 @@ pub fn run_su_beamforming_adaptive(
         if now >= next_feedback {
             bf.update_from_csi(&obs.csi);
             feedbacks += 1;
+            if sink.enabled() {
+                sink.record(Event::Beamsound { at: now, ap: 0 });
+            }
             next_feedback = now + period;
             now += CSI_FEEDBACK_AIRTIME;
         }
@@ -341,6 +402,33 @@ mod tests {
             short.mean_gain_db,
             long.mean_gain_db
         );
+    }
+
+    #[test]
+    fn instrumented_beamforming_counts_soundings() {
+        use mobisense_telemetry::Telemetry;
+        let mut sc = Scenario::new(ScenarioKind::Static, 7);
+        let mut tel = Telemetry::new();
+        let stats = run_su_beamforming_with(&mut sc, 100 * MILLISECOND, 2 * SECOND, 7, &mut tel);
+        let sounds = tel
+            .events()
+            .filter(|e| matches!(e, Event::Beamsound { .. }))
+            .count() as u64;
+        assert_eq!(sounds, stats.feedbacks);
+        assert!(tel
+            .registry
+            .histogram_snapshot("net.su_beamforming")
+            .is_some());
+
+        let mut sc2 = Scenario::new(ScenarioKind::MacroAway, 8);
+        let mut tel2 = Telemetry::new();
+        let a = run_su_beamforming_adaptive_with(&mut sc2, 5 * SECOND, 8, &mut tel2);
+        let sounds2 = tel2
+            .events()
+            .filter(|e| matches!(e, Event::Beamsound { .. }))
+            .count() as u64;
+        assert_eq!(sounds2, a.feedbacks);
+        assert!(tel2.events().any(|e| matches!(e, Event::Decision { .. })));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use mobisense_mobility::movers::EnvIntensity;
 use mobisense_phy::csi::Csi;
 use mobisense_util::linalg::CMat;
 use mobisense_util::units::{Nanos, MILLISECOND};
-use mobisense_util::{C64, DetRng};
+use mobisense_util::{DetRng, C64};
 
 use crate::beamform::CSI_FEEDBACK_AIRTIME;
 
@@ -93,6 +93,9 @@ impl MuMimoEmulator {
 
         while now < duration {
             // Feedback phase: any client due for feedback sounds now.
+            // (Indexes four parallel per-client arrays, so a range loop
+            // is the clearest form.)
+            #[allow(clippy::needless_range_loop)]
             for k in 0..N_CLIENTS {
                 if now >= self.next_feedback[k] {
                     let obs = self.scenarios[k].observe(now);
@@ -221,13 +224,7 @@ impl MuMimoEmulator {
             .map(|_| MobilityClassifier::new(ClassifierConfig::default()))
             .collect();
         let mut tofs: Vec<TofSampler> = (0..N_CLIENTS)
-            .map(|k| {
-                TofSampler::new(
-                    TofConfig::default(),
-                    0,
-                    self.rng.fork(&format!("tof-{k}")),
-                )
-            })
+            .map(|k| TofSampler::new(TofConfig::default(), 0, self.rng.fork(&format!("tof-{k}"))))
             .collect();
         let period_for = |c: Option<mobisense_core::classifier::Classification>| {
             c.map(|c| MobilityPolicy::for_classification(c).mu_mimo_feedback_period)
@@ -294,11 +291,7 @@ mod tests {
     #[test]
     fn produces_throughput_for_all_clients() {
         let mut e = MuMimoEmulator::paper_mix(1);
-        let s = e.run(
-            [200 * MILLISECOND; 3],
-            2 * MILLISECOND,
-            5 * SECOND,
-        );
+        let s = e.run([200 * MILLISECOND; 3], 2 * MILLISECOND, 5 * SECOND);
         assert_eq!(s.per_client_mbps.len(), 3);
         for (k, tp) in s.per_client_mbps.iter().enumerate() {
             assert!(*tp > 1.0, "client {k} starved: {tp} Mbps");
@@ -347,10 +340,10 @@ mod tests {
             2 * MILLISECOND,
             5 * SECOND,
         );
-        let env_drop = (good.per_client_mbps[0] - bad.per_client_mbps[0])
-            / good.per_client_mbps[0].max(1e-9);
-        let macro_drop = (good.per_client_mbps[2] - bad.per_client_mbps[2])
-            / good.per_client_mbps[2].max(1e-9);
+        let env_drop =
+            (good.per_client_mbps[0] - bad.per_client_mbps[0]) / good.per_client_mbps[0].max(1e-9);
+        let macro_drop =
+            (good.per_client_mbps[2] - bad.per_client_mbps[2]) / good.per_client_mbps[2].max(1e-9);
         assert!(
             macro_drop > env_drop,
             "macro drop {macro_drop:.2} should exceed env drop {env_drop:.2}"

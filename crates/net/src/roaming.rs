@@ -22,6 +22,7 @@ use mobisense_mobility::Direction;
 use mobisense_phy::airtime;
 use mobisense_phy::per::{self, REF_MPDU_BITS};
 use mobisense_phy::tof::{TofConfig, TofSampler};
+use mobisense_telemetry::{Event, NoopSink, Sink};
 use mobisense_util::units::{Nanos, MILLISECOND, SECOND};
 use mobisense_util::DetRng;
 
@@ -165,9 +166,16 @@ impl Roamer {
         self.current
     }
 
-    fn start_roam(&mut self, now: Nanos, target: usize) {
+    fn start_roam<S: Sink + ?Sized>(&mut self, now: Nanos, target: usize, sink: &mut S) {
         if target == self.current {
             return;
+        }
+        if sink.enabled() {
+            sink.record(Event::Handoff {
+                at: now,
+                from_ap: self.current as u32,
+                to_ap: target as u32,
+            });
         }
         self.current = target;
         self.outage_until = now + self.cfg.handoff_outage;
@@ -178,6 +186,17 @@ impl Roamer {
 
     /// Advances the state machine and returns the current association.
     pub fn step(&mut self, obs: &WorldObservation) -> Association {
+        self.step_with(obs, &mut NoopSink)
+    }
+
+    /// [`Roamer::step`] with telemetry: each completed handoff becomes
+    /// an [`Event::Handoff`] and (controller scheme) each mobility
+    /// classification an [`Event::Decision`].
+    pub fn step_with<S: Sink + ?Sized>(
+        &mut self,
+        obs: &WorldObservation,
+        sink: &mut S,
+    ) -> Association {
         let now = obs.at;
         if !self.initialized {
             self.initialized = true;
@@ -208,7 +227,7 @@ impl Roamer {
                 if obs.aps[self.current].rssi_dbm < self.cfg.rssi_floor_dbm {
                     let best = obs.strongest_ap();
                     if best != self.current {
-                        self.start_roam(now, best);
+                        self.start_roam(now, best, sink);
                     } else {
                         // Scanned and found nothing better: pay the scan
                         // cost anyway and back off one interval.
@@ -230,15 +249,15 @@ impl Roamer {
                         && obs.aps[best].rssi_dbm
                             >= obs.aps[self.current].rssi_dbm + self.cfg.hysteresis_db
                     {
-                        self.start_roam(now, best);
+                        self.start_roam(now, best, sink);
                     }
                 }
             }
             RoamingScheme::Controller => {
                 // The current AP classifies the client from its CSI.
-                if let Some(c) = self
-                    .classifier
-                    .on_frame_csi(now, &obs.aps[self.current].csi)
+                if let Some(c) =
+                    self.classifier
+                        .on_frame_csi_with(now, &obs.aps[self.current].csi, sink)
                 {
                     self.last_classification = Some(c);
                 }
@@ -247,15 +266,15 @@ impl Roamer {
                     // The client's own last-resort behaviour still exists.
                     let best = obs.strongest_ap();
                     if best != self.current {
-                        self.start_roam(now, best);
+                        self.start_roam(now, best, sink);
                     }
                     return Association {
                         ap: self.current,
                         in_outage: now < self.outage_until,
                     };
                 }
-                let moving_away = self.last_classification
-                    == Some(Classification::macro_with(Direction::Away));
+                let moving_away =
+                    self.last_classification == Some(Classification::macro_with(Direction::Away));
                 let cooled = now.saturating_sub(self.last_roam) >= self.cfg.roam_cooldown;
                 if moving_away && cooled {
                     // Candidate set: neighbours the client is moving
@@ -265,8 +284,7 @@ impl Roamer {
                         .filter(|&i| i != self.current)
                         .filter(|&i| {
                             self.neighbor_trends[i].current() == Trend::Decreasing
-                                && obs.aps[i].rssi_dbm
-                                    >= cur_rssi - self.cfg.candidate_margin_db
+                                && obs.aps[i].rssi_dbm >= cur_rssi - self.cfg.candidate_margin_db
                         })
                         .max_by(|&a, &b| {
                             obs.aps[a]
@@ -275,7 +293,7 @@ impl Roamer {
                                 .expect("finite RSSI")
                         });
                     if let Some(t) = best_candidate {
-                        self.start_roam(now, t);
+                        self.start_roam(now, t, sink);
                     }
                 }
             }
@@ -321,27 +339,42 @@ pub fn run_roaming(
     step: Nanos,
     seed: u64,
 ) -> RoamingStats {
-    let mut roamer = Roamer::new(cfg, world.n_aps(), seed);
-    let mut t: Nanos = 0;
-    let mut tp_sum = 0.0;
-    let mut outage_steps = 0u64;
-    let mut steps = 0u64;
-    while t <= duration {
-        let obs = world.observe(t);
-        let assoc = roamer.step(&obs);
-        steps += 1;
-        if assoc.in_outage {
-            outage_steps += 1;
-        } else {
-            tp_sum += expected_throughput_mbps(obs.aps[assoc.ap].snr_db);
+    run_roaming_with(world, cfg, duration, step, seed, &mut NoopSink)
+}
+
+/// [`run_roaming`] with telemetry threaded into the [`Roamer`], and the
+/// whole run wall-clock timed under the `net.run_roaming` span.
+pub fn run_roaming_with<S: Sink + ?Sized>(
+    world: &mut MultiApWorld,
+    cfg: RoamingConfig,
+    duration: Nanos,
+    step: Nanos,
+    seed: u64,
+    sink: &mut S,
+) -> RoamingStats {
+    mobisense_telemetry::timed(sink, "net.run_roaming", |sink| {
+        let mut roamer = Roamer::new(cfg, world.n_aps(), seed);
+        let mut t: Nanos = 0;
+        let mut tp_sum = 0.0;
+        let mut outage_steps = 0u64;
+        let mut steps = 0u64;
+        while t <= duration {
+            let obs = world.observe(t);
+            let assoc = roamer.step_with(&obs, sink);
+            steps += 1;
+            if assoc.in_outage {
+                outage_steps += 1;
+            } else {
+                tp_sum += expected_throughput_mbps(obs.aps[assoc.ap].snr_db);
+            }
+            t += step;
         }
-        t += step;
-    }
-    RoamingStats {
-        mean_mbps: tp_sum / steps as f64,
-        handoffs: roamer.handoffs(),
-        outage_fraction: outage_steps as f64 / steps as f64,
-    }
+        RoamingStats {
+            mean_mbps: tp_sum / steps as f64,
+            handoffs: roamer.handoffs(),
+            outage_fraction: outage_steps as f64 / steps as f64,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -443,6 +476,38 @@ mod tests {
         );
         // Periodic scans while moving: noticeable outage fraction.
         assert!(s.outage_fraction > 0.01, "outage {}", s.outage_fraction);
+    }
+
+    #[test]
+    fn instrumented_roaming_traces_handoffs() {
+        use mobisense_telemetry::Telemetry;
+        let mut w = corridor(2);
+        let mut tel = Telemetry::new();
+        let stats = run_roaming_with(
+            &mut w,
+            RoamingConfig::for_scheme(RoamingScheme::ClientDefault),
+            40 * SECOND,
+            STEP,
+            2,
+            &mut tel,
+        );
+        let handoffs: Vec<(Nanos, u32, u32)> = tel
+            .events()
+            .filter_map(|e| match *e {
+                mobisense_telemetry::Event::Handoff { at, from_ap, to_ap } => {
+                    Some((at, from_ap, to_ap))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(handoffs.len() as u32, stats.handoffs);
+        // One event per actual re-association, never a self-handoff, and
+        // timestamps strictly increase.
+        for h in &handoffs {
+            assert_ne!(h.1, h.2);
+        }
+        assert!(handoffs.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(tel.registry.histogram_snapshot("net.run_roaming").is_some());
     }
 
     #[test]

@@ -124,18 +124,14 @@ pub fn run_schedule(
                 if let Some(i) = lagging {
                     i
                 } else {
-                    let score = |i: usize| match clients[i]
-                        .hint_at(now)
-                        .and_then(|c| c.direction)
-                    {
-                        Some(Direction::Away) => 0,     // serve first
+                    let score = |i: usize| match clients[i].hint_at(now).and_then(|c| c.direction) {
+                        Some(Direction::Away) => 0, // serve first
                         None => 1,
-                        Some(Direction::Towards) => 2,  // defer
+                        Some(Direction::Towards) => 2, // defer
                     };
-                    let k = (0..n)
+                    (0..n)
                         .min_by_key(|&i| (score(i), airtime[i]))
-                        .expect("non-empty");
-                    k
+                        .expect("non-empty")
                 }
             }
         };

@@ -17,6 +17,7 @@ use mobisense_mac::agg::AggPolicy;
 use mobisense_mac::link::{simulate_ampdu, LinkState};
 use mobisense_mac::rate::{AtherosRa, RateAdapter};
 use mobisense_phy::per::{coherence_time_secs, csi_effective_snr_db};
+use mobisense_telemetry::{Event, NoopSink, Sink};
 use mobisense_util::units::{Nanos, MILLISECOND};
 use mobisense_util::DetRng;
 
@@ -58,12 +59,44 @@ pub struct EndToEndStats {
 /// this granularity; data frames reuse the latest observation.
 const OBS_STEP: Nanos = 10 * MILLISECOND;
 
+/// Accounting interval of the [`Event::Goodput`] series emitted by
+/// [`run_end_to_end_with`].
+pub const GOODPUT_INTERVAL: Nanos = 500 * MILLISECOND;
+
 /// Runs one stack over one world for `duration` and returns goodput.
 pub fn run_end_to_end(
     world: &mut MultiApWorld,
     stack: Stack,
     duration: Nanos,
     seed: u64,
+) -> EndToEndStats {
+    run_end_to_end_with(world, stack, duration, seed, &mut NoopSink)
+}
+
+/// [`run_end_to_end`] with telemetry: handoffs, classifier decisions,
+/// beamforming soundings, A-MPDU transmissions and MCS switches are all
+/// traced, plus an [`Event::Goodput`] series at [`GOODPUT_INTERVAL`]
+/// granularity whose `bits` fields sum exactly to the bits behind
+/// [`EndToEndStats::mbps`]. The run is wall-clock timed under the
+/// `net.run_end_to_end` span.
+pub fn run_end_to_end_with<S: Sink + ?Sized>(
+    world: &mut MultiApWorld,
+    stack: Stack,
+    duration: Nanos,
+    seed: u64,
+    sink: &mut S,
+) -> EndToEndStats {
+    mobisense_telemetry::timed(sink, "net.run_end_to_end", |sink| {
+        run_end_to_end_inner(world, stack, duration, seed, sink)
+    })
+}
+
+fn run_end_to_end_inner<S: Sink + ?Sized>(
+    world: &mut MultiApWorld,
+    stack: Stack,
+    duration: Nanos,
+    seed: u64,
+    sink: &mut S,
 ) -> EndToEndStats {
     let scheme = match stack {
         Stack::Default => RoamingScheme::ClientDefault,
@@ -86,15 +119,30 @@ pub fn run_end_to_end(
     let mut next_obs: Nanos = 0;
     let mut next_feedback: Nanos = 0;
     let mut obs = world.observe(0);
-    let mut assoc = roamer.step(&obs);
+    let mut assoc = roamer.step_with(&obs, sink);
     let mut last_ap = assoc.ap;
     let mut bits = 0u64;
     let mut frames = 0u64;
+    // Goodput accounting interval state.
+    let mut interval_start: Nanos = 0;
+    let mut interval_bits = 0u64;
+    let mut next_flush = GOODPUT_INTERVAL;
+    let mut prev_mcs: Option<u8> = None;
 
     while now < duration {
+        if sink.enabled() && now >= next_flush {
+            sink.record(Event::Goodput {
+                at: now,
+                elapsed: now - interval_start,
+                bits: interval_bits,
+            });
+            interval_start = now;
+            interval_bits = 0;
+            next_flush = now + GOODPUT_INTERVAL;
+        }
         if now >= next_obs {
             obs = world.observe(now);
-            assoc = roamer.step(&obs);
+            assoc = roamer.step_with(&obs, sink);
             if assoc.ap != last_ap {
                 // Roamed: beamforming state is per-AP.
                 bf.reset();
@@ -122,15 +170,19 @@ pub fn run_end_to_end(
         };
         if now >= next_feedback {
             bf.update_from_csi(&obs.aps[assoc.ap].csi);
+            if sink.enabled() {
+                sink.record(Event::Beamsound {
+                    at: now,
+                    ap: assoc.ap as u32,
+                });
+            }
             next_feedback = now + feedback_period;
             now += CSI_FEEDBACK_AIRTIME;
         }
 
         // One saturated downlink A-MPDU.
         let ap_view = &obs.aps[assoc.ap];
-        let true_csi = world
-            .channel(assoc.ap)
-            .csi_at(obs.pos, 0.0);
+        let true_csi = world.channel(assoc.ap).csi_at(obs.pos, 0.0);
         let esnr = csi_effective_snr_db(&ap_view.csi, ap_view.snr_db) + bf.gain_db(&true_csi);
         let state = LinkState {
             esnr_db: esnr,
@@ -138,12 +190,45 @@ pub fn run_end_to_end(
         };
         ra.set_mobility_hint(hint);
         let mcs = ra.select(now);
+        if sink.enabled() {
+            if let Some(prev) = prev_mcs {
+                if prev != mcs.0 {
+                    sink.record(Event::RateChange {
+                        at: now,
+                        from_mcs: prev,
+                        to_mcs: mcs.0,
+                    });
+                }
+            }
+        }
         let n = agg.n_mpdus(mcs, 1500, hint);
         let outcome = simulate_ampdu(&state, mcs, n, 1500, &mut rng);
         ra.report(now, &outcome);
-        bits += outcome.delivered_bits(1500);
+        let delivered = outcome.delivered_bits(1500);
+        bits += delivered;
+        interval_bits += delivered;
         frames += 1;
         now += outcome.airtime;
+        if sink.enabled() {
+            sink.record(Event::AmpduTx {
+                at: now,
+                mcs: outcome.mcs.0,
+                n_mpdus: outcome.n_mpdus as u32,
+                n_delivered: outcome.n_delivered as u32,
+                airtime: outcome.airtime,
+            });
+        }
+        prev_mcs = Some(outcome.mcs.0);
+    }
+
+    // Final (possibly partial) goodput interval, so that the series
+    // integrates exactly to the total delivered bits.
+    if sink.enabled() && now > interval_start {
+        sink.record(Event::Goodput {
+            at: now,
+            elapsed: now - interval_start,
+            bits: interval_bits,
+        });
     }
 
     EndToEndStats {
@@ -163,10 +248,7 @@ mod tests {
     fn corridor(seed: u64) -> MultiApWorld {
         MultiApWorld::new(
             WorldConfig::default(),
-            vec![
-                Vec2::new(4.0, 10.0),
-                Vec2::new(46.0, 10.0),
-            ],
+            vec![Vec2::new(4.0, 10.0), Vec2::new(46.0, 10.0)],
             seed,
         )
     }
@@ -196,6 +278,41 @@ mod tests {
             aware > default,
             "motion-aware {aware:.1} vs default {default:.1} (summed Mbps)"
         );
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_and_integrates_goodput() {
+        use mobisense_telemetry::Telemetry;
+        let mut w1 = corridor(3);
+        let plain = run_end_to_end(&mut w1, Stack::MotionAware, 20 * SECOND, 3);
+        let mut w2 = corridor(3);
+        let mut tel = Telemetry::new();
+        let traced = run_end_to_end_with(&mut w2, Stack::MotionAware, 20 * SECOND, 3, &mut tel);
+        // A telemetry sink must not perturb the simulation.
+        assert_eq!(plain.mbps, traced.mbps);
+        assert_eq!(plain.frames, traced.frames);
+        assert_eq!(plain.handoffs, traced.handoffs);
+
+        // The goodput series integrates back to the headline number.
+        let series = tel.goodput_series();
+        assert!(series.len() >= 30, "series too short: {}", series.len());
+        let total_bits: u64 = series.iter().map(|s| s.2).sum();
+        let total_elapsed: u64 = series.iter().map(|s| s.1).sum();
+        let integrated_mbps = total_bits as f64 / (total_elapsed as f64 / 1e9) / 1e6;
+        let rel = (integrated_mbps - traced.mbps).abs() / traced.mbps;
+        assert!(
+            rel < 0.01,
+            "series {integrated_mbps:.2} vs stats {:.2}",
+            traced.mbps
+        );
+
+        // Event stream timestamps are monotone non-decreasing.
+        let ats: Vec<u64> = tel.events().map(|e| e.at()).collect();
+        assert!(ats.windows(2).all(|w| w[0] <= w[1]));
+        assert!(tel
+            .registry
+            .histogram_snapshot("net.run_end_to_end")
+            .is_some());
     }
 
     #[test]

@@ -30,10 +30,12 @@ pub struct WorldConfig {
 
 impl Default for WorldConfig {
     fn default() -> Self {
-        let mut base = ScenarioConfig::default();
         // A 50 m x 20 m office floor.
-        base.room_lo = Vec2::new(0.0, 0.0);
-        base.room_hi = Vec2::new(50.0, 20.0);
+        let mut base = ScenarioConfig {
+            room_lo: Vec2::new(0.0, 0.0),
+            room_hi: Vec2::new(50.0, 20.0),
+            ..ScenarioConfig::default()
+        };
         // Dense enterprise deployments run APs at reduced transmit power
         // (cell sizing); it also stands in for the interior walls the
         // open-space ray model lacks. Without it every link on the floor
@@ -284,7 +286,7 @@ mod tests {
     #[test]
     fn walk_finishes() {
         let mut w = corridor_world(8);
-        assert!(!w.walk_finished(1 * SECOND));
+        assert!(!w.walk_finished(SECOND));
         assert!(w.walk_finished(120 * SECOND));
     }
 }

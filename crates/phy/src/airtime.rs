@@ -52,7 +52,9 @@ pub fn data_duration(mcs: Mcs, n_mpdus: usize, mpdu_payload_bytes: usize) -> Nan
 /// preamble + data + SIFS + block-ACK.
 pub fn ampdu_exchange(mcs: Mcs, n_mpdus: usize, mpdu_payload_bytes: usize) -> Nanos {
     let backoff = (CW_MIN_SLOTS as u64 / 2) * SLOT;
-    DIFS + backoff + preamble(mcs.streams()) + data_duration(mcs, n_mpdus, mpdu_payload_bytes)
+    DIFS + backoff
+        + preamble(mcs.streams())
+        + data_duration(mcs, n_mpdus, mpdu_payload_bytes)
         + SIFS
         + BLOCK_ACK
 }
@@ -112,7 +114,12 @@ mod tests {
             let t = ampdu_exchange(Mcs(15), n, 1500) as f64 / 1e9;
             (n * 1500 * 8) as f64 / t
         };
-        assert!(eff(16) > 2.0 * eff(1), "eff(1)={} eff(16)={}", eff(1), eff(16));
+        assert!(
+            eff(16) > 2.0 * eff(1),
+            "eff(1)={} eff(16)={}",
+            eff(1),
+            eff(16)
+        );
         assert!(eff(32) > eff(16));
     }
 

@@ -30,9 +30,7 @@ const SCAN_POINTS: usize = 181;
 /// `[-pi/2, pi/2]`).
 pub fn steering_vector(n: usize, spacing_wl: f64, theta: f64) -> Vec<C64> {
     (0..n)
-        .map(|k| {
-            C64::cis(std::f64::consts::TAU * spacing_wl * k as f64 * theta.sin())
-        })
+        .map(|k| C64::cis(std::f64::consts::TAU * spacing_wl * k as f64 * theta.sin()))
         .collect()
 }
 
@@ -99,8 +97,7 @@ pub fn music_spectrum(r: &CMat, spacing_wl: f64, n_sources: usize) -> Vec<(f64, 
 
 fn scan_angles() -> impl Iterator<Item = f64> {
     (0..SCAN_POINTS).map(|i| {
-        -std::f64::consts::FRAC_PI_2
-            + std::f64::consts::PI * i as f64 / (SCAN_POINTS - 1) as f64
+        -std::f64::consts::FRAC_PI_2 + std::f64::consts::PI * i as f64 / (SCAN_POINTS - 1) as f64
     })
 }
 
@@ -175,8 +172,8 @@ mod tests {
                     rng.uniform_in(0.5, 1.5),
                     rng.uniform_in(0.0, std::f64::consts::TAU),
                 );
-                for tx in 0..n_tx {
-                    csi.set(tx, rx, sc, g * a[tx] + rng.complex_gaussian(sigma));
+                for (tx, &steer) in a.iter().enumerate().take(n_tx) {
+                    csi.set(tx, rx, sc, g * steer + rng.complex_gaussian(sigma));
                 }
             }
         }
@@ -257,13 +254,16 @@ mod tests {
             let peak = spec
                 .iter()
                 .cloned()
-                .fold((0.0, f64::NEG_INFINITY), |acc, x| {
-                    if x.1 > acc.1 {
-                        x
-                    } else {
-                        acc
-                    }
-                });
+                .fold(
+                    (0.0, f64::NEG_INFINITY),
+                    |acc, x| {
+                        if x.1 > acc.1 {
+                            x
+                        } else {
+                            acc
+                        }
+                    },
+                );
             spec.iter().filter(|&&(_, p)| p > peak.1 / 2.0).count()
         };
         let b = half_width(&bartlett_spectrum(&r, 0.5));

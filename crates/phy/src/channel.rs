@@ -19,7 +19,7 @@
 use crate::config::ChannelConfig;
 use crate::csi::Csi;
 use mobisense_util::units::SPEED_OF_LIGHT;
-use mobisense_util::{C64, DetRng, Vec2};
+use mobisense_util::{DetRng, Vec2, C64};
 
 /// One environment reflector (wall segment proxy, furniture, or a person).
 ///
@@ -83,9 +83,7 @@ impl RayChannel {
             // phase. People (mobile reflectors) reflect notably less
             // than walls and metal furniture at 5 GHz — the body absorbs
             // a good part of the incident energy.
-            let mag = reflection_gain
-                * rng.uniform_in(0.5, 1.0)
-                * if mobile { 0.4 } else { 1.0 };
+            let mag = reflection_gain * rng.uniform_in(0.5, 1.0) * if mobile { 0.4 } else { 1.0 };
             let phase = rng.uniform_in(0.0, std::f64::consts::TAU);
             reflectors.push(Reflector {
                 pos,
@@ -139,8 +137,7 @@ impl RayChannel {
         // Amplitude falls as d^(eta/2) since eta is a power exponent.
         let amp_exp = cfg.path_loss_exp / 2.0;
 
-        let los_scale =
-            mobisense_util::units::db_to_ratio(-cfg.los_attenuation_db / 2.0).min(1.0);
+        let los_scale = mobisense_util::units::db_to_ratio(-cfg.los_attenuation_db / 2.0).min(1.0);
         for (tx, &te) in tx_el.iter().enumerate() {
             for (rx, &re) in rx_el.iter().enumerate() {
                 // Collect (path length, complex gain) for LOS + reflections.

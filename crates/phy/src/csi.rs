@@ -18,7 +18,10 @@ pub struct Csi {
 impl Csi {
     /// Creates an all-zero CSI matrix.
     pub fn zeros(n_tx: usize, n_rx: usize, n_sc: usize) -> Self {
-        assert!(n_tx > 0 && n_rx > 0 && n_sc > 0, "CSI dims must be positive");
+        assert!(
+            n_tx > 0 && n_rx > 0 && n_sc > 0,
+            "CSI dims must be positive"
+        );
         Csi {
             n_tx,
             n_rx,

@@ -49,14 +49,54 @@ struct McsRow {
 /// Single-stream rows (MCS 0-7); the two-stream rows (8-15) reuse these
 /// with doubled rate and a stream-separation SNR penalty.
 const ROWS: [McsRow; 8] = [
-    McsRow { modulation: Modulation::Bpsk, code_rate: (1, 2), rate_mbps: 13.5, snr_mid_db: 5.0 },
-    McsRow { modulation: Modulation::Qpsk, code_rate: (1, 2), rate_mbps: 27.0, snr_mid_db: 7.5 },
-    McsRow { modulation: Modulation::Qpsk, code_rate: (3, 4), rate_mbps: 40.5, snr_mid_db: 10.0 },
-    McsRow { modulation: Modulation::Qam16, code_rate: (1, 2), rate_mbps: 54.0, snr_mid_db: 13.0 },
-    McsRow { modulation: Modulation::Qam16, code_rate: (3, 4), rate_mbps: 81.0, snr_mid_db: 16.5 },
-    McsRow { modulation: Modulation::Qam64, code_rate: (2, 3), rate_mbps: 108.0, snr_mid_db: 21.0 },
-    McsRow { modulation: Modulation::Qam64, code_rate: (3, 4), rate_mbps: 121.5, snr_mid_db: 22.5 },
-    McsRow { modulation: Modulation::Qam64, code_rate: (5, 6), rate_mbps: 135.0, snr_mid_db: 24.0 },
+    McsRow {
+        modulation: Modulation::Bpsk,
+        code_rate: (1, 2),
+        rate_mbps: 13.5,
+        snr_mid_db: 5.0,
+    },
+    McsRow {
+        modulation: Modulation::Qpsk,
+        code_rate: (1, 2),
+        rate_mbps: 27.0,
+        snr_mid_db: 7.5,
+    },
+    McsRow {
+        modulation: Modulation::Qpsk,
+        code_rate: (3, 4),
+        rate_mbps: 40.5,
+        snr_mid_db: 10.0,
+    },
+    McsRow {
+        modulation: Modulation::Qam16,
+        code_rate: (1, 2),
+        rate_mbps: 54.0,
+        snr_mid_db: 13.0,
+    },
+    McsRow {
+        modulation: Modulation::Qam16,
+        code_rate: (3, 4),
+        rate_mbps: 81.0,
+        snr_mid_db: 16.5,
+    },
+    McsRow {
+        modulation: Modulation::Qam64,
+        code_rate: (2, 3),
+        rate_mbps: 108.0,
+        snr_mid_db: 21.0,
+    },
+    McsRow {
+        modulation: Modulation::Qam64,
+        code_rate: (3, 4),
+        rate_mbps: 121.5,
+        snr_mid_db: 22.5,
+    },
+    McsRow {
+        modulation: Modulation::Qam64,
+        code_rate: (5, 6),
+        rate_mbps: 135.0,
+        snr_mid_db: 24.0,
+    },
 ];
 
 /// Extra SNR (dB) needed per MCS step when running two spatial streams on
@@ -130,8 +170,8 @@ impl Mcs {
     /// at the top.
     pub fn next_up(self) -> Option<Mcs> {
         match self.0 {
-            4 => Some(Mcs(11)),       // skip MCS 5-10
-            15 => None,               // top of the ladder
+            4 => Some(Mcs(11)), // skip MCS 5-10
+            15 => None,         // top of the ladder
             n if n < 15 => Some(Mcs(n + 1)),
             _ => None,
         }
@@ -142,7 +182,7 @@ impl Mcs {
     pub fn next_down(self) -> Option<Mcs> {
         match self.0 {
             0 => None,
-            11 => Some(Mcs(4)),       // mirror of the upward skip
+            11 => Some(Mcs(4)), // mirror of the upward skip
             n => Some(Mcs(n - 1)),
         }
     }

@@ -110,9 +110,7 @@ pub fn aged_snr_db(snr_db: f64, age_secs: f64, coherence_secs: f64) -> f64 {
         return snr_db;
     }
     let f_d = 0.423 / coherence_secs;
-    let rho = bessel_j0(
-        2.0 * std::f64::consts::PI * f_d * PILOT_TRACKING_RESIDUAL * age_secs,
-    );
+    let rho = bessel_j0(2.0 * std::f64::consts::PI * f_d * PILOT_TRACKING_RESIDUAL * age_secs);
     let rho2 = rho * rho;
     let snr_lin = db_to_ratio(snr_db);
     let sinr = if rho2 >= 1.0 {
@@ -134,7 +132,11 @@ pub fn mpdu_error_prob_aged(
     age_secs: f64,
     coherence_secs: f64,
 ) -> f64 {
-    mpdu_error_prob(aged_snr_db(snr_db, age_secs, coherence_secs), mcs, mpdu_bits)
+    mpdu_error_prob(
+        aged_snr_db(snr_db, age_secs, coherence_secs),
+        mcs,
+        mpdu_bits,
+    )
 }
 
 /// Channel coherence time (seconds) for a given speed, via the standard

@@ -1,0 +1,253 @@
+//! Typed event trace with sim-clock timestamps.
+//!
+//! Events carry only primitive payloads (`String` labels, numeric ids)
+//! so this crate sits below the simulation crates in the dependency
+//! graph: anything from `core` up can emit events without `telemetry`
+//! knowing its types.
+
+use std::collections::VecDeque;
+
+use mobisense_util::units::Nanos;
+
+/// One telemetry event, stamped with the *simulation* clock (`at`, in
+/// nanoseconds since run start) — never the wall clock, so traces are
+/// bit-reproducible per seed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// The mobility classifier published a decision.
+    Decision {
+        /// Sim time of the decision.
+        at: Nanos,
+        /// Decided mobility mode label (`MobilityMode::label()`).
+        mode: String,
+        /// Macro-mobility direction label, when resolved.
+        direction: Option<String>,
+    },
+    /// A ToF median over one measurement window was produced.
+    TofMedian {
+        /// Sim time the window closed.
+        at: Nanos,
+        /// Median time-of-flight, in 88 MHz clock cycles.
+        cycles: f64,
+    },
+    /// The rate adapter switched MCS between consecutive A-MPDUs.
+    RateChange {
+        /// Sim time of the first frame at the new rate.
+        at: Nanos,
+        /// Previous MCS index.
+        from_mcs: u8,
+        /// New MCS index.
+        to_mcs: u8,
+    },
+    /// A station re-associated to a different AP.
+    Handoff {
+        /// Sim time the roam completed.
+        at: Nanos,
+        /// Previous AP id.
+        from_ap: u32,
+        /// New AP id.
+        to_ap: u32,
+    },
+    /// A beamforming sounding (CSI feedback) exchange occurred.
+    Beamsound {
+        /// Sim time of the sounding.
+        at: Nanos,
+        /// AP id performing the sounding.
+        ap: u32,
+    },
+    /// One A-MPDU transmission attempt finished.
+    AmpduTx {
+        /// Sim time the A-MPDU exchange completed.
+        at: Nanos,
+        /// MCS index used.
+        mcs: u8,
+        /// MPDUs aggregated in the frame.
+        n_mpdus: u32,
+        /// MPDUs delivered (acked).
+        n_delivered: u32,
+        /// Airtime consumed by the exchange.
+        airtime: Nanos,
+    },
+    /// Payload bits delivered during one accounting interval.
+    Goodput {
+        /// Sim time the interval ended.
+        at: Nanos,
+        /// Interval length.
+        elapsed: Nanos,
+        /// Payload bits delivered within the interval.
+        bits: u64,
+    },
+}
+
+impl Event {
+    /// The event's sim-clock timestamp.
+    pub fn at(&self) -> Nanos {
+        match *self {
+            Event::Decision { at, .. }
+            | Event::TofMedian { at, .. }
+            | Event::RateChange { at, .. }
+            | Event::Handoff { at, .. }
+            | Event::Beamsound { at, .. }
+            | Event::AmpduTx { at, .. }
+            | Event::Goodput { at, .. } => at,
+        }
+    }
+
+    /// Stable snake-case tag identifying the variant (the `"type"`
+    /// field of the JSONL encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Decision { .. } => "decision",
+            Event::TofMedian { .. } => "tof_median",
+            Event::RateChange { .. } => "rate_change",
+            Event::Handoff { .. } => "handoff",
+            Event::Beamsound { .. } => "beamsound",
+            Event::AmpduTx { .. } => "ampdu_tx",
+            Event::Goodput { .. } => "goodput",
+        }
+    }
+}
+
+/// An append-only sequence of [`Event`]s, optionally bounded.
+///
+/// Unbounded by default; [`EventTrace::ring`] keeps only the most
+/// recent `capacity` events and counts what it evicts, so long soak
+/// runs can stay within fixed memory.
+#[derive(Clone, Debug, Default)]
+pub struct EventTrace {
+    events: VecDeque<Event>,
+    capacity: Option<usize>,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// Creates an empty, unbounded trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a trace that retains only the most recent `capacity`
+    /// events (`capacity` must be non-zero).
+    pub fn ring(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        EventTrace {
+            events: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Appends one event, evicting the oldest in ring mode.
+    pub fn push(&mut self, event: Event) {
+        if let Some(cap) = self.capacity {
+            if self.events.len() == cap {
+                self.events.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted by ring mode since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes all retained events (the dropped count is kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl Extend<Event> for EventTrace {
+    fn extend<T: IntoIterator<Item = Event>>(&mut self, iter: T) {
+        for e in iter {
+            self.push(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: Nanos) -> Event {
+        Event::Beamsound { at, ap: 1 }
+    }
+
+    #[test]
+    fn unbounded_trace_keeps_everything() {
+        let mut t = EventTrace::new();
+        for at in 0..1000 {
+            t.push(ev(at));
+        }
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.dropped(), 0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn ring_trace_evicts_oldest_and_counts() {
+        let mut t = EventTrace::ring(3);
+        for at in 0..7 {
+            t.push(ev(at));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 4);
+        let ats: Vec<Nanos> = t.iter().map(Event::at).collect();
+        assert_eq!(ats, vec![4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_ring_panics() {
+        EventTrace::ring(0);
+    }
+
+    #[test]
+    fn kind_tags_are_stable() {
+        let e = Event::AmpduTx {
+            at: 0,
+            mcs: 7,
+            n_mpdus: 16,
+            n_delivered: 15,
+            airtime: 1000,
+        };
+        assert_eq!(e.kind(), "ampdu_tx");
+        assert_eq!(e.at(), 0);
+        assert_eq!(
+            Event::Decision {
+                at: 9,
+                mode: "static".into(),
+                direction: None
+            }
+            .kind(),
+            "decision"
+        );
+    }
+
+    #[test]
+    fn clear_keeps_dropped_count() {
+        let mut t = EventTrace::ring(1);
+        t.push(ev(0));
+        t.push(ev(1));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+}

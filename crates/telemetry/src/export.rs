@@ -1,0 +1,517 @@
+//! Hand-rolled JSON-lines and CSV export (and parse-back) — no serde.
+//!
+//! The JSONL encoding is one flat object per event with a `"type"` tag
+//! (see [`Event::kind`]); [`parse_jsonl`] reverses it field-for-field,
+//! which the test-suite uses to prove dumps are lossless. Floats are
+//! printed with Rust's shortest round-trip formatting, so re-parsing
+//! yields bit-identical values.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use mobisense_util::units::Nanos;
+
+use crate::event::Event;
+use crate::metrics::Registry;
+
+/// Serializes one event as a single-line flat JSON object.
+pub fn event_to_json(event: &Event) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"type\":\"");
+    s.push_str(event.kind());
+    s.push('"');
+    let field_u64 = |s: &mut String, key: &str, v: u64| {
+        let _ = write!(s, ",\"{key}\":{v}");
+    };
+    match *event {
+        Event::Decision {
+            at,
+            ref mode,
+            ref direction,
+        } => {
+            field_u64(&mut s, "at", at);
+            let _ = write!(s, ",\"mode\":{}", json_string(mode));
+            match direction {
+                Some(d) => {
+                    let _ = write!(s, ",\"direction\":{}", json_string(d));
+                }
+                None => s.push_str(",\"direction\":null"),
+            }
+        }
+        Event::TofMedian { at, cycles } => {
+            field_u64(&mut s, "at", at);
+            let _ = write!(s, ",\"cycles\":{}", json_f64(cycles));
+        }
+        Event::RateChange {
+            at,
+            from_mcs,
+            to_mcs,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "from_mcs", from_mcs.into());
+            field_u64(&mut s, "to_mcs", to_mcs.into());
+        }
+        Event::Handoff { at, from_ap, to_ap } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "from_ap", from_ap.into());
+            field_u64(&mut s, "to_ap", to_ap.into());
+        }
+        Event::Beamsound { at, ap } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "ap", ap.into());
+        }
+        Event::AmpduTx {
+            at,
+            mcs,
+            n_mpdus,
+            n_delivered,
+            airtime,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "mcs", mcs.into());
+            field_u64(&mut s, "n_mpdus", n_mpdus.into());
+            field_u64(&mut s, "n_delivered", n_delivered.into());
+            field_u64(&mut s, "airtime", airtime);
+        }
+        Event::Goodput { at, elapsed, bits } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "elapsed", elapsed);
+            field_u64(&mut s, "bits", bits);
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Serializes events as JSON-lines, one object per line, in iteration
+/// order.
+pub fn events_to_jsonl<'a>(events: impl Iterator<Item = &'a Event>) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&event_to_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-lines event dump produced by [`events_to_jsonl`] back
+/// into events, preserving order. Blank lines are ignored.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| parse_event(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// Parses one flat JSON event object.
+pub fn parse_event(line: &str) -> Result<Event, String> {
+    let fields = parse_flat_object(line)?;
+    let kind = match fields.get("type") {
+        Some(Val::Str(k)) => k.as_str(),
+        _ => return Err("missing string \"type\" field".into()),
+    };
+    let at = get_u64(&fields, "at")?;
+    match kind {
+        "decision" => Ok(Event::Decision {
+            at,
+            mode: get_string(&fields, "mode")?,
+            direction: match fields.get("direction") {
+                Some(Val::Null) | None => None,
+                Some(Val::Str(s)) => Some(s.clone()),
+                Some(_) => return Err("field \"direction\" must be a string or null".into()),
+            },
+        }),
+        "tof_median" => Ok(Event::TofMedian {
+            at,
+            cycles: get_f64(&fields, "cycles")?,
+        }),
+        "rate_change" => Ok(Event::RateChange {
+            at,
+            from_mcs: get_u64(&fields, "from_mcs")? as u8,
+            to_mcs: get_u64(&fields, "to_mcs")? as u8,
+        }),
+        "handoff" => Ok(Event::Handoff {
+            at,
+            from_ap: get_u64(&fields, "from_ap")? as u32,
+            to_ap: get_u64(&fields, "to_ap")? as u32,
+        }),
+        "beamsound" => Ok(Event::Beamsound {
+            at,
+            ap: get_u64(&fields, "ap")? as u32,
+        }),
+        "ampdu_tx" => Ok(Event::AmpduTx {
+            at,
+            mcs: get_u64(&fields, "mcs")? as u8,
+            n_mpdus: get_u64(&fields, "n_mpdus")? as u32,
+            n_delivered: get_u64(&fields, "n_delivered")? as u32,
+            airtime: get_u64(&fields, "airtime")?,
+        }),
+        "goodput" => Ok(Event::Goodput {
+            at,
+            elapsed: get_u64(&fields, "elapsed")?,
+            bits: get_u64(&fields, "bits")?,
+        }),
+        other => Err(format!("unknown event type {other:?}")),
+    }
+}
+
+/// Serializes a goodput series (`(interval end, interval length,
+/// payload bits)`) as CSV with a header row.
+pub fn goodput_to_csv(series: &[(Nanos, Nanos, u64)]) -> String {
+    let mut out = String::from("at_ns,elapsed_ns,bits\n");
+    for &(at, elapsed, bits) in series {
+        let _ = writeln!(out, "{at},{elapsed},{bits}");
+    }
+    out
+}
+
+/// Serializes a registry snapshot as CSV: one row per metric, with
+/// histograms reduced to count / mean / p50 / p95 / max.
+///
+/// Metric names are `&'static str` identifiers chosen by the
+/// instrumentation (no commas or quotes), so no CSV quoting is needed.
+pub fn registry_to_csv(registry: &Registry) -> String {
+    let mut out = String::from("kind,name,count,value,p50,p95,max\n");
+    for name in registry.counter_names() {
+        let v = registry.counter_value(name).unwrap_or(0);
+        let _ = writeln!(out, "counter,{name},,{v},,,");
+    }
+    for name in registry.gauge_names() {
+        let v = registry.gauge_value(name).unwrap_or(0.0);
+        let _ = writeln!(out, "gauge,{name},,{},,,", json_f64(v));
+    }
+    for name in registry.histogram_names() {
+        let h = registry.get_histogram(name).expect("name from iterator");
+        let fmt = |o: Option<f64>| o.map(json_f64).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "histogram,{name},{},{},{},{},{}",
+            h.count(),
+            fmt(h.mean()),
+            fmt(h.quantile(0.5)),
+            fmt(h.quantile(0.95)),
+            fmt(h.max()),
+        );
+    }
+    out
+}
+
+/// Formats a finite `f64` so that parsing the text yields the same
+/// bits (Rust's `Display` is shortest-round-trip).
+fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "telemetry floats must be finite");
+    format!("{v}")
+}
+
+/// Quotes and escapes a string for JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A value in a flat (non-nested) JSON object.
+#[derive(Clone, Debug, PartialEq)]
+enum Val {
+    Null,
+    Str(String),
+    /// Raw numeric token, converted on demand so `u64` fields never
+    /// lose precision through `f64`.
+    Num(String),
+}
+
+fn get_u64(fields: &BTreeMap<String, Val>, key: &str) -> Result<u64, String> {
+    match fields.get(key) {
+        Some(Val::Num(n)) => n
+            .parse::<u64>()
+            .map_err(|_| format!("field {key:?}: {n:?} is not a u64")),
+        _ => Err(format!("missing numeric field {key:?}")),
+    }
+}
+
+fn get_f64(fields: &BTreeMap<String, Val>, key: &str) -> Result<f64, String> {
+    match fields.get(key) {
+        Some(Val::Num(n)) => n
+            .parse::<f64>()
+            .map_err(|_| format!("field {key:?}: {n:?} is not an f64")),
+        _ => Err(format!("missing numeric field {key:?}")),
+    }
+}
+
+fn get_string(fields: &BTreeMap<String, Val>, key: &str) -> Result<String, String> {
+    match fields.get(key) {
+        Some(Val::Str(s)) => Ok(s.clone()),
+        _ => Err(format!("missing string field {key:?}")),
+    }
+}
+
+/// Parses one flat JSON object (`{"k":v,...}` with string, number and
+/// null values — no nesting, which is all the event encoding uses).
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, Val>, String> {
+    let mut p = Parser {
+        chars: line.trim().chars().collect(),
+        pos: 0,
+    };
+    let map = p.object()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing garbage at column {}", p.pos + 1));
+    }
+    Ok(map)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!("expected {c:?}, found {got:?}")),
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, Val>, String> {
+        self.expect('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => continue,
+                Some('}') => return Ok(map),
+                got => return Err(format!("expected ',' or '}}', found {got:?}")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Val, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('"') => Ok(Val::Str(self.string()?)),
+            Some('n') => {
+                for want in "null".chars() {
+                    if self.bump() != Some(want) {
+                        return Err("invalid literal (expected null)".into());
+                    }
+                }
+                Ok(Val::Null)
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(c) if c.is_ascii_digit() || "+-.eE".contains(c)
+                ) {
+                    self.pos += 1;
+                }
+                Ok(Val::Num(self.chars[start..self.pos].iter().collect()))
+            }
+            got => Err(format!("unexpected value start {got:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|c| c.to_digit(16))
+                                .ok_or("bad \\u escape")?;
+                            code = code * 16 + d;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    got => return Err(format!("bad escape {got:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Decision {
+                at: 100,
+                mode: "macro".into(),
+                direction: Some("towards".into()),
+            },
+            Event::Decision {
+                at: 150,
+                mode: "static".into(),
+                direction: None,
+            },
+            Event::TofMedian {
+                at: 200,
+                cycles: 13.75,
+            },
+            Event::RateChange {
+                at: 300,
+                from_mcs: 7,
+                to_mcs: 4,
+            },
+            Event::Handoff {
+                at: 400,
+                from_ap: 0,
+                to_ap: 2,
+            },
+            Event::Beamsound { at: 500, ap: 2 },
+            Event::AmpduTx {
+                at: 600,
+                mcs: 4,
+                n_mpdus: 32,
+                n_delivered: 30,
+                airtime: 123_456,
+            },
+            Event::Goodput {
+                at: 700,
+                elapsed: 100,
+                bits: 360_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        let events = sample_events();
+        let text = events_to_jsonl(events.iter());
+        assert_eq!(text.lines().count(), events.len());
+        let back = parse_jsonl(&text).expect("well-formed dump");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn float_formatting_round_trips_exactly() {
+        let e = Event::TofMedian {
+            at: 1,
+            cycles: 0.1 + 0.2, // a value with an ugly shortest repr
+        };
+        let back = parse_event(&event_to_json(&e)).expect("parses");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let e = Event::Decision {
+            at: 0,
+            mode: "we\"ird\\mo\nde\t\u{1}".into(),
+            direction: None,
+        };
+        let back = parse_event(&event_to_json(&e)).expect("parses");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_jsonl("{\"type\":\"goodput\"").is_err());
+        assert!(parse_jsonl("{\"type\":\"nonsense\",\"at\":1}").is_err());
+        assert!(parse_jsonl("{\"at\":1}").is_err());
+        assert!(parse_jsonl("{\"type\":\"beamsound\",\"at\":1,\"ap\":2} x").is_err());
+        // Missing required field.
+        assert!(parse_jsonl("{\"type\":\"beamsound\",\"at\":1}").is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let text = "\n{\"type\":\"beamsound\",\"at\":1,\"ap\":0}\n\n";
+        assert_eq!(parse_jsonl(text).expect("parses").len(), 1);
+    }
+
+    #[test]
+    fn large_u64_fields_survive() {
+        let e = Event::Goodput {
+            at: u64::MAX - 1,
+            elapsed: 1 << 60,
+            bits: u64::MAX,
+        };
+        let back = parse_event(&event_to_json(&e)).expect("parses");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn goodput_csv_shape() {
+        let csv = goodput_to_csv(&[(100, 100, 800), (200, 100, 1600)]);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "at_ns,elapsed_ns,bits");
+        assert_eq!(lines[1], "100,100,800");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn registry_csv_lists_all_metrics() {
+        let mut r = Registry::new();
+        r.counter("frames").add(3);
+        r.gauge("esnr").set(30.25);
+        r.histogram("span", &[10.0, 100.0]).observe(42.0);
+        let csv = registry_to_csv(&r);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,count,value,p50,p95,max");
+        assert!(lines.iter().any(|l| l.starts_with("counter,frames,,3")));
+        assert!(lines.iter().any(|l| l.starts_with("gauge,esnr,,30.25")));
+        assert!(lines.iter().any(|l| l.starts_with("histogram,span,1,42")));
+    }
+}

@@ -1,0 +1,488 @@
+//! Explicitly-passed metrics: counters, gauges, histograms.
+//!
+//! There is deliberately no global registry and no interior mutability:
+//! a [`Registry`] is a plain value owned by whoever runs the
+//! experiment, preserving the workspace's bit-reproducibility rule.
+
+use std::collections::BTreeMap;
+
+/// Default bucket upper bounds (nanoseconds) for span-timing
+/// histograms: log-spaced from 250 ns to 100 ms.
+pub const SPAN_NS_BUCKETS: &[f64] = &[
+    250.0, 500.0, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 2.5e7,
+    5e7, 1e8,
+];
+
+/// A monotonically non-decreasing event count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A last-value-wins instantaneous measurement.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Gauge {
+    value: f64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&mut self, value: f64) {
+        self.value = value;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+}
+
+/// A fixed-bucket histogram with streaming quantile estimation.
+///
+/// Buckets are defined by their upper bounds; one implicit overflow
+/// bucket catches everything above the last bound. Quantiles are
+/// estimated by linear interpolation inside the bucket containing the
+/// requested rank, so the estimate is always within one bucket width of
+/// the exact order statistic (the property the telemetry tests pin).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing bucket
+    /// upper bounds (at least one).
+    pub fn with_buckets(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < value)
+            .min(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum / self.total as f64)
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimated `q`-quantile (`q` clamped into `[0, 1]`), or `None`
+    /// when empty. The estimate lies inside the bucket that contains
+    /// the exact order statistic of the same rank.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Ceil-rank convention: the r-th smallest sample, 1-based.
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if cum >= rank {
+                let lower = if i == 0 { self.min } else { self.bounds[i - 1] };
+                let upper = if i == self.bounds.len() {
+                    self.max
+                } else {
+                    self.bounds[i]
+                };
+                let (lower, upper) = (lower.max(self.min), upper.min(self.max));
+                if c == 0 || upper <= lower {
+                    return Some(lower.min(upper));
+                }
+                // Interpolate the rank's position inside this bucket.
+                let frac = (rank - prev) as f64 / c as f64;
+                return Some(lower + (upper - lower) * frac);
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// Streaming estimation of a single quantile without storing samples —
+/// the P² algorithm of Jain & Chlamtac (CACM 1985), five markers.
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the 0, q/2, q, (1+q)/2, 1 quantiles).
+    heights: [f64; 5],
+    /// Marker positions (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far (first five are buffered in `heights`).
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile, `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be inside (0, 1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Observations fed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // Cell index: k such that heights[k] <= x < heights[k+1].
+            let mut cell = 3;
+            for i in 1..5 {
+                if x < self.heights[i] {
+                    cell = i - 1;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers towards their desired positions.
+        for i in 1..4 {
+            let delta = self.desired[i] - self.positions[i];
+            let ahead = self.positions[i + 1] - self.positions[i];
+            let behind = self.positions[i - 1] - self.positions[i];
+            if (delta >= 1.0 && ahead > 1.0) || (delta <= -1.0 && behind < -1.0) {
+                let d = delta.signum();
+                let parabolic = self.parabolic(i, d);
+                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (hm, h, hp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        h + d / (np - nm)
+            * ((n - nm + d) * (hp - h) / (np - n) + (np - n - d) * (h - hm) / (n - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate, or `None` before any observation.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                // Too few samples for the marker machinery: exact order
+                // statistic over the buffer.
+                let mut buf: Vec<f64> = self.heights[..n].to_vec();
+                buf.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
+                Some(buf[rank - 1])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+/// A named collection of metrics, explicitly passed through an
+/// experiment.
+///
+/// Names are `&'static str` so hot-path lookups never allocate;
+/// iteration order is sorted by name, keeping exports deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created zeroed on first use.
+    pub fn counter(&mut self, name: &'static str) -> &mut Counter {
+        self.counters.entry(name).or_default()
+    }
+
+    /// The gauge named `name`, created zeroed on first use.
+    pub fn gauge(&mut self, name: &'static str) -> &mut Gauge {
+        self.gauges.entry(name).or_default()
+    }
+
+    /// The histogram named `name`, created with `bounds` on first use
+    /// (later calls keep the original buckets).
+    pub fn histogram(&mut self, name: &'static str, bounds: &[f64]) -> &mut Histogram {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::with_buckets(bounds))
+    }
+
+    /// Counter value by name, if it exists.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).map(|c| c.get())
+    }
+
+    /// Gauge value by name, if it exists.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).map(|g| g.get())
+    }
+
+    /// `(count, mean)` of a histogram by name, if it exists and is
+    /// non-empty.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<(u64, f64)> {
+        let h = self.histograms.get(name)?;
+        Some((h.count(), h.mean()?))
+    }
+
+    /// Histogram by name, if it exists.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counter names, sorted.
+    pub fn counter_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.counters.keys().copied()
+    }
+
+    /// All gauge names, sorted.
+    pub fn gauge_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.gauges.keys().copied()
+    }
+
+    /// All histogram names, sorted.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.histograms.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut r = Registry::new();
+        r.counter("frames").inc();
+        r.counter("frames").add(4);
+        assert_eq!(r.counter_value("frames"), Some(5));
+        r.gauge("esnr").set(31.5);
+        assert_eq!(r.gauge_value("esnr"), Some(31.5));
+        assert_eq!(r.counter_value("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::with_buckets(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.5, 1.6, 3.0, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(9.0));
+        assert!((h.mean().expect("non-empty") - 3.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_land_in_right_bucket() {
+        let mut h = Histogram::with_buckets(&[10.0, 20.0, 30.0]);
+        for i in 0..100 {
+            h.observe(i as f64 * 0.3); // 0.0 .. 29.7
+        }
+        let median = h.quantile(0.5).expect("non-empty");
+        assert!((10.0..=20.0).contains(&median), "median {median}");
+        assert_eq!(h.quantile(0.0), h.quantile(-1.0));
+        assert!(h.quantile(1.0).expect("non-empty") <= 29.7 + 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let h = Histogram::with_buckets(&[1.0]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_buckets_panic() {
+        Histogram::with_buckets(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn p2_estimates_uniform_median() {
+        let mut p = P2Quantile::new(0.5);
+        // Deterministic low-discrepancy stream in [0, 1).
+        let mut x = 0.5f64;
+        for _ in 0..5000 {
+            x = (x + 0.618_033_988_749_895) % 1.0;
+            p.observe(x);
+        }
+        let est = p.estimate().expect("fed");
+        assert!((est - 0.5).abs() < 0.05, "median estimate {est}");
+    }
+
+    #[test]
+    fn p2_small_sample_is_exact_order_statistic() {
+        let mut p = P2Quantile::new(0.5);
+        for v in [3.0, 1.0, 2.0] {
+            p.observe(v);
+        }
+        assert_eq!(p.estimate(), Some(2.0));
+        assert_eq!(P2Quantile::new(0.9).estimate(), None);
+    }
+
+    #[test]
+    fn p2_tail_quantile_reasonable() {
+        let mut p = P2Quantile::new(0.95);
+        let mut x = 0.0f64;
+        for _ in 0..10_000 {
+            x = (x + 0.618_033_988_749_895) % 1.0;
+            p.observe(x);
+        }
+        let est = p.estimate().expect("fed");
+        assert!((est - 0.95).abs() < 0.03, "p95 estimate {est}");
+    }
+
+    #[test]
+    fn registry_iteration_is_sorted() {
+        let mut r = Registry::new();
+        r.counter("zulu");
+        r.counter("alpha");
+        let names: Vec<_> = r.counter_names().collect();
+        assert_eq!(names, vec!["alpha", "zulu"]);
+    }
+}

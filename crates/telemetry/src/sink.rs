@@ -1,0 +1,129 @@
+//! The instrumentation contract between the simulation crates and a
+//! telemetry consumer.
+
+use crate::event::Event;
+
+/// Receives telemetry from instrumented code.
+///
+/// The contract, documented here because every simulation crate relies
+/// on it:
+///
+/// * a sink is **explicitly passed** (`&mut impl Sink`) — no global
+///   registries, no thread-locals, so runs stay bit-reproducible;
+/// * [`Sink::enabled`] must be cheap and constant for the sink's
+///   lifetime; hot paths are allowed to skip event construction
+///   entirely when it returns `false`;
+/// * recording must never alter simulation behaviour: implementations
+///   must not panic on any well-formed event and must not feed
+///   information back to the caller.
+pub trait Sink {
+    /// Whether this sink actually captures anything. Hot paths guard
+    /// event construction behind this.
+    fn enabled(&self) -> bool;
+
+    /// Records one typed event.
+    fn record(&mut self, event: Event);
+
+    /// Records a wall-clock span measurement for the scope `name`.
+    fn span_ns(&mut self, name: &'static str, wall_ns: u64);
+}
+
+/// The do-nothing sink: telemetry-off runs thread this through and pay
+/// only an `enabled()` check.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _event: Event) {}
+
+    #[inline(always)]
+    fn span_ns(&mut self, _name: &'static str, _wall_ns: u64) {}
+}
+
+impl<S: Sink + ?Sized> Sink for &mut S {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    #[inline(always)]
+    fn record(&mut self, event: Event) {
+        (**self).record(event)
+    }
+
+    #[inline(always)]
+    fn span_ns(&mut self, name: &'static str, wall_ns: u64) {
+        (**self).span_ns(name, wall_ns)
+    }
+}
+
+/// Runs `f` inside a wall-clock span named `name`, recording the
+/// elapsed time into `sink` when it is enabled. The sink is lent back
+/// into `f` so the timed scope can keep emitting events.
+///
+/// The measurement is host wall-clock time (the one permitted use — it
+/// never influences simulation state); disabled sinks skip the clock
+/// reads entirely.
+#[inline]
+pub fn timed<S: Sink + ?Sized, R>(
+    sink: &mut S,
+    name: &'static str,
+    f: impl FnOnce(&mut S) -> R,
+) -> R {
+    if !sink.enabled() {
+        return f(sink);
+    }
+    let t0 = std::time::Instant::now();
+    let r = f(sink);
+    sink.span_ns(name, t0.elapsed().as_nanos() as u64);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn noop_sink_is_disabled_and_silent() {
+        let mut s = NoopSink;
+        assert!(!s.enabled());
+        s.record(Event::TofMedian { at: 0, cycles: 1.0 });
+        s.span_ns("x", 1);
+    }
+
+    #[test]
+    fn timed_runs_closure_and_returns_value() {
+        let mut noop = NoopSink;
+        assert_eq!(timed(&mut noop, "scope", |_| 41 + 1), 42);
+        let mut tel = Telemetry::new();
+        assert_eq!(
+            timed(&mut tel, "scope", |sink| {
+                sink.record(Event::TofMedian { at: 1, cycles: 2.0 });
+                "ok"
+            }),
+            "ok"
+        );
+        let (count, _) = tel
+            .registry
+            .histogram_snapshot("scope")
+            .expect("span histogram recorded");
+        assert_eq!(count, 1);
+        assert_eq!(tel.events().count(), 1);
+    }
+
+    #[test]
+    fn mut_ref_delegates() {
+        let mut tel = Telemetry::new();
+        let by_ref: &mut Telemetry = &mut tel;
+        assert!(by_ref.enabled());
+        by_ref.record(Event::TofMedian { at: 3, cycles: 9.0 });
+        assert_eq!(tel.events().count(), 1);
+    }
+}

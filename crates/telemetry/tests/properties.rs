@@ -1,0 +1,154 @@
+//! Property tests for the telemetry primitives: histogram quantile
+//! error bounds, counter monotonicity, ring-buffer accounting, and the
+//! losslessness of the JSONL export.
+
+use mobisense_telemetry::{export, Counter, Event, EventTrace, Histogram};
+use proptest::prelude::*;
+use proptest::strategy::StrategyExt;
+
+/// Bucket bounds used by the quantile property.
+const BOUNDS: &[f64] = &[10.0, 20.0, 30.0, 40.0];
+
+/// Any event variant with generated payloads.
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (
+        (0usize..7, 0u64..1_000_000_000),
+        (0.0..100.0f64, 0u64..1_000_000),
+    )
+        .prop_map(|((kind, at), (fval, uval))| match kind {
+            0 => Event::Decision {
+                at,
+                mode: format!("mode-{}", uval % 5),
+                direction: if uval % 2 == 0 {
+                    None
+                } else {
+                    Some("towards".into())
+                },
+            },
+            1 => Event::TofMedian { at, cycles: fval },
+            2 => Event::RateChange {
+                at,
+                from_mcs: (uval % 16) as u8,
+                to_mcs: (uval / 16 % 16) as u8,
+            },
+            3 => Event::Handoff {
+                at,
+                from_ap: (uval % 8) as u32,
+                to_ap: (uval / 8 % 8) as u32,
+            },
+            4 => Event::Beamsound {
+                at,
+                ap: (uval % 8) as u32,
+            },
+            5 => Event::AmpduTx {
+                at,
+                mcs: (uval % 16) as u8,
+                n_mpdus: (uval % 64 + 1) as u32,
+                n_delivered: (uval % 64) as u32,
+                airtime: uval,
+            },
+            _ => Event::Goodput {
+                at,
+                elapsed: uval,
+                bits: uval.wrapping_mul(8),
+            },
+        })
+}
+
+proptest! {
+    #[test]
+    fn histogram_quantile_stays_within_one_bucket(
+        xs in prop::collection::vec(0.0..50.0f64, 1..200),
+        q in 0.0..1.0f64,
+    ) {
+        let mut h = Histogram::with_buckets(BOUNDS);
+        for &x in &xs {
+            h.observe(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len();
+        // Same ceil-rank convention the histogram documents.
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let exact = sorted[rank - 1];
+        let est = h.quantile(q).expect("non-empty");
+        // The estimate must land inside the bucket that contains the
+        // exact order statistic, so its error is at most that bucket's
+        // width (with observed min/max standing in for open edges).
+        let idx = BOUNDS.partition_point(|&b| b < exact).min(BOUNDS.len());
+        let lower = if idx == 0 { sorted[0] } else { BOUNDS[idx - 1] };
+        let upper = if idx == BOUNDS.len() {
+            sorted[n - 1]
+        } else {
+            BOUNDS[idx]
+        };
+        let tol = (upper - lower).max(0.0) + 1e-9;
+        prop_assert!(
+            (est - exact).abs() <= tol,
+            "estimate {est} vs exact {exact} (rank {rank}/{n}), tolerance {tol}"
+        );
+    }
+
+    #[test]
+    fn histogram_count_and_bounds_hold(xs in prop::collection::vec(-1e3..1e3f64, 1..100)) {
+        let mut h = Histogram::with_buckets(BOUNDS);
+        for &x in &xs {
+            h.observe(x);
+        }
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), xs.len() as u64);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.min(), Some(min));
+        prop_assert_eq!(h.max(), Some(max));
+        let med = h.quantile(0.5).expect("non-empty");
+        prop_assert!(med >= min && med <= max, "median {med} outside [{min}, {max}]");
+    }
+
+    #[test]
+    fn counters_never_decrease(increments in prop::collection::vec(0u64..1000, 1..60)) {
+        let mut c = Counter::new();
+        let mut prev = c.get();
+        let mut expected = 0u64;
+        for &n in &increments {
+            c.add(n);
+            expected += n;
+            prop_assert!(c.get() >= prev, "counter decreased after add({n})");
+            prev = c.get();
+            c.inc();
+            expected += 1;
+            prop_assert!(c.get() > prev - 1, "counter decreased after inc()");
+            prev = c.get();
+        }
+        prop_assert_eq!(c.get(), expected);
+    }
+
+    #[test]
+    fn ring_trace_keeps_exactly_the_tail(
+        events in prop::collection::vec(event_strategy(), 0..80),
+        cap in 1usize..20,
+    ) {
+        let mut trace = EventTrace::ring(cap);
+        for e in &events {
+            trace.push(e.clone());
+        }
+        let kept: Vec<&Event> = trace.iter().collect();
+        let expected_kept = events.len().min(cap);
+        prop_assert_eq!(kept.len(), expected_kept);
+        prop_assert_eq!(trace.dropped(), events.len().saturating_sub(cap) as u64);
+        // What is kept is exactly the most recent `cap` events, in order.
+        for (k, e) in kept.iter().zip(&events[events.len() - expected_kept..]) {
+            prop_assert_eq!(*k, e);
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_order_and_fields(
+        events in prop::collection::vec(event_strategy(), 0..60),
+    ) {
+        let text = export::events_to_jsonl(events.iter());
+        let parsed = export::parse_jsonl(&text);
+        prop_assert!(parsed.is_ok(), "dump failed to parse: {:?}", parsed.err());
+        prop_assert_eq!(parsed.expect("checked"), events);
+    }
+}

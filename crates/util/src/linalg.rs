@@ -108,13 +108,7 @@ impl CMat {
     pub fn matvec(&self, v: &[C64]) -> Vec<C64> {
         assert_eq!(self.cols, v.len(), "dimension mismatch in matvec");
         (0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v)
-                    .map(|(&a, &x)| a * x)
-                    .sum::<C64>()
-            })
+            .map(|i| self.row(i).iter().zip(v).map(|(&a, &x)| a * x).sum::<C64>())
             .collect()
     }
 

@@ -227,7 +227,10 @@ mod tests {
     fn complex_gaussian_power() {
         let mut r = DetRng::seed_from_u64(5);
         let n = 100_000;
-        let p: f64 = (0..n).map(|_| r.complex_gaussian(1.0).norm_sq()).sum::<f64>() / n as f64;
+        let p: f64 = (0..n)
+            .map(|_| r.complex_gaussian(1.0).norm_sq())
+            .sum::<f64>()
+            / n as f64;
         assert!((p - 2.0).abs() < 0.05, "power={p}");
     }
 }

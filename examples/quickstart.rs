@@ -39,7 +39,7 @@ fn main() {
             classifier.on_tof_median(m.cycles);
         }
         classifier.on_frame_csi(t, &obs.csi);
-        if t % (2 * SECOND) == 0 {
+        if t.is_multiple_of(2 * SECOND) {
             let decision = classifier
                 .current()
                 .map(|c| c.to_string())

@@ -8,9 +8,7 @@
 //!
 //! Run with: `cargo run --release --example roaming_walkthrough`
 
-use mobisense_net::roaming::{
-    expected_throughput_mbps, Roamer, RoamingConfig, RoamingScheme,
-};
+use mobisense_net::roaming::{expected_throughput_mbps, Roamer, RoamingConfig, RoamingScheme};
 use mobisense_net::wlan::{MultiApWorld, WorldConfig};
 use mobisense_util::units::{MILLISECOND, SECOND};
 use mobisense_util::Vec2;

@@ -1,0 +1,233 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the slice of `criterion` the workspace's microbenchmarks
+//! use: [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — warm up, time a configured
+//! number of samples, report min / median / mean per iteration — with a
+//! plain-text output format. There is no statistical regression
+//! analysis, HTML report, or baseline persistence.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (upstream deprecated its own in
+/// favour of this one).
+pub use std::hint::black_box;
+
+/// How batched-iteration setup output is sized (upstream tuning knob;
+/// the vendored harness only uses it to pick the batch length).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine outputs: large batches.
+    SmallInput,
+    /// Large routine outputs: medium batches.
+    LargeInput,
+    /// Each batch is one iteration.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_batch(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// The benchmark harness: times closures and prints one summary line
+/// per benchmark.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples_ns: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut bencher);
+        bencher.report(id);
+        self
+    }
+}
+
+/// Times the measured routine, handed to the benchmark closure.
+pub struct Bencher {
+    /// Per-iteration nanoseconds, one entry per sample.
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also calibrating iterations per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_nanos() as f64 / warm_iters.max(1) as f64;
+        // Aim for ~2 ms per sample so short routines get stable numbers.
+        let iters = ((2e6 / per_iter.max(1.0)).ceil() as u64).max(1);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = size.iters_per_batch();
+        // One untimed warm-up batch.
+        let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+        for i in inputs {
+            black_box(routine(i));
+        }
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for i in inputs {
+                black_box(routine(i));
+            }
+            self.samples_ns
+                .push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id}: no samples recorded");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{id}: time: [min {} median {} mean {}] ({} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_outputs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration)
+        });
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(1234.0), "1.23 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+    }
+}

@@ -1,0 +1,104 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the slice of `proptest` the workspace's property tests
+//! use: the [`proptest!`] macro, [`prop_assert!`] / [`prop_assume!`],
+//! numeric-range strategies, [`sample::select`] and [`collection::vec`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * cases are generated from a seed derived from the test's name, so
+//!   every run is deterministic (matching the workspace's
+//!   bit-reproducibility rule) — there is no persistence file;
+//! * there is no shrinking: a failing case reports its inputs via the
+//!   assertion message and the case index instead.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod sample;
+
+pub mod collection;
+
+/// Namespace mirror of upstream's `prop::` paths (`prop::sample::select`,
+/// `prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests. Each function runs
+/// [`test_runner::CASES`] generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let run_one = |rng: &mut $crate::test_runner::TestRng|
+                    -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    run_one,
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Discards the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

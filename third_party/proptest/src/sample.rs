@@ -1,0 +1,39 @@
+//! Sampling from explicit value sets.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly among a fixed list of values.
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+/// Chooses uniformly among `items`. Panics at sample time when empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.items.is_empty(), "select over an empty list");
+        self.items[rng.below(self.items.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_hits_every_item() {
+        let s = select(vec![1, 2, 3]);
+        let mut rng = TestRng::new(5);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.sample(&mut rng) - 1] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,114 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use core::ops::Range;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        self.start + (self.end - self.start) * rng.uniform()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = self.end.wrapping_sub(self.start) as u64 as usize;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64 as usize;
+                self.start.wrapping_add(rng.below(span) as $u as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i64 => u64, i32 => u32, i16 => u16, i8 => u8);
+
+/// Maps a strategy's output through a function (upstream `prop_map`).
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Extension adapters over [`Strategy`].
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps generated values through `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..1000 {
+            let f = (-2.0..3.0f64).sample(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let u = (5usize..9).sample(&mut rng);
+            assert!((5..9).contains(&u));
+            let i = (-4i32..-1).sample(&mut rng);
+            assert!((-4..-1).contains(&i));
+        }
+    }
+
+    #[test]
+    fn map_applies() {
+        let mut rng = TestRng::new(4);
+        let s = (0usize..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Deterministic case generation and the test loop.
+
+/// Cases generated per property (override with `PROPTEST_CASES`).
+pub const CASES: u32 = 256;
+
+/// Maximum rejected cases before the property is considered
+/// under-constrained.
+pub const MAX_REJECTS: u32 = 65_536;
+
+/// Why one generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed with the given message.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold; the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failed case with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic splitmix64 generator used to produce case inputs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 raw bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`. Panics when `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample empty range");
+        let m = (self.next_u64() as u128) * (n as u128);
+        (m >> 64) as usize
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+fn configured_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(CASES)
+}
+
+/// Runs `f` over deterministically generated cases, panicking on the
+/// first failure with the case index (re-runs regenerate the same case).
+pub fn run<F>(name: &str, f: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = configured_cases();
+    let mut rejects = 0u32;
+    let mut passed = 0u32;
+    let mut case = 0u64;
+    while passed < cases {
+        let mut rng = TestRng::new(fnv1a(name.as_bytes()).wrapping_add(case));
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects < MAX_REJECTS,
+                    "{name}: too many rejected cases ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed at case {case}: {msg}");
+            }
+        }
+        case += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(1);
+        let mut b = TestRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = TestRng::new(2);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn runner_passes_trivial_property() {
+        run("trivial", |rng| {
+            let x = rng.uniform();
+            if (0.0..1.0).contains(&x) {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("out of range"))
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn runner_reports_failure() {
+        run("always_fails", |_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn runner_detects_vacuous_property() {
+        run("always_rejects", |_| Err(TestCaseError::Reject));
+    }
+}

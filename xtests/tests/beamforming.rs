@@ -3,9 +3,7 @@
 
 use mobisense_core::scenario::{Scenario, ScenarioKind};
 use mobisense_net::beamform::mumimo::MuMimoEmulator;
-use mobisense_net::beamform::{
-    run_su_beamforming, run_su_beamforming_adaptive, SuBeamformer,
-};
+use mobisense_net::beamform::{run_su_beamforming, run_su_beamforming_adaptive, SuBeamformer};
 use mobisense_util::units::{MILLISECOND, SECOND};
 
 #[test]
@@ -83,5 +81,8 @@ fn mumimo_adaptive_beats_stock_period() {
         let stock = e2.run([200 * MILLISECOND; 3], 2 * MILLISECOND, 8 * SECOND);
         gain_sum += aware.total_mbps - stock.total_mbps;
     }
-    assert!(gain_sum > 0.0, "adaptive MU-MIMO lost overall: {gain_sum:.1}");
+    assert!(
+        gain_sum > 0.0,
+        "adaptive MU-MIMO lost overall: {gain_sum:.1}"
+    );
 }

@@ -44,10 +44,12 @@ fn gestures_classified_micro() {
 #[test]
 fn long_radial_walks_classified_macro_with_direction() {
     // The paper's Table 1 macro methodology: radial walks in a hall.
-    let mut cfg_s = ScenarioConfig::default();
-    cfg_s.room_hi = Vec2::new(56.0, 36.0);
-    cfg_s.ap_pos = Vec2::new(28.0, 18.0);
-    cfg_s.radial_range = (22.0, 26.0);
+    let cfg_s = ScenarioConfig {
+        room_hi: Vec2::new(56.0, 36.0),
+        ap_pos: Vec2::new(28.0, 18.0),
+        radial_range: (22.0, 26.0),
+        ..ScenarioConfig::default()
+    };
     let cfg = PipelineConfig::default();
     let mut total = 0u64;
     let mut ok = 0u64;

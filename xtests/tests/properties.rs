@@ -5,7 +5,7 @@ use mobisense_phy::csi::{csi_similarity, Csi};
 use mobisense_phy::mcs::Mcs;
 use mobisense_phy::per;
 use mobisense_phy::tof::TofConfig;
-use mobisense_util::{C64, Cdf, DetRng};
+use mobisense_util::{Cdf, DetRng, C64};
 use proptest::prelude::*;
 
 fn arb_mcs() -> impl Strategy<Value = Mcs> {

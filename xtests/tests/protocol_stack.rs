@@ -155,3 +155,119 @@ fn trace_replay_is_fair_and_deterministic() {
     let t2 = replay(&b, &mut a2, false, 5);
     assert_eq!(t1, t2);
 }
+
+// ---------------------------------------------------------------------
+// Telemetry integration: the event stream of a full end-to-end run obeys
+// the protocol invariants the instrumentation promises.
+
+mod telemetry_integration {
+    use mobisense_net::sim::{run_end_to_end_with, EndToEndStats, Stack};
+    use mobisense_net::wlan::{MultiApWorld, WorldConfig};
+    use mobisense_telemetry::{export, Event, Telemetry};
+    use mobisense_util::units::SECOND;
+    use mobisense_util::Vec2;
+
+    fn crossing_walk(seed: u64) -> MultiApWorld {
+        let cfg = WorldConfig::default();
+        let hi = cfg.base.room_hi;
+        MultiApWorld::new(
+            cfg,
+            vec![
+                Vec2::new(3.0, hi.y / 2.0),
+                Vec2::new(hi.x - 3.0, hi.y / 2.0),
+            ],
+            seed,
+        )
+    }
+
+    fn captured_run(stack: Stack, seed: u64) -> (EndToEndStats, Telemetry) {
+        let mut world = crossing_walk(seed);
+        let mut tel = Telemetry::new();
+        let stats = run_end_to_end_with(&mut world, stack, 30 * SECOND, seed, &mut tel);
+        (stats, tel)
+    }
+
+    #[test]
+    fn handoff_timestamps_strictly_increase() {
+        for stack in [Stack::Default, Stack::MotionAware] {
+            let (stats, tel) = captured_run(stack, 3);
+            let handoffs: Vec<u64> = tel
+                .events()
+                .filter_map(|e| match e {
+                    Event::Handoff { at, .. } => Some(*at),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(handoffs.len() as u32, stats.handoffs, "{stack:?}");
+            assert!(
+                handoffs.windows(2).all(|w| w[0] < w[1]),
+                "{stack:?}: handoff times must strictly increase: {handoffs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_rate_change_is_preceded_by_a_transmission() {
+        let (_, tel) = captured_run(Stack::MotionAware, 3);
+        let mut last_tx_mcs: Option<u8> = None;
+        let mut rate_changes = 0u64;
+        for e in tel.events() {
+            match e {
+                Event::AmpduTx { mcs, .. } => last_tx_mcs = Some(*mcs),
+                Event::RateChange {
+                    from_mcs, to_mcs, ..
+                } => {
+                    rate_changes += 1;
+                    let prev =
+                        last_tx_mcs.expect("RateChange with no preceding AmpduTx in the stream");
+                    assert_eq!(
+                        *from_mcs, prev,
+                        "rate change must switch away from the last transmitted MCS"
+                    );
+                    assert_ne!(from_mcs, to_mcs);
+                }
+                _ => {}
+            }
+        }
+        assert!(rate_changes > 0, "a 30 s walk must change rate");
+    }
+
+    #[test]
+    fn goodput_series_integrates_to_terminal_mbps() {
+        for stack in [Stack::Default, Stack::MotionAware] {
+            let (stats, tel) = captured_run(stack, 3);
+            let series = tel.goodput_series();
+            assert!(!series.is_empty());
+            let bits: u64 = series.iter().map(|s| s.2).sum();
+            let elapsed: u64 = series.iter().map(|s| s.1).sum();
+            let integrated = bits as f64 / (elapsed as f64 / 1e9) / 1e6;
+            let rel = (integrated - stats.mbps).abs() / stats.mbps;
+            assert!(
+                rel < 0.01,
+                "{stack:?}: series integrates to {integrated:.2} Mbps but stats say {:.2}",
+                stats.mbps
+            );
+        }
+    }
+
+    #[test]
+    fn exported_stream_is_ordered_and_parses_back() {
+        // The same capture the `telemetry_dump` example writes to disk:
+        // its JSONL must be timestamp-ordered and parse back
+        // field-for-field.
+        for stack in [Stack::Default, Stack::MotionAware] {
+            let (_, tel) = captured_run(stack, 3);
+            let text = tel.to_jsonl();
+            let parsed = export::parse_jsonl(&text).expect("dump parses back");
+            let original: Vec<&Event> = tel.events().collect();
+            assert_eq!(parsed.len(), original.len(), "{stack:?}");
+            for (p, o) in parsed.iter().zip(&original) {
+                assert_eq!(p, *o, "{stack:?}: field-for-field round trip");
+            }
+            assert!(
+                parsed.windows(2).all(|w| w[0].at() <= w[1].at()),
+                "{stack:?}: exported stream must be timestamp-ordered"
+            );
+        }
+    }
+}
