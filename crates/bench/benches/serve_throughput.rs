@@ -1,0 +1,77 @@
+//! Serving-layer throughput: frames/sec and decision latency versus
+//! shard count, with the determinism contract checked along the way.
+//!
+//! Not a paper artefact — this measures the `mobisense-serve` scale-up
+//! layer (DESIGN.md section 5.7). One pre-encoded fleet is replayed
+//! through 1, 2, 4 and 8 shards; because shards share no state, frames
+//! per second should scale near-linearly with physical cores (on a
+//! single-core host every shard count collapses to the same wall
+//! clock). Whatever the shard count, the merged decision log must stay
+//! byte-identical — that is asserted here, not just reported.
+
+use mobisense_bench::header;
+use mobisense_serve::fleet::{EncodedFleet, FleetConfig};
+use mobisense_serve::service::{decision_log_csv, serve_fleet, ServeConfig};
+use mobisense_telemetry::NoopSink;
+use mobisense_util::units::{MILLISECOND, SECOND};
+
+fn main() {
+    header(
+        "serve_throughput",
+        "sharded serving: frames/sec and decision latency vs shard count",
+        "frames/sec grows with shards on multicore hosts; decision log is shard-count invariant",
+    );
+
+    let fleet_cfg = FleetConfig {
+        n_clients: 192,
+        duration: 12 * SECOND,
+        step: 20 * MILLISECOND,
+        base_seed: 2014,
+        ..FleetConfig::default()
+    };
+    eprintln!(
+        "generating fleet: {} clients x {} frames...",
+        fleet_cfg.n_clients,
+        fleet_cfg.frames_per_client()
+    );
+    let fleet = EncodedFleet::generate(&fleet_cfg);
+    eprintln!(
+        "fleet ready: {} frames, {:.1} MiB on the wire",
+        fleet.total_frames(),
+        fleet.total_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    println!("shards, frames_per_sec, speedup_vs_1, p50_latency_us, p99_latency_us, decisions");
+    let mut baseline_fps = None;
+    let mut baseline_log: Option<String> = None;
+    for n_shards in [1usize, 2, 4, 8] {
+        let cfg = ServeConfig {
+            n_shards,
+            ..ServeConfig::default()
+        };
+        let (decisions, report) = serve_fleet(&cfg, &fleet, &mut NoopSink);
+        assert_eq!(report.frames_processed, fleet.total_frames());
+        assert_eq!(report.shed, 0, "blocking mode never sheds");
+
+        let log = decision_log_csv(&decisions);
+        match &baseline_log {
+            None => baseline_log = Some(log),
+            Some(base) => assert_eq!(
+                base, &log,
+                "decision log changed between 1 and {n_shards} shards"
+            ),
+        }
+
+        let fps = report.frames_per_sec();
+        let base = *baseline_fps.get_or_insert(fps);
+        let q = |p: f64| report.latency_ns.quantile(p).unwrap_or(f64::NAN) / 1e3;
+        println!(
+            "{n_shards}, {fps:.0}, {:.2}, {:.1}, {:.1}, {}",
+            fps / base,
+            q(0.50),
+            q(0.99),
+            report.decisions,
+        );
+    }
+    println!("# decision log byte-identical across 1/2/4/8 shards: yes");
+}

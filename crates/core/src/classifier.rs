@@ -156,7 +156,37 @@ impl MobilityClassifier {
         csi: &Csi,
         sink: &mut S,
     ) -> Option<Classification> {
-        let decision = self.decide(now, csi)?;
+        let smoothed = self.similarity.offer(now, csi);
+        self.finish_frame(now, smoothed, sink)
+    }
+
+    /// [`MobilityClassifier::on_frame_csi`] for callers that hold only
+    /// the CSI magnitude digest (the per-subcarrier magnitude profile)
+    /// instead of a full CSI matrix. The serving layer's wire frames
+    /// carry this digest; classification is identical because the
+    /// Equation-(1) similarity only ever consumes the profile.
+    pub fn on_frame_profile(&mut self, now: Nanos, profile: Vec<f64>) -> Option<Classification> {
+        self.on_frame_profile_with(now, profile, &mut NoopSink)
+    }
+
+    /// [`MobilityClassifier::on_frame_profile`] with telemetry.
+    pub fn on_frame_profile_with<S: Sink + ?Sized>(
+        &mut self,
+        now: Nanos,
+        profile: Vec<f64>,
+        sink: &mut S,
+    ) -> Option<Classification> {
+        let smoothed = self.similarity.offer_profile(now, profile);
+        self.finish_frame(now, smoothed, sink)
+    }
+
+    fn finish_frame<S: Sink + ?Sized>(
+        &mut self,
+        now: Nanos,
+        smoothed: Option<f64>,
+        sink: &mut S,
+    ) -> Option<Classification> {
+        let decision = self.decide(now, smoothed?)?;
         if sink.enabled() {
             sink.record(Event::Decision {
                 at: now,
@@ -167,8 +197,7 @@ impl MobilityClassifier {
         Some(decision)
     }
 
-    fn decide(&mut self, now: Nanos, csi: &Csi) -> Option<Classification> {
-        let smoothed = self.similarity.offer(now, csi)?;
+    fn decide(&mut self, now: Nanos, smoothed: f64) -> Option<Classification> {
         let decision = if smoothed > self.cfg.thr_static {
             self.stop_tof();
             Classification::of(MobilityMode::Static)

@@ -7,6 +7,7 @@
 //! records one `(decision, truth)` pair per classifier decision.
 
 use mobisense_mobility::{GroundTruth, MobilityMode};
+use mobisense_phy::csi::Csi;
 use mobisense_phy::tof::{TofConfig, TofSampler};
 use mobisense_telemetry::{timed, Event, NoopSink, Sink};
 use mobisense_util::units::{Nanos, MILLISECOND, SECOND};
@@ -70,6 +71,102 @@ impl DecisionRecord {
     }
 }
 
+/// One client's classification state: the classifier plus its ToF
+/// sampling pipeline, bundled so callers that serve many clients (the
+/// `mobisense-serve` shard workers) can hold one session per client and
+/// recycle it with [`PipelineSession::reset`] instead of reallocating.
+///
+/// [`run_classification_with`] is a thin loop over this type, so the
+/// single-scenario harness and the serving layer share one entry point.
+#[derive(Clone, Debug)]
+pub struct PipelineSession {
+    cfg: PipelineConfig,
+    classifier: MobilityClassifier,
+    tof: TofSampler,
+}
+
+impl PipelineSession {
+    /// Creates a fresh session. `seed` drives the ToF measurement noise
+    /// stream (the same derivation [`run_classification`] uses, so a
+    /// session-driven run reproduces the harness bit-for-bit).
+    pub fn new(cfg: PipelineConfig, seed: u64) -> Self {
+        let classifier = MobilityClassifier::new(cfg.classifier.clone());
+        let tof = TofSampler::new(cfg.tof.clone(), 0, Self::tof_rng(seed));
+        PipelineSession {
+            cfg,
+            classifier,
+            tof,
+        }
+    }
+
+    fn tof_rng(seed: u64) -> DetRng {
+        DetRng::seed_from_u64(seed ^ 0x746f_665f)
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// The underlying classifier (e.g. for its latest classification).
+    pub fn classifier(&self) -> &MobilityClassifier {
+        &self.classifier
+    }
+
+    /// Returns the session to its just-constructed state under a new
+    /// seed, reusing the existing allocations. A reset session produces
+    /// exactly the same decisions as `PipelineSession::new(cfg, seed)`.
+    pub fn reset(&mut self, seed: u64) {
+        self.classifier.reset();
+        self.tof.reset(0, Self::tof_rng(seed));
+    }
+
+    /// Feeds one observation instant: polls the ToF pipeline at the
+    /// client's current distance, forwards any completed median to the
+    /// classifier, then offers the frame's CSI. Returns the completed
+    /// classification when a sampling period closed.
+    pub fn observe(&mut self, at: Nanos, csi: &Csi, distance_m: f64) -> Option<Classification> {
+        self.observe_with(at, csi, distance_m, &mut NoopSink)
+    }
+
+    /// [`PipelineSession::observe`] with telemetry.
+    pub fn observe_with<S: Sink + ?Sized>(
+        &mut self,
+        at: Nanos,
+        csi: &Csi,
+        distance_m: f64,
+        sink: &mut S,
+    ) -> Option<Classification> {
+        self.poll_tof(at, distance_m, sink);
+        self.classifier.on_frame_csi_with(at, csi, sink)
+    }
+
+    /// [`PipelineSession::observe_with`] for callers holding only the
+    /// CSI magnitude digest (the serving layer's wire frames).
+    pub fn observe_profile_with<S: Sink + ?Sized>(
+        &mut self,
+        at: Nanos,
+        profile: Vec<f64>,
+        distance_m: f64,
+        sink: &mut S,
+    ) -> Option<Classification> {
+        self.poll_tof(at, distance_m, sink);
+        self.classifier.on_frame_profile_with(at, profile, sink)
+    }
+
+    fn poll_tof<S: Sink + ?Sized>(&mut self, at: Nanos, distance_m: f64, sink: &mut S) {
+        if let Some(m) = self.tof.poll(at, distance_m) {
+            if sink.enabled() {
+                sink.record(Event::TofMedian {
+                    at,
+                    cycles: m.cycles,
+                });
+            }
+            self.classifier.on_tof_median(m.cycles);
+        }
+    }
+}
+
 /// Runs the full pipeline over `duration` and returns every
 /// post-warm-up decision.
 pub fn run_classification(
@@ -93,26 +190,12 @@ pub fn run_classification_with<S: Sink + ?Sized>(
     sink: &mut S,
 ) -> Vec<DecisionRecord> {
     timed(&mut *sink, "core.run_classification", |sink| {
-        let mut classifier = MobilityClassifier::new(cfg.classifier.clone());
-        let mut tof = TofSampler::new(
-            cfg.tof.clone(),
-            0,
-            DetRng::seed_from_u64(seed ^ 0x746f_665f),
-        );
+        let mut session = PipelineSession::new(cfg.clone(), seed);
         let mut records = Vec::new();
         let mut t: Nanos = 0;
         while t <= duration {
             let obs = scenario.observe(t);
-            if let Some(m) = tof.poll(t, obs.distance_m) {
-                if sink.enabled() {
-                    sink.record(Event::TofMedian {
-                        at: t,
-                        cycles: m.cycles,
-                    });
-                }
-                classifier.on_tof_median(m.cycles);
-            }
-            if let Some(decision) = classifier.on_frame_csi_with(t, &obs.csi, sink) {
+            if let Some(decision) = session.observe_with(t, &obs.csi, obs.distance_m, sink) {
                 if t >= cfg.warmup {
                     records.push(DecisionRecord {
                         at: t,
@@ -433,6 +516,85 @@ mod tests {
         // Event timestamps are monotone non-decreasing (single sim clock).
         let ats: Vec<u64> = tel.events().map(|e| e.at()).collect();
         assert!(ats.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Drives a session over a scenario, mirroring the harness loop.
+    fn drive_session(
+        session: &mut PipelineSession,
+        kind: ScenarioKind,
+        scenario_seed: u64,
+        duration: Nanos,
+    ) -> Vec<(Nanos, Classification)> {
+        let mut sc = Scenario::new(kind, scenario_seed);
+        let step = session.config().step;
+        let mut out = Vec::new();
+        let mut t: Nanos = 0;
+        while t <= duration {
+            let obs = sc.observe(t);
+            if let Some(c) = session.observe(t, &obs.csi, obs.distance_m) {
+                out.push((t, c));
+            }
+            t += step;
+        }
+        out
+    }
+
+    #[test]
+    fn reset_session_matches_fresh_session() {
+        let cfg = PipelineConfig::default();
+        // Dirty a session with one scenario...
+        let mut recycled = PipelineSession::new(cfg.clone(), 3);
+        drive_session(&mut recycled, ScenarioKind::MacroAway, 3, 12 * SECOND);
+        assert!(recycled.classifier().current().is_some());
+        // ...then reset it onto a different client/seed and compare
+        // against a brand-new session, decision by decision.
+        recycled.reset(9);
+        let mut fresh = PipelineSession::new(cfg, 9);
+        let a = drive_session(&mut recycled, ScenarioKind::Micro, 9, 15 * SECOND);
+        let b = drive_session(&mut fresh, ScenarioKind::Micro, 9, 15 * SECOND);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "recycled session must match a fresh one");
+    }
+
+    #[test]
+    fn session_run_matches_harness_run() {
+        let cfg = PipelineConfig::default();
+        let mut sc = Scenario::new(ScenarioKind::MacroAway, 21);
+        let records = run_classification(&mut sc, &cfg, 12 * SECOND, 21);
+        let mut session = PipelineSession::new(cfg.clone(), 21);
+        let by_session: Vec<(Nanos, Classification)> =
+            drive_session(&mut session, ScenarioKind::MacroAway, 21, 12 * SECOND)
+                .into_iter()
+                .filter(|&(t, _)| t >= cfg.warmup)
+                .collect();
+        assert_eq!(records.len(), by_session.len());
+        for (r, (t, c)) in records.iter().zip(&by_session) {
+            assert_eq!(r.at, *t);
+            assert_eq!(r.decision, *c);
+        }
+    }
+
+    #[test]
+    fn profile_entry_matches_csi_entry() {
+        let cfg = PipelineConfig::default();
+        let mut a = PipelineSession::new(cfg.clone(), 5);
+        let mut b = PipelineSession::new(cfg, 5);
+        let mut sc1 = Scenario::new(ScenarioKind::Micro, 5);
+        let mut sc2 = Scenario::new(ScenarioKind::Micro, 5);
+        let mut t: Nanos = 0;
+        while t <= 10 * SECOND {
+            let o1 = sc1.observe(t);
+            let o2 = sc2.observe(t);
+            let via_csi = a.observe(t, &o1.csi, o1.distance_m);
+            let via_profile = b.observe_profile_with(
+                t,
+                o2.csi.magnitude_profile(),
+                o2.distance_m,
+                &mut mobisense_telemetry::NoopSink,
+            );
+            assert_eq!(via_csi, via_profile);
+            t += a.config().step;
+        }
     }
 
     #[test]

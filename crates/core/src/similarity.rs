@@ -47,11 +47,11 @@ impl SimilarityTracker {
         }
     }
 
-    fn push_profile(&mut self, now: Nanos, csi: &Csi) {
+    fn push_profile(&mut self, now: Nanos, profile: Vec<f64>) {
         while self.recent.len() >= PROFILE_SMOOTHING_MAX {
             self.recent.pop_front();
         }
-        self.recent.push_back((now, csi.magnitude_profile()));
+        self.recent.push_back((now, profile));
         let horizon = now.saturating_sub(PROFILE_SMOOTHING_WINDOW);
         while self.recent.front().is_some_and(|&(at, _)| at < horizon) {
             self.recent.pop_front();
@@ -83,7 +83,15 @@ impl SimilarityTracker {
     /// Returns the new smoothed similarity when a sample was taken and a
     /// previous sample existed to compare against.
     pub fn offer(&mut self, now: Nanos, csi: &Csi) -> Option<f64> {
-        self.push_profile(now, csi);
+        self.offer_profile(now, csi.magnitude_profile())
+    }
+
+    /// [`SimilarityTracker::offer`] for callers that already hold the
+    /// magnitude profile rather than a full CSI matrix — the serving
+    /// layer's wire frames carry exactly this digest, so remote
+    /// observations skip the (tx, rx, subcarrier) reduction.
+    pub fn offer_profile(&mut self, now: Nanos, profile: Vec<f64>) -> Option<f64> {
+        self.push_profile(now, profile);
         match self.next_sample_at {
             None => {
                 // First observation seeds the reference profile.

@@ -151,6 +151,21 @@ impl TofSampler {
         &self.history
     }
 
+    /// Returns the sampler to its just-constructed state (schedule
+    /// anchored at `start`, fresh noise stream, empty batch and history)
+    /// without reallocating its buffers — the serving layer recycles one
+    /// sampler per client session across fleet runs.
+    ///
+    /// `TofSampler::reset(cfg_start, rng)` is behaviourally identical to
+    /// `TofSampler::new(cfg, cfg_start, rng)` with the same config.
+    pub fn reset(&mut self, start: Nanos, rng: DetRng) {
+        self.rng = rng;
+        self.next_sample_at = start;
+        self.batch.drain();
+        self.period_end = start + self.cfg.aggregation_period;
+        self.history.clear();
+    }
+
     /// Clears filtered history (e.g. when ToF monitoring is restarted, as
     /// in the paper's Figure 5 state machine).
     pub fn reset_history(&mut self) {

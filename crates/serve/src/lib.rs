@@ -1,0 +1,42 @@
+//! mobisense-serve: the controller-side serving layer.
+//!
+//! Everything below this crate classifies **one** link; a deployment
+//! classifies every associated client of every AP. This crate is that
+//! scale-up, built entirely on `std`:
+//!
+//! * [`wire`] — a hand-rolled versioned binary codec for observation
+//!   frames (CSI magnitude digest + ToF distance input), with a total
+//!   round-trip parser;
+//! * [`queue`] — bounded per-shard ingest queues with two explicit
+//!   overflow policies: blocking backpressure or oldest-per-client load
+//!   shedding;
+//! * [`service`] — client-sharded workers (hash(client id) → shard,
+//!   one `std::thread` each) running one
+//!   [`PipelineSession`](mobisense_core::pipeline::PipelineSession) per
+//!   client and emitting a Table-2 policy update on every post-warm-up
+//!   mobility transition;
+//! * [`fleet`] — deterministic synthetic fleets: thousands of encoded
+//!   client streams generated from `mobisense-core` ground-truth
+//!   scenarios.
+//!
+//! The headline property is the **determinism contract**: under
+//! blocking backpressure the merged decision log, sorted by
+//! `(client_id, seq)`, is bit-identical whatever the shard count —
+//! replaying an incident trace on a laptop with 2 shards reproduces
+//! exactly what a 32-shard controller decided in production. See
+//! `DESIGN.md` section 5.7 for how this coexists with the workspace's
+//! single-threaded-determinism rule.
+
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod queue;
+pub mod service;
+pub mod wire;
+
+pub use fleet::{shard_of, ClientStream, EncodedFleet, FleetConfig};
+pub use queue::{OverflowPolicy, ShardQueue};
+pub use service::{
+    decision_log_csv, serve_fleet, ServeConfig, ServeDecision, ServeReport, ShardSummary,
+};
+pub use wire::{ObsFrame, WireError};

@@ -1,0 +1,241 @@
+//! Bounded per-shard ingest queues with explicit overflow policy.
+//!
+//! `std::sync::mpsc` offers bounded channels, but its only overflow
+//! behaviours are "block" and "fail"; the serving layer also needs
+//! **drop-oldest-per-client** shedding (an overloaded controller serves
+//! every client its freshest frame rather than a backlog of stale
+//! ones). So the queue is hand-rolled: a `Mutex<VecDeque>` with two
+//! condvars, one item type, no unsafe.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::wire::ObsFrame;
+
+/// What a producer does when a shard's queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Block the producer until the worker drains a slot
+    /// (backpressure). Lossless: every submitted frame is processed,
+    /// which is what makes the merged decision log independent of the
+    /// shard count.
+    Block,
+    /// Shed load: evict the oldest queued frame of the same client (or
+    /// the oldest frame overall when that client has nothing queued)
+    /// and enqueue the new one. Lossy and timing-dependent — the shed
+    /// counter records every eviction.
+    ShedOldestPerClient,
+}
+
+/// One enqueued frame, stamped with its ingest wall-clock instant so
+/// the worker can measure decision latency.
+pub type QueueItem = (Instant, ObsFrame);
+
+#[derive(Debug, Default)]
+struct Inner {
+    q: VecDeque<QueueItem>,
+    closed: bool,
+    shed: u64,
+    max_depth: usize,
+}
+
+/// A bounded FIFO between one ingest producer and one shard worker.
+#[derive(Debug)]
+pub struct ShardQueue {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl ShardQueue {
+    /// Creates a queue holding at most `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        ShardQueue {
+            inner: Mutex::new(Inner {
+                q: VecDeque::with_capacity(capacity),
+                ..Inner::default()
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues one frame under the given overflow policy. Returns the
+    /// number of frames shed to make room (always 0 under
+    /// [`OverflowPolicy::Block`]).
+    ///
+    /// Pushing to a closed queue drops the frame silently; the service
+    /// only closes queues after every producer has finished.
+    pub fn push(&self, item: QueueItem, policy: OverflowPolicy) -> u64 {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut shed_now = 0u64;
+        match policy {
+            OverflowPolicy::Block => {
+                while inner.q.len() >= self.capacity && !inner.closed {
+                    inner = self.not_full.wait(inner).expect("queue poisoned");
+                }
+            }
+            OverflowPolicy::ShedOldestPerClient => {
+                if inner.q.len() >= self.capacity {
+                    let client = item.1.client_id;
+                    match inner.q.iter().position(|(_, f)| f.client_id == client) {
+                        Some(i) => {
+                            inner.q.remove(i);
+                        }
+                        None => {
+                            inner.q.pop_front();
+                        }
+                    }
+                    shed_now = 1;
+                    inner.shed += 1;
+                }
+            }
+        }
+        if inner.closed {
+            return shed_now;
+        }
+        inner.q.push_back(item);
+        inner.max_depth = inner.max_depth.max(inner.q.len());
+        drop(inner);
+        self.not_empty.notify_one();
+        shed_now
+    }
+
+    /// Dequeues the oldest frame, blocking while the queue is open and
+    /// empty. Returns the frame and the queue depth *before* the pop
+    /// (for depth telemetry), or `None` once the queue is closed and
+    /// drained.
+    pub fn pop(&self) -> Option<(QueueItem, usize)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.q.pop_front() {
+                let depth = inner.q.len() + 1;
+                drop(inner);
+                self.not_full.notify_one();
+                return Some((item, depth));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: blocked producers unblock, and the worker sees
+    /// `None` once the backlog drains.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Frames shed by this queue so far.
+    pub fn shed(&self) -> u64 {
+        self.inner.lock().expect("queue poisoned").shed
+    }
+
+    /// Deepest occupancy the queue has reached.
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(client_id: u32, seq: u32) -> ObsFrame {
+        ObsFrame {
+            client_id,
+            seq,
+            at: seq as u64,
+            distance_m: 1.0,
+            digest: vec![1.0; 4],
+        }
+    }
+
+    fn item(client_id: u32, seq: u32) -> QueueItem {
+        (Instant::now(), frame(client_id, seq))
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = ShardQueue::new(8);
+        for seq in 0..5 {
+            q.push(item(1, seq), OverflowPolicy::Block);
+        }
+        q.close();
+        let mut seqs = Vec::new();
+        while let Some(((_, f), _)) = q.pop() {
+            seqs.push(f.seq);
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shed_evicts_oldest_of_same_client() {
+        let q = ShardQueue::new(3);
+        q.push(item(1, 0), OverflowPolicy::ShedOldestPerClient);
+        q.push(item(2, 0), OverflowPolicy::ShedOldestPerClient);
+        q.push(item(1, 1), OverflowPolicy::ShedOldestPerClient);
+        // Full; pushing client 1 again evicts its seq 0, not client 2.
+        assert_eq!(q.push(item(1, 2), OverflowPolicy::ShedOldestPerClient), 1);
+        q.close();
+        let mut got = Vec::new();
+        while let Some(((_, f), _)) = q.pop() {
+            got.push((f.client_id, f.seq));
+        }
+        assert_eq!(got, vec![(2, 0), (1, 1), (1, 2)]);
+        assert_eq!(q.shed(), 1);
+    }
+
+    #[test]
+    fn shed_falls_back_to_global_oldest() {
+        let q = ShardQueue::new(2);
+        q.push(item(1, 0), OverflowPolicy::ShedOldestPerClient);
+        q.push(item(2, 0), OverflowPolicy::ShedOldestPerClient);
+        // Client 3 has nothing queued: the global oldest (1, 0) goes.
+        q.push(item(3, 0), OverflowPolicy::ShedOldestPerClient);
+        q.close();
+        let mut got = Vec::new();
+        while let Some(((_, f), _)) = q.pop() {
+            got.push(f.client_id);
+        }
+        assert_eq!(got, vec![2, 3]);
+    }
+
+    #[test]
+    fn close_unblocks_empty_pop() {
+        let q = std::sync::Arc::new(ShardQueue::new(1));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert!(h.join().expect("no panic").is_none());
+    }
+
+    #[test]
+    fn blocking_push_waits_for_capacity() {
+        let q = std::sync::Arc::new(ShardQueue::new(1));
+        q.push(item(1, 0), OverflowPolicy::Block);
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            q2.push(item(1, 1), OverflowPolicy::Block);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        // The producer is parked; draining one slot lets it through.
+        let ((_, f), depth) = q.pop().expect("first frame");
+        assert_eq!((f.seq, depth), (0, 1));
+        h.join().expect("producer finished");
+        let ((_, f), _) = q.pop().expect("second frame");
+        assert_eq!(f.seq, 1);
+        assert_eq!(q.shed(), 0);
+        assert_eq!(q.max_depth(), 1);
+    }
+}

@@ -1,0 +1,507 @@
+//! The sharded serving loop: producers pump encoded fleet streams into
+//! per-shard queues; shard workers decode nothing (frames arrive
+//! decoded), run one [`PipelineSession`] per client, and emit a policy
+//! decision on every post-warm-up mode transition.
+//!
+//! ## Determinism contract
+//!
+//! Each client id hashes to exactly one shard, its producer submits its
+//! frames in sequence order, and the queue is FIFO — so a client's
+//! session consumes exactly the same frame sequence whatever the shard
+//! count. Under [`OverflowPolicy::Block`] no frame is ever lost, so the
+//! merged decision log, sorted by `(client_id, seq)`, is bit-identical
+//! for 1, 2 or 8 shards. Under
+//! [`OverflowPolicy::ShedOldestPerClient`] losses depend on scheduler
+//! timing: throughput survives overload, reproducibility is
+//! deliberately given up, and the shed counter says how much was
+//! dropped.
+//!
+//! Workers never share state (one session map, one latency histogram
+//! and one depth histogram per shard, merged after join), so shard
+//! scaling costs no cross-shard synchronisation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mobisense_core::classifier::Classification;
+use mobisense_core::pipeline::{PipelineConfig, PipelineSession};
+use mobisense_core::policy::MobilityPolicy;
+use mobisense_mobility::{Direction, MobilityMode};
+use mobisense_telemetry::metrics::{Histogram, SPAN_NS_BUCKETS};
+use mobisense_telemetry::{Event, NoopSink, Sink};
+use mobisense_util::units::Nanos;
+
+use crate::fleet::{mix64, shard_of, ClientStream, EncodedFleet};
+use crate::queue::{OverflowPolicy, ShardQueue};
+use crate::wire::ObsFrame;
+
+/// Queue-depth histogram bucket bounds (frames).
+pub const DEPTH_BUCKETS: &[f64] = &[
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
+];
+
+/// Configuration of a serving run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker shards (each gets one ingest producer and one queue).
+    pub n_shards: usize,
+    /// Per-shard queue capacity (frames).
+    pub queue_capacity: usize,
+    /// What producers do when a queue fills up.
+    pub overflow: OverflowPolicy,
+    /// Per-client classification pipeline parameters.
+    pub pipeline: PipelineConfig,
+    /// Base seed for per-client session noise streams (ToF measurement
+    /// noise); the per-client seed derives from it and the client id,
+    /// never from the shard, so re-sharding cannot change a session.
+    pub session_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            n_shards: 2,
+            queue_capacity: 512,
+            overflow: OverflowPolicy::Block,
+            pipeline: PipelineConfig::default(),
+            session_seed: 0x5345_5256, // "SERV"
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The ToF-noise seed for one client's session.
+    pub fn session_seed_for(&self, client_id: u32) -> u64 {
+        self.session_seed ^ mix64(client_id as u64 ^ 0x7365_7373)
+    }
+}
+
+/// One emitted decision: a client's mobility state changed after
+/// warm-up, and the Table-2 policy column to apply with it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServeDecision {
+    /// The client that transitioned.
+    pub client_id: u32,
+    /// Sequence number of the frame that completed the classification.
+    pub seq: u32,
+    /// Capture timestamp of that frame (sim clock).
+    pub at: Nanos,
+    /// The new mobility state.
+    pub classification: Classification,
+    /// The protocol parameters to push to the AP for this client.
+    pub policy: MobilityPolicy,
+}
+
+/// Per-shard accounting, reported after the run.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardSummary {
+    /// Shard index.
+    pub shard: u32,
+    /// Frames this shard's worker processed.
+    pub frames: u64,
+    /// Decisions this shard emitted.
+    pub decisions: u64,
+    /// Frames this shard's queue shed.
+    pub shed: u64,
+    /// Deepest queue occupancy observed.
+    pub max_depth: u64,
+    /// Latest frame timestamp the worker consumed (sim clock).
+    pub last_at: Nanos,
+}
+
+/// Aggregate outcome of one serving run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Frames submitted by producers (shed frames included).
+    pub frames_in: u64,
+    /// Frames consumed by shard workers.
+    pub frames_processed: u64,
+    /// Frames evicted under load shedding.
+    pub shed: u64,
+    /// Emitted mode-transition decisions.
+    pub decisions: u64,
+    /// Emitted decisions per decided mode, in static / environmental /
+    /// micro / macro order.
+    pub per_mode: [u64; 4],
+    /// Ingest-to-decision wall-clock latency (ns) of every frame that
+    /// completed a classification.
+    pub latency_ns: Histogram,
+    /// Queue depth (frames) sampled at every worker pop.
+    pub depth: Histogram,
+    /// Per-shard accounting, index = shard.
+    pub per_shard: Vec<ShardSummary>,
+    /// Wall-clock duration of the whole run.
+    pub wall: std::time::Duration,
+}
+
+impl ServeReport {
+    /// Processed frames per wall-clock second.
+    pub fn frames_per_sec(&self) -> f64 {
+        self.frames_processed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of submitted frames that were shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.frames_in == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.frames_in as f64
+        }
+    }
+}
+
+fn mode_index(mode: MobilityMode) -> usize {
+    match mode {
+        MobilityMode::Static => 0,
+        MobilityMode::Environmental => 1,
+        MobilityMode::Micro => 2,
+        MobilityMode::Macro => 3,
+    }
+}
+
+/// One shard worker's client state.
+struct ClientState {
+    session: PipelineSession,
+    /// Last classification emitted post-warm-up (warm-up decisions never
+    /// update this, so the first settled state is always reported).
+    last_emitted: Option<Classification>,
+}
+
+struct WorkerResult {
+    decisions: Vec<ServeDecision>,
+    frames: u64,
+    last_at: Nanos,
+    latency_ns: Histogram,
+    depth: Histogram,
+}
+
+fn run_worker(queue: &ShardQueue, cfg: &ServeConfig) -> WorkerResult {
+    let mut sessions: HashMap<u32, ClientState> = HashMap::new();
+    let mut out = WorkerResult {
+        decisions: Vec::new(),
+        frames: 0,
+        last_at: 0,
+        latency_ns: Histogram::with_buckets(SPAN_NS_BUCKETS),
+        depth: Histogram::with_buckets(DEPTH_BUCKETS),
+    };
+    let warmup = cfg.pipeline.warmup;
+    while let Some(((ingested, frame), depth)) = queue.pop() {
+        out.depth.observe(depth as f64);
+        out.frames += 1;
+        out.last_at = out.last_at.max(frame.at);
+        let state = sessions
+            .entry(frame.client_id)
+            .or_insert_with(|| ClientState {
+                session: PipelineSession::new(
+                    cfg.pipeline.clone(),
+                    cfg.session_seed_for(frame.client_id),
+                ),
+                last_emitted: None,
+            });
+        let decided = state.session.observe_profile_with(
+            frame.at,
+            frame.profile(),
+            frame.distance_m,
+            &mut NoopSink,
+        );
+        if let Some(c) = decided {
+            out.latency_ns.observe(ingested.elapsed().as_nanos() as f64);
+            if frame.at >= warmup && state.last_emitted != Some(c) {
+                state.last_emitted = Some(c);
+                out.decisions.push(ServeDecision {
+                    client_id: frame.client_id,
+                    seq: frame.seq,
+                    at: frame.at,
+                    classification: c,
+                    policy: MobilityPolicy::for_classification(c),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Pumps one shard's client streams into its queue, time-major (frame
+/// `i` of every client before frame `i + 1` of any), which preserves
+/// each client's sequence order and interleaves clients fairly. Frames
+/// are decoded through the wire codec on the way in — the replay path
+/// exercises exactly the parser an ingest socket would.
+fn run_producer(queue: &ShardQueue, clients: &[&ClientStream], overflow: OverflowPolicy) -> u64 {
+    let max_frames = clients.iter().map(|s| s.n_frames).max().unwrap_or(0);
+    let mut submitted = 0u64;
+    for i in 0..max_frames {
+        for stream in clients {
+            if i >= stream.n_frames {
+                continue;
+            }
+            let (frame, _) = ObsFrame::decode(stream.frame(i)).expect("fleet frames well-formed");
+            queue.push((Instant::now(), frame), overflow);
+            submitted += 1;
+        }
+    }
+    queue.close();
+    submitted
+}
+
+/// Serves a whole fleet: spawns one producer and one worker per shard,
+/// waits for every stream to drain, and returns the merged decision log
+/// (sorted by client id, then sequence) plus the run report.
+///
+/// Telemetry lands in `sink` after the threads join: one
+/// [`Event::ServeShard`] per shard and a `serve.run` wall-clock span.
+pub fn serve_fleet<S: Sink + ?Sized>(
+    cfg: &ServeConfig,
+    fleet: &EncodedFleet,
+    sink: &mut S,
+) -> (Vec<ServeDecision>, ServeReport) {
+    assert!(cfg.n_shards > 0, "need at least one shard");
+    let started = Instant::now();
+    let queues: Vec<Arc<ShardQueue>> = (0..cfg.n_shards)
+        .map(|_| Arc::new(ShardQueue::new(cfg.queue_capacity)))
+        .collect();
+    let mut by_shard: Vec<Vec<&ClientStream>> = vec![Vec::new(); cfg.n_shards];
+    for stream in &fleet.streams {
+        by_shard[shard_of(stream.client_id, cfg.n_shards)].push(stream);
+    }
+
+    let mut frames_in = 0u64;
+    let mut results: Vec<WorkerResult> = Vec::with_capacity(cfg.n_shards);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = queues
+            .iter()
+            .map(|q| {
+                let q = Arc::clone(q);
+                scope.spawn(move || run_worker(&q, cfg))
+            })
+            .collect();
+        let producers: Vec<_> = queues
+            .iter()
+            .zip(&by_shard)
+            .map(|(q, clients)| {
+                let q = Arc::clone(q);
+                let clients: &[&ClientStream] = clients;
+                scope.spawn(move || run_producer(&q, clients, cfg.overflow))
+            })
+            .collect();
+        for p in producers {
+            frames_in += p.join().expect("producer panicked");
+        }
+        for w in workers {
+            results.push(w.join().expect("worker panicked"));
+        }
+    });
+
+    let mut decisions: Vec<ServeDecision> = Vec::new();
+    let mut report = ServeReport {
+        frames_in,
+        frames_processed: 0,
+        shed: 0,
+        decisions: 0,
+        per_mode: [0; 4],
+        latency_ns: Histogram::with_buckets(SPAN_NS_BUCKETS),
+        depth: Histogram::with_buckets(DEPTH_BUCKETS),
+        per_shard: Vec::with_capacity(cfg.n_shards),
+        wall: started.elapsed(),
+    };
+    for (shard, (result, queue)) in results.iter().zip(&queues).enumerate() {
+        report.frames_processed += result.frames;
+        report.shed += queue.shed();
+        report.latency_ns.merge(&result.latency_ns);
+        report.depth.merge(&result.depth);
+        report.per_shard.push(ShardSummary {
+            shard: shard as u32,
+            frames: result.frames,
+            decisions: result.decisions.len() as u64,
+            shed: queue.shed(),
+            max_depth: queue.max_depth() as u64,
+            last_at: result.last_at,
+        });
+        decisions.extend_from_slice(&result.decisions);
+    }
+    decisions.sort_by_key(|d| (d.client_id, d.seq));
+    report.decisions = decisions.len() as u64;
+    for d in &decisions {
+        report.per_mode[mode_index(d.classification.mode)] += 1;
+    }
+
+    if sink.enabled() {
+        for s in &report.per_shard {
+            sink.record(Event::ServeShard {
+                at: s.last_at,
+                shard: s.shard,
+                frames: s.frames,
+                decisions: s.decisions,
+                shed: s.shed,
+                max_depth: s.max_depth,
+            });
+        }
+        sink.span_ns("serve.run", report.wall.as_nanos() as u64);
+    }
+    (decisions, report)
+}
+
+/// Renders a decision log as canonical CSV — the byte string the
+/// determinism tests compare across shard counts.
+pub fn decision_log_csv(decisions: &[ServeDecision]) -> String {
+    let mut out = String::from(
+        "client_id,seq,at_ns,mode,direction,roam,probe_ns,retries,agg_ns,bf_ns,mu_ns\n",
+    );
+    for d in decisions {
+        let dir = match d.classification.direction {
+            Some(Direction::Towards) => "towards",
+            Some(Direction::Away) => "away",
+            None => "-",
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            d.client_id,
+            d.seq,
+            d.at,
+            d.classification.mode.label(),
+            dir,
+            u8::from(d.policy.encourage_roaming),
+            d.policy.probe_interval,
+            d.policy.rate_retries,
+            d.policy.aggregation_limit,
+            d.policy.bf_feedback_period,
+            d.policy.mu_mimo_feedback_period,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetConfig;
+    use mobisense_util::units::{MILLISECOND, SECOND};
+
+    fn small_fleet() -> EncodedFleet {
+        EncodedFleet::generate(&FleetConfig {
+            n_clients: 8,
+            duration: 9 * SECOND,
+            step: 50 * MILLISECOND,
+            base_seed: 11,
+            gen_threads: 2,
+            ..FleetConfig::default()
+        })
+    }
+
+    #[test]
+    fn serves_every_frame_and_emits_decisions() {
+        let fleet = small_fleet();
+        let cfg = ServeConfig::default();
+        let (decisions, report) = serve_fleet(&cfg, &fleet, &mut NoopSink);
+        assert_eq!(report.frames_in, fleet.total_frames());
+        assert_eq!(report.frames_processed, fleet.total_frames());
+        assert_eq!(report.shed, 0, "blocking mode never sheds");
+        assert!(!decisions.is_empty(), "fleet produced no decisions");
+        assert_eq!(report.decisions as usize, decisions.len());
+        assert_eq!(report.per_mode.iter().sum::<u64>(), report.decisions);
+        // Every client settles into at least one post-warm-up state.
+        let clients: std::collections::BTreeSet<u32> =
+            decisions.iter().map(|d| d.client_id).collect();
+        assert_eq!(clients.len(), 8, "all clients decided: {clients:?}");
+        // Decision latency was measured for at least every emitted one.
+        assert!(report.latency_ns.count() >= report.decisions);
+        assert_eq!(report.depth.count(), report.frames_processed);
+    }
+
+    #[test]
+    fn decision_log_is_shard_count_invariant() {
+        let fleet = small_fleet();
+        let mut logs = Vec::new();
+        for n_shards in [1usize, 2, 8] {
+            let cfg = ServeConfig {
+                n_shards,
+                ..ServeConfig::default()
+            };
+            let (decisions, report) = serve_fleet(&cfg, &fleet, &mut NoopSink);
+            assert_eq!(report.per_shard.len(), n_shards);
+            logs.push(decision_log_csv(&decisions));
+        }
+        assert_eq!(logs[0], logs[1], "1 vs 2 shards");
+        assert_eq!(logs[0], logs[2], "1 vs 8 shards");
+    }
+
+    #[test]
+    fn sorted_log_and_policies_are_consistent() {
+        let fleet = small_fleet();
+        let (decisions, _) = serve_fleet(&ServeConfig::default(), &fleet, &mut NoopSink);
+        assert!(
+            decisions
+                .windows(2)
+                .all(|w| (w[0].client_id, w[0].seq) < (w[1].client_id, w[1].seq)),
+            "log sorted by (client, seq)"
+        );
+        for d in &decisions {
+            assert!(d.at >= PipelineConfig::default().warmup);
+            assert_eq!(
+                d.policy,
+                MobilityPolicy::for_classification(d.classification)
+            );
+        }
+        // Consecutive decisions of one client differ (transitions only).
+        for w in decisions.windows(2) {
+            if w[0].client_id == w[1].client_id {
+                assert_ne!(w[0].classification, w[1].classification);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_events_and_span_reach_the_sink() {
+        let fleet = small_fleet();
+        let mut tel = mobisense_telemetry::Telemetry::new();
+        let cfg = ServeConfig {
+            n_shards: 2,
+            ..ServeConfig::default()
+        };
+        let (_, report) = serve_fleet(&cfg, &fleet, &mut tel);
+        let shard_events: Vec<_> = tel
+            .events()
+            .filter(|e| matches!(e, Event::ServeShard { .. }))
+            .collect();
+        assert_eq!(shard_events.len(), 2);
+        let total: u64 = report.per_shard.iter().map(|s| s.frames).sum();
+        assert_eq!(total, report.frames_processed);
+        let (count, mean_ns) = tel
+            .registry
+            .histogram_snapshot("serve.run")
+            .expect("span recorded");
+        assert_eq!(count, 1);
+        assert!(mean_ns > 0.0);
+    }
+
+    #[test]
+    fn overload_sheds_and_conserves_frames() {
+        let fleet = small_fleet();
+        // A tiny queue under an 8-client burst: whatever the scheduler
+        // does, frame conservation must hold exactly.
+        let cfg = ServeConfig {
+            n_shards: 1,
+            queue_capacity: 4,
+            overflow: OverflowPolicy::ShedOldestPerClient,
+            ..ServeConfig::default()
+        };
+        let (_, report) = serve_fleet(&cfg, &fleet, &mut NoopSink);
+        assert_eq!(
+            report.frames_in,
+            report.frames_processed + report.shed,
+            "every submitted frame is processed or shed"
+        );
+        assert!(report.shed_rate() <= 1.0);
+    }
+
+    #[test]
+    fn csv_log_has_header_and_one_row_per_decision() {
+        let fleet = small_fleet();
+        let (decisions, _) = serve_fleet(&ServeConfig::default(), &fleet, &mut NoopSink);
+        let csv = decision_log_csv(&decisions);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), decisions.len() + 1);
+        assert!(lines[0].starts_with("client_id,seq,at_ns,mode"));
+        assert!(lines[1].split(',').count() == 11);
+    }
+}

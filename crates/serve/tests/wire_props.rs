@@ -1,0 +1,113 @@
+//! Property tests for the observation-frame wire codec: lossless
+//! round-tripping of arbitrary frames, totality of the parser over
+//! truncated and corrupted input, and stream-level framing.
+
+use mobisense_serve::wire::{decode_stream, ObsFrame, WireError, HEADER_LEN};
+use proptest::prelude::*;
+use proptest::strategy::StrategyExt;
+
+/// Any well-formed frame the codec must carry losslessly. Digest values
+/// span a wide finite range (magnitudes are non-negative in practice,
+/// but the codec must not care).
+fn frame_strategy() -> impl Strategy<Value = ObsFrame> {
+    (
+        ((0u32..u32::MAX, 0u32..u32::MAX), 0u64..u64::MAX),
+        (
+            -1e9..1e9f64,
+            prop::collection::vec((-1e30..1e30f64).prop_map(|v| v as f32), 1..256),
+        ),
+    )
+        .prop_map(|(((client_id, seq), at), (distance_m, digest))| ObsFrame {
+            client_id,
+            seq,
+            at,
+            distance_m,
+            digest,
+        })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips_exactly(frame in frame_strategy()) {
+        let bytes = frame.encode();
+        prop_assert_eq!(bytes.len(), frame.encoded_len());
+        let (back, used) = ObsFrame::decode(&bytes).expect("well-formed frame decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn any_truncation_is_rejected_without_panic(
+        frame in frame_strategy(),
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let bytes = frame.encode();
+        // Any strictly-proper prefix must yield Truncated — never a
+        // panic, never a bogus frame.
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len() - 1);
+        let err = ObsFrame::decode(&bytes[..cut]).expect_err("prefix must not decode");
+        prop_assert!(
+            matches!(err, WireError::Truncated { .. }),
+            "cut {}: {}", cut, err
+        );
+    }
+
+    #[test]
+    fn corrupt_header_bytes_never_panic_and_errors_are_typed(
+        frame in frame_strategy(),
+        flip in (0usize..HEADER_LEN, 1u8..255),
+    ) {
+        let (flip_at, flip_mask) = flip;
+        let mut bytes = frame.encode();
+        bytes[flip_at] ^= flip_mask;
+        // Decoding either still succeeds (the flip hit a value field) or
+        // fails with a typed error; it must never panic.
+        match ObsFrame::decode(&bytes) {
+            Ok((back, _)) => {
+                // Success implies the magic and version survived, and the
+                // digest length matches whatever the length byte now says.
+                prop_assert_eq!(back.digest.len(), bytes[3] as usize);
+            }
+            Err(
+                WireError::Truncated { .. }
+                | WireError::BadMagic(_)
+                | WireError::BadVersion(_)
+                | WireError::EmptyDigest,
+            ) => {}
+        }
+    }
+
+    #[test]
+    fn arbitrary_garbage_decodes_totally(
+        garbage in prop::collection::vec(0usize..256, 0..600),
+    ) {
+        let garbage: Vec<u8> = garbage.into_iter().map(|b| b as u8).collect();
+        // Total parser: any byte soup yields Ok or a typed error.
+        if let Ok((f, used)) = ObsFrame::decode(&garbage) {
+            // Success implies the soup really did start with a
+            // well-formed header ("MS" little-endian = 0x53, 0x4D).
+            prop_assert!(used <= garbage.len());
+            prop_assert_eq!(garbage[0], 0x53);
+            prop_assert_eq!(garbage[1], 0x4D);
+            prop_assert!(!f.digest.is_empty());
+        }
+    }
+
+    #[test]
+    fn streams_round_trip_in_order(
+        frames in prop::collection::vec(frame_strategy(), 1..12),
+    ) {
+        let mut bytes = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut bytes);
+        }
+        let back = decode_stream(&bytes).expect("stream decodes");
+        prop_assert_eq!(back, frames);
+    }
+
+    #[test]
+    fn peek_client_id_agrees_with_decode(frame in frame_strategy()) {
+        let bytes = frame.encode();
+        prop_assert_eq!(ObsFrame::peek_client_id(&bytes), Ok(frame.client_id));
+    }
+}

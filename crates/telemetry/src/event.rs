@@ -77,6 +77,21 @@ pub enum Event {
         /// Payload bits delivered within the interval.
         bits: u64,
     },
+    /// One serving shard's end-of-run accounting (`mobisense-serve`).
+    ServeShard {
+        /// Sim time of the last frame the shard processed.
+        at: Nanos,
+        /// Shard index.
+        shard: u32,
+        /// Frames the shard worker processed.
+        frames: u64,
+        /// Mode-transition decisions the shard emitted.
+        decisions: u64,
+        /// Frames shed by the shard's bounded ingest queue.
+        shed: u64,
+        /// Deepest ingest-queue occupancy the worker observed.
+        max_depth: u64,
+    },
 }
 
 impl Event {
@@ -89,7 +104,8 @@ impl Event {
             | Event::Handoff { at, .. }
             | Event::Beamsound { at, .. }
             | Event::AmpduTx { at, .. }
-            | Event::Goodput { at, .. } => at,
+            | Event::Goodput { at, .. }
+            | Event::ServeShard { at, .. } => at,
         }
     }
 
@@ -104,6 +120,7 @@ impl Event {
             Event::Beamsound { .. } => "beamsound",
             Event::AmpduTx { .. } => "ampdu_tx",
             Event::Goodput { .. } => "goodput",
+            Event::ServeShard { .. } => "serve_shard",
         }
     }
 }

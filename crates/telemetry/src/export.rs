@@ -78,6 +78,21 @@ pub fn event_to_json(event: &Event) -> String {
             field_u64(&mut s, "elapsed", elapsed);
             field_u64(&mut s, "bits", bits);
         }
+        Event::ServeShard {
+            at,
+            shard,
+            frames,
+            decisions,
+            shed,
+            max_depth,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "shard", shard.into());
+            field_u64(&mut s, "frames", frames);
+            field_u64(&mut s, "decisions", decisions);
+            field_u64(&mut s, "shed", shed);
+            field_u64(&mut s, "max_depth", max_depth);
+        }
     }
     s.push('}');
     s
@@ -151,6 +166,14 @@ pub fn parse_event(line: &str) -> Result<Event, String> {
             at,
             elapsed: get_u64(&fields, "elapsed")?,
             bits: get_u64(&fields, "bits")?,
+        }),
+        "serve_shard" => Ok(Event::ServeShard {
+            at,
+            shard: get_u64(&fields, "shard")? as u32,
+            frames: get_u64(&fields, "frames")?,
+            decisions: get_u64(&fields, "decisions")?,
+            shed: get_u64(&fields, "shed")?,
+            max_depth: get_u64(&fields, "max_depth")?,
         }),
         other => Err(format!("unknown event type {other:?}")),
     }
@@ -431,6 +454,14 @@ mod tests {
                 at: 700,
                 elapsed: 100,
                 bits: 360_000,
+            },
+            Event::ServeShard {
+                at: 800,
+                shard: 3,
+                frames: 120_000,
+                decisions: 512,
+                shed: 7,
+                max_depth: 96,
             },
         ]
     }

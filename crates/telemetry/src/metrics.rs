@@ -153,6 +153,28 @@ impl Histogram {
         &self.counts
     }
 
+    /// Folds another histogram with identical bucket bounds into this
+    /// one: bucket counts, totals, sums and min/max all combine as if
+    /// every observation had been recorded here. The serving layer's
+    /// shard workers each record locally and merge at join time, so no
+    /// lock is shared on the hot path.
+    ///
+    /// Panics when the bucket bounds differ — merging histograms with
+    /// different resolutions would silently corrupt quantiles.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Estimated `q`-quantile (`q` clamped into `[0, 1]`), or `None`
     /// when empty. The estimate lies inside the bucket that contains
     /// the exact order statistic of the same rank.
@@ -484,5 +506,41 @@ mod tests {
         r.counter("alpha");
         let names: Vec<_> = r.counter_names().collect();
         assert_eq!(names, vec!["alpha", "zulu"]);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_recording() {
+        let bounds = [1.0, 10.0, 100.0];
+        let mut combined = Histogram::with_buckets(&bounds);
+        let mut a = Histogram::with_buckets(&bounds);
+        let mut b = Histogram::with_buckets(&bounds);
+        for (i, v) in [0.5, 3.0, 42.0, 250.0, 7.0, 0.1].iter().enumerate() {
+            combined.observe(*v);
+            if i % 2 == 0 { &mut a } else { &mut b }.observe(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.quantile(0.5), combined.quantile(0.5));
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let bounds = [1.0, 2.0];
+        let mut a = Histogram::with_buckets(&bounds);
+        a.observe(1.5);
+        let before = a.clone();
+        a.merge(&Histogram::with_buckets(&bounds));
+        assert_eq!(a, before);
+        let mut empty = Histogram::with_buckets(&bounds);
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::with_buckets(&[1.0]);
+        a.merge(&Histogram::with_buckets(&[2.0]));
     }
 }
