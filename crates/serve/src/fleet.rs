@@ -110,8 +110,10 @@ impl FleetConfig {
 pub struct ClientStream {
     /// The client id carried in every frame.
     pub client_id: u32,
-    /// The ground-truth scenario behind the stream.
-    pub kind: ScenarioKind,
+    /// The ground-truth scenario behind the stream, when the stream was
+    /// generated synthetically; `None` for streams rebuilt from a
+    /// recorded trace (the store only knows what was on the wire).
+    pub kind: Option<ScenarioKind>,
     /// Number of encoded frames.
     pub n_frames: usize,
     /// Encoded size of each frame (fixed: the digest length is the
@@ -122,10 +124,75 @@ pub struct ClientStream {
 }
 
 impl ClientStream {
+    /// Wraps already-encoded frames (e.g. payloads read back from the
+    /// trace store) as a stream, without decoding them.
+    ///
+    /// Panics if `frame_len` is zero or does not divide the buffer —
+    /// streams are fixed-stride by construction.
+    pub fn from_encoded(client_id: u32, frame_len: usize, bytes: Vec<u8>) -> Self {
+        assert!(frame_len > 0, "frame_len must be non-zero");
+        assert!(
+            bytes.len().is_multiple_of(frame_len),
+            "stream of {} bytes is not a multiple of frame_len {frame_len}",
+            bytes.len()
+        );
+        ClientStream {
+            client_id,
+            kind: None,
+            n_frames: bytes.len() / frame_len,
+            frame_len,
+            bytes,
+        }
+    }
+
+    /// Encodes a sequence of frames into a stream. All frames must
+    /// belong to `client_id` and share one digest length.
+    pub fn from_frames<'a>(client_id: u32, frames: impl IntoIterator<Item = &'a ObsFrame>) -> Self {
+        let mut bytes = Vec::new();
+        let mut frame_len = 0usize;
+        let mut n_frames = 0usize;
+        for f in frames {
+            assert_eq!(f.client_id, client_id, "frame from a different client");
+            if n_frames == 0 {
+                frame_len = f.encoded_len();
+            } else {
+                assert_eq!(f.encoded_len(), frame_len, "mixed digest lengths");
+            }
+            f.encode_into(&mut bytes);
+            n_frames += 1;
+        }
+        assert!(n_frames > 0, "a stream needs at least one frame");
+        ClientStream {
+            client_id,
+            kind: None,
+            n_frames,
+            frame_len,
+            bytes,
+        }
+    }
+
     /// The `i`-th encoded frame.
     pub fn frame(&self, i: usize) -> &[u8] {
         let o = i * self.frame_len;
         &self.bytes[o..o + self.frame_len]
+    }
+
+    /// The `i`-th frame, decoded. Panics on out-of-range `i`; stream
+    /// bytes are well-formed by construction.
+    pub fn obs(&self, i: usize) -> ObsFrame {
+        ObsFrame::decode(self.frame(i))
+            .expect("fleet frames well-formed")
+            .0
+    }
+
+    /// The encoded frames, in sequence order, zero-copy.
+    pub fn encoded_frames(&self) -> impl Iterator<Item = &[u8]> {
+        self.bytes.chunks_exact(self.frame_len)
+    }
+
+    /// The decoded frames, in sequence order.
+    pub fn frames(&self) -> impl Iterator<Item = ObsFrame> + '_ {
+        (0..self.n_frames).map(|i| self.obs(i))
     }
 }
 
@@ -183,6 +250,26 @@ impl EncodedFleet {
     pub fn total_bytes(&self) -> usize {
         self.streams.iter().map(|s| s.bytes.len()).sum()
     }
+
+    /// Every frame of every client, decoded lazily, client-major (all
+    /// of client 0, then client 1, ...).
+    pub fn frames(&self) -> impl Iterator<Item = ObsFrame> + '_ {
+        self.streams.iter().flat_map(|s| s.frames())
+    }
+
+    /// Every encoded frame, zero-copy, **time-major** (frame `i` of
+    /// every client before frame `i + 1` of any) — the order an ingest
+    /// tap would see them and the order the trace store records them,
+    /// so recording never decodes or re-encodes a frame.
+    pub fn encoded_frames_time_major(&self) -> impl Iterator<Item = &[u8]> {
+        let max_frames = self.streams.iter().map(|s| s.n_frames).max().unwrap_or(0);
+        (0..max_frames).flat_map(move |i| {
+            self.streams
+                .iter()
+                .filter(move |s| i < s.n_frames)
+                .map(move |s| s.frame(i))
+        })
+    }
 }
 
 fn generate_stream(cfg: &FleetConfig, client_id: u32) -> ClientStream {
@@ -203,7 +290,7 @@ fn generate_stream(cfg: &FleetConfig, client_id: u32) -> ClientStream {
     }
     ClientStream {
         client_id,
-        kind,
+        kind: Some(kind),
         n_frames,
         frame_len,
         bytes,
@@ -244,6 +331,56 @@ mod tests {
                 assert_eq!(&indexed, f);
             }
         }
+    }
+
+    #[test]
+    fn stream_iterators_agree_with_indexing() {
+        let fleet = EncodedFleet::generate(&tiny());
+        let s = &fleet.streams[2];
+        assert!(s.kind.is_some(), "generated streams carry ground truth");
+        let encoded: Vec<&[u8]> = s.encoded_frames().collect();
+        assert_eq!(encoded.len(), s.n_frames);
+        for (i, bytes) in encoded.iter().enumerate() {
+            assert_eq!(*bytes, s.frame(i));
+        }
+        let decoded: Vec<ObsFrame> = s.frames().collect();
+        assert_eq!(decoded, decode_stream(&s.bytes).expect("stream decodes"));
+        assert_eq!(decoded[3], s.obs(3));
+
+        // Fleet-level client-major iteration covers every frame once.
+        assert_eq!(fleet.frames().count() as u64, fleet.total_frames());
+
+        // Time-major order: capture times never decrease.
+        let ats: Vec<Nanos> = fleet
+            .encoded_frames_time_major()
+            .map(|b| ObsFrame::peek_meta(b).expect("well-formed").at)
+            .collect();
+        assert_eq!(ats.len() as u64, fleet.total_frames());
+        assert!(ats.windows(2).all(|w| w[0] <= w[1]), "time-major order");
+    }
+
+    #[test]
+    fn rebuilt_streams_round_trip() {
+        let fleet = EncodedFleet::generate(&tiny());
+        let s = &fleet.streams[1];
+
+        // From raw encoded bytes: byte-identical, no ground truth.
+        let raw = ClientStream::from_encoded(s.client_id, s.frame_len, s.bytes.clone());
+        assert_eq!(raw.n_frames, s.n_frames);
+        assert_eq!(raw.bytes, s.bytes);
+        assert_eq!(raw.kind, None);
+
+        // From decoded frames: re-encoding is exact.
+        let frames: Vec<ObsFrame> = s.frames().collect();
+        let rebuilt = ClientStream::from_frames(s.client_id, &frames);
+        assert_eq!(rebuilt.bytes, s.bytes);
+        assert_eq!(rebuilt.frame_len, s.frame_len);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of frame_len")]
+    fn from_encoded_rejects_ragged_buffers() {
+        ClientStream::from_encoded(1, 44, vec![0u8; 45]);
     }
 
     #[test]

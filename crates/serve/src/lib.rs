@@ -37,6 +37,7 @@ pub mod wire;
 pub use fleet::{shard_of, ClientStream, EncodedFleet, FleetConfig};
 pub use queue::{OverflowPolicy, ShardQueue};
 pub use service::{
-    decision_log_csv, serve_fleet, ServeConfig, ServeDecision, ServeReport, ShardSummary,
+    decision_log_csv, serve_fleet, serve_streams, ServeConfig, ServeDecision, ServeReport,
+    ShardSummary,
 };
-pub use wire::{ObsFrame, WireError};
+pub use wire::{decode_stream, decode_stream_lossy, FrameMeta, ObsFrame, WireError};

@@ -34,7 +34,6 @@ use mobisense_util::units::Nanos;
 
 use crate::fleet::{mix64, shard_of, ClientStream, EncodedFleet};
 use crate::queue::{OverflowPolicy, ShardQueue};
-use crate::wire::ObsFrame;
 
 /// Queue-depth histogram bucket bounds (frames).
 pub const DEPTH_BUCKETS: &[f64] = &[
@@ -235,8 +234,7 @@ fn run_producer(queue: &ShardQueue, clients: &[&ClientStream], overflow: Overflo
             if i >= stream.n_frames {
                 continue;
             }
-            let (frame, _) = ObsFrame::decode(stream.frame(i)).expect("fleet frames well-formed");
-            queue.push((Instant::now(), frame), overflow);
+            queue.push((Instant::now(), stream.obs(i)), overflow);
             submitted += 1;
         }
     }
@@ -255,13 +253,25 @@ pub fn serve_fleet<S: Sink + ?Sized>(
     fleet: &EncodedFleet,
     sink: &mut S,
 ) -> (Vec<ServeDecision>, ServeReport) {
+    serve_streams(cfg, &fleet.streams, sink)
+}
+
+/// Serves a bare set of client streams — the entry point replay takes
+/// when streams were rebuilt from a recorded trace rather than
+/// generated as a fleet. [`serve_fleet`] is this with a fleet's
+/// streams; the determinism contract is identical.
+pub fn serve_streams<S: Sink + ?Sized>(
+    cfg: &ServeConfig,
+    streams: &[ClientStream],
+    sink: &mut S,
+) -> (Vec<ServeDecision>, ServeReport) {
     assert!(cfg.n_shards > 0, "need at least one shard");
     let started = Instant::now();
     let queues: Vec<Arc<ShardQueue>> = (0..cfg.n_shards)
         .map(|_| Arc::new(ShardQueue::new(cfg.queue_capacity)))
         .collect();
     let mut by_shard: Vec<Vec<&ClientStream>> = vec![Vec::new(); cfg.n_shards];
-    for stream in &fleet.streams {
+    for stream in streams {
         by_shard[shard_of(stream.client_id, cfg.n_shards)].push(stream);
     }
 

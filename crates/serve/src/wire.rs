@@ -197,6 +197,53 @@ impl ObsFrame {
         }
         Ok(u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")))
     }
+
+    /// Validates the header of an encoded frame and returns its routing
+    /// metadata without touching the digest payload. This is the cheap
+    /// path for consumers that move encoded frames around verbatim —
+    /// the trace store indexes segments with it, and stream rebuilding
+    /// groups frames by client with it — so recording never pays a
+    /// decode-re-encode round trip.
+    pub fn peek_meta(buf: &[u8]) -> Result<FrameMeta, WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated {
+                needed: HEADER_LEN,
+                got: buf.len(),
+            });
+        }
+        let magic = u16::from_le_bytes([buf[0], buf[1]]);
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        if buf[2] != VERSION {
+            return Err(WireError::BadVersion(buf[2]));
+        }
+        let digest_len = buf[3] as usize;
+        if digest_len == 0 {
+            return Err(WireError::EmptyDigest);
+        }
+        Ok(FrameMeta {
+            client_id: u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
+            seq: u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")),
+            at: u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes")),
+            encoded_len: HEADER_LEN + 4 * digest_len,
+        })
+    }
+}
+
+/// Routing metadata peeked from an encoded frame's header (no payload
+/// decode). `encoded_len` is the full frame size the header implies; a
+/// holder of exactly one frame can check it against the buffer length.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Stable client identifier.
+    pub client_id: u32,
+    /// Per-client sequence number.
+    pub seq: u32,
+    /// Capture timestamp (simulation clock, nanoseconds).
+    pub at: Nanos,
+    /// Total encoded frame length implied by the digest-length byte.
+    pub encoded_len: usize,
 }
 
 /// Decodes a back-to-back stream of frames.
@@ -208,6 +255,30 @@ pub fn decode_stream(mut buf: &[u8]) -> Result<Vec<ObsFrame>, WireError> {
         buf = &buf[used..];
     }
     Ok(out)
+}
+
+/// Decodes as many whole frames as the buffer holds, stopping at the
+/// first malformed or truncated one instead of discarding everything.
+///
+/// Returns the good prefix, the bytes it consumed, and the error that
+/// stopped the scan (`None` when the buffer ended exactly on a frame
+/// boundary). A crash-truncated trace tail salvages every frame that
+/// made it to disk this way; [`decode_stream`] stays the strict
+/// variant for input that must be whole.
+pub fn decode_stream_lossy(mut buf: &[u8]) -> (Vec<ObsFrame>, usize, Option<WireError>) {
+    let mut out = Vec::new();
+    let mut consumed = 0usize;
+    while !buf.is_empty() {
+        match ObsFrame::decode(buf) {
+            Ok((frame, used)) => {
+                out.push(frame);
+                consumed += used;
+                buf = &buf[used..];
+            }
+            Err(e) => return (out, consumed, Some(e)),
+        }
+    }
+    (out, consumed, None)
 }
 
 #[cfg(test)]
@@ -301,6 +372,60 @@ mod tests {
         let f = ObsFrame::from_csi(7, 0, 0, 5.0, &csi);
         assert_eq!(f.digest, vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(f.profile(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn peek_meta_validates_and_matches_decode() {
+        let f = frame();
+        let bytes = f.encode();
+        let meta = ObsFrame::peek_meta(&bytes).expect("well-formed header");
+        assert_eq!(meta.client_id, f.client_id);
+        assert_eq!(meta.seq, f.seq);
+        assert_eq!(meta.at, f.at);
+        assert_eq!(meta.encoded_len, bytes.len());
+
+        assert!(matches!(
+            ObsFrame::peek_meta(&bytes[..HEADER_LEN - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut bad = bytes.clone();
+        bad[2] = 9;
+        assert_eq!(ObsFrame::peek_meta(&bad), Err(WireError::BadVersion(9)));
+        let mut empty = bytes;
+        empty[3] = 0;
+        assert_eq!(ObsFrame::peek_meta(&empty), Err(WireError::EmptyDigest));
+    }
+
+    #[test]
+    fn lossy_decode_salvages_good_prefix() {
+        let frames: Vec<ObsFrame> = (0..4).map(|seq| ObsFrame { seq, ..frame() }).collect();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut bytes);
+        }
+        let whole = bytes.len();
+
+        // Clean buffer: everything decodes, no error, all bytes used.
+        let (all, used, err) = decode_stream_lossy(&bytes);
+        assert_eq!((all.as_slice(), used, err), (&frames[..], whole, None));
+
+        // Truncated tail: the first three frames survive.
+        let cut = whole - 5;
+        let (good, used, err) = decode_stream_lossy(&bytes[..cut]);
+        assert_eq!(good, frames[..3]);
+        assert_eq!(used, 3 * frames[0].encoded_len());
+        assert!(matches!(err, Some(WireError::Truncated { .. })));
+
+        // Mid-stream corruption: frames before the bad magic survive.
+        let mut corrupt = bytes.clone();
+        corrupt[2 * frames[0].encoded_len()] ^= 0xFF;
+        let (good, used, err) = decode_stream_lossy(&corrupt);
+        assert_eq!(good, frames[..2]);
+        assert_eq!(used, 2 * frames[0].encoded_len());
+        assert!(matches!(err, Some(WireError::BadMagic(_))));
+
+        // Strict decoding of the same corrupt buffer drops everything.
+        assert!(decode_stream(&corrupt).is_err());
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Segment compaction: many small sealed segments become few large
+//! ones.
+//!
+//! Long recording runs with frequent sealing (or tiny rotation
+//! targets) leave a directory of undersized segments; every read then
+//! pays per-segment open/scan overhead. [`compact`] rewrites the store
+//! so segments fill the configured target size, renumbering them from
+//! zero while preserving **global record order** — which is the whole
+//! correctness story, because replay output is a pure function of
+//! record order. The golden-regression suite replays a compacted store
+//! and expects byte-identical decision logs.
+//!
+//! Compaction is strict: an unsealed tail or a damaged segment aborts
+//! it untouched (run recovery first, decide what to do, then compact).
+//! New segments are written as `.tmp` files and only renamed to their
+//! sealed names after the old files are gone, so a crash mid-compact
+//! leaves either the old store or a recoverable mixture — never a
+//! store that silently lost records.
+
+use std::fs;
+
+use mobisense_serve::wire::ObsFrame;
+use mobisense_telemetry::event::Event;
+use mobisense_telemetry::sink::{timed, Sink};
+
+use crate::crc::crc32;
+use crate::segment::{self, RecordKind, SealInfo, SegmentIndex};
+use crate::writer::StoreConfig;
+use crate::{sealed_name, StoreError, TraceReader};
+
+/// What a compaction did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Sealed segments before.
+    pub segments_before: usize,
+    /// Sealed segments after.
+    pub segments_after: usize,
+    /// Total segment-file bytes before.
+    pub bytes_before: u64,
+    /// Total segment-file bytes after.
+    pub bytes_after: u64,
+    /// Observation frames carried across (every one of them).
+    pub frames: u64,
+}
+
+/// Compacts the store at `cfg.dir` toward `cfg.target_segment_bytes`
+/// per segment. Strict over the input (see the module docs); emits one
+/// `StoreSegment` event per output segment.
+pub fn compact<S: Sink + ?Sized>(
+    cfg: &StoreConfig,
+    sink: &mut S,
+) -> Result<CompactReport, StoreError> {
+    timed(sink, "store.compact", |sink| compact_inner(cfg, sink))
+}
+
+fn compact_inner<S: Sink + ?Sized>(
+    cfg: &StoreConfig,
+    sink: &mut S,
+) -> Result<CompactReport, StoreError> {
+    let reader = TraceReader::open(&cfg.dir)?;
+    let segments_before = reader.segments().len();
+    let bytes_before: u64 = reader.segments().iter().map(|m| m.bytes).sum();
+
+    // Pull every record into memory, in global order. Stores here are
+    // bench/replay sized; a streaming compactor can come later if a
+    // deployment outgrows RAM (see ROADMAP).
+    let mut records: Vec<(RecordKind, Vec<u8>)> = Vec::new();
+    reader.visit_records(|_, kind, payload| {
+        records.push((kind, payload.to_vec()));
+        Ok(())
+    })?;
+
+    // Pack records into output segments by the same size rule the
+    // writer uses, building each sparse index from peeked headers.
+    let mut outputs: Vec<(Vec<u8>, SegmentIndex)> = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut index = SegmentIndex::empty();
+    let mut in_segment = 0u64;
+    let mut frames = 0u64;
+    for (kind, payload) in &records {
+        if in_segment > 0
+            && buf.len() + segment::RECORD_OVERHEAD + payload.len() > cfg.target_segment_bytes
+        {
+            seal_buffer(&mut buf, in_segment, &index);
+            outputs.push((
+                std::mem::take(&mut buf),
+                std::mem::replace(&mut index, SegmentIndex::empty()),
+            ));
+            in_segment = 0;
+        }
+        if in_segment == 0 {
+            buf.extend_from_slice(&segment::segment_header(outputs.len() as u64));
+        }
+        segment::append_record(&mut buf, *kind, payload);
+        in_segment += 1;
+        if *kind == RecordKind::Obs {
+            // Input was strict-scanned, so the payload peeks cleanly.
+            let meta = ObsFrame::peek_meta(payload).expect("verified obs record");
+            index.note(meta.client_id, meta.seq, meta.at);
+            frames += 1;
+        }
+    }
+    if in_segment > 0 {
+        seal_buffer(&mut buf, in_segment, &index);
+        outputs.push((buf, index));
+    }
+
+    // Stage the new files, drop the old ones, then promote.
+    let mut tmp_paths = Vec::with_capacity(outputs.len());
+    for (id, (bytes, _)) in outputs.iter().enumerate() {
+        let tmp = cfg.dir.join(format!("seg-{id:08}.tmp"));
+        fs::write(&tmp, bytes)?;
+        tmp_paths.push(tmp);
+    }
+    for meta in reader.segments() {
+        fs::remove_file(&meta.path)?;
+    }
+    let mut bytes_after = 0u64;
+    for (id, tmp) in tmp_paths.iter().enumerate() {
+        let final_path = cfg.dir.join(sealed_name(id as u64));
+        fs::rename(tmp, &final_path)?;
+        let (bytes, index) = &outputs[id];
+        bytes_after += bytes.len() as u64;
+        sink.record(Event::StoreSegment {
+            at: index.max_at,
+            segment: id as u64,
+            frames: index.frames,
+            bytes: bytes.len() as u64,
+        });
+    }
+
+    Ok(CompactReport {
+        segments_before,
+        segments_after: outputs.len(),
+        bytes_before,
+        bytes_after,
+        frames,
+    })
+}
+
+/// Appends the seal footer to an in-memory segment body.
+fn seal_buffer(buf: &mut Vec<u8>, records: u64, index: &SegmentIndex) {
+    let seal = SealInfo {
+        records,
+        body_crc: crc32(buf),
+        index: index.clone(),
+    };
+    segment::append_record(buf, RecordKind::Seal, &seal.encode());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::scan_segment;
+    use crate::testdir;
+    use crate::writer::TraceWriter;
+    use mobisense_telemetry::Telemetry;
+    use mobisense_util::units::Nanos;
+
+    fn frame(client: u32, seq: u32) -> ObsFrame {
+        ObsFrame {
+            client_id: client,
+            seq,
+            at: 500 * seq as Nanos,
+            distance_m: 4.0,
+            digest: vec![1.0; 5],
+        }
+    }
+
+    fn build_fragmented_store(dir: &std::path::Path) -> (Vec<ObsFrame>, Vec<String>) {
+        let cfg = StoreConfig::new(dir).with_target_segment_bytes(128);
+        let mut w = TraceWriter::create(cfg).expect("create");
+        let mut frames = Vec::new();
+        let mut rows = Vec::new();
+        for seq in 0..40u32 {
+            let f = frame(seq % 5, seq);
+            w.append_frame(&f).expect("append");
+            frames.push(f);
+            if seq % 10 == 9 {
+                let row = format!("{},{seq},row", seq % 5);
+                w.append_decision_row(&row).expect("row");
+                rows.push(row);
+            }
+        }
+        w.finish().expect("finish");
+        (frames, rows)
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_shrinks_segment_count() {
+        let dir = testdir::fresh("compact-basic");
+        let (frames, rows) = build_fragmented_store(&dir);
+        let before = TraceReader::open(&dir).expect("open").segments().len();
+        assert!(before > 4, "fragmented input expected, got {before}");
+
+        let cfg = StoreConfig::new(&dir).with_target_segment_bytes(1 << 20);
+        let mut sink = Telemetry::new();
+        let report = compact(&cfg, &mut sink).expect("compact");
+        assert_eq!(report.segments_before, before);
+        assert_eq!(report.segments_after, 1);
+        assert_eq!(report.frames, 40);
+        assert!(report.bytes_after < report.bytes_before);
+        assert_eq!(
+            sink.events()
+                .filter(|e| e.kind() == "store_segment")
+                .count(),
+            1
+        );
+
+        let r = TraceReader::open(&dir).expect("reopen");
+        assert_eq!(r.segments().len(), 1);
+        assert!(r.segments()[0].sealed);
+        let bytes = fs::read(&r.segments()[0].path).expect("read");
+        assert!(scan_segment(&bytes).expect("header").sealed_ok());
+        let (got_frames, got_rows) = r.read_frames().expect("strict read");
+        assert_eq!(got_frames, frames);
+        assert_eq!(got_rows, rows);
+    }
+
+    #[test]
+    fn compaction_respects_the_size_target() {
+        let dir = testdir::fresh("compact-split");
+        build_fragmented_store(&dir);
+        let cfg = StoreConfig::new(&dir).with_target_segment_bytes(512);
+        let report = compact(&cfg, &mut mobisense_telemetry::NoopSink).expect("compact");
+        assert!(
+            report.segments_after > 1,
+            "512-byte target must split 40 frames"
+        );
+        let r = TraceReader::open(&dir).expect("reopen");
+        for (i, meta) in r.segments().iter().enumerate() {
+            assert_eq!(meta.id, i as u64);
+            assert!(meta.index.is_some(), "every output sealed and intact");
+        }
+        assert_eq!(r.read_frames().expect("read").0.len(), 40);
+    }
+
+    #[test]
+    fn compaction_refuses_unsealed_and_damaged_stores() {
+        let dir = testdir::fresh("compact-refuse");
+        build_fragmented_store(&dir);
+        // Leave an abandoned tail.
+        let mut w =
+            TraceWriter::create(StoreConfig::new(&dir).with_target_segment_bytes(4096)).expect("w");
+        w.append_frame(&frame(1, 0)).expect("append");
+        let tail = w.abandon().expect("abandon");
+        let cfg = StoreConfig::new(&dir);
+        assert!(matches!(
+            compact(&cfg, &mut mobisense_telemetry::NoopSink),
+            Err(StoreError::Unsealed { .. })
+        ));
+        fs::remove_file(&tail).expect("rm");
+
+        // Damage a sealed segment.
+        let victim = dir.join(sealed_name(2));
+        let mut bytes = fs::read(&victim).expect("read");
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x08;
+        fs::write(&victim, &bytes).expect("write");
+        assert!(matches!(
+            compact(&cfg, &mut mobisense_telemetry::NoopSink),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn compacting_a_compacted_store_is_stable() {
+        let dir = testdir::fresh("compact-idempotent");
+        let (frames, _) = build_fragmented_store(&dir);
+        let cfg = StoreConfig::new(&dir).with_target_segment_bytes(1 << 20);
+        compact(&cfg, &mut mobisense_telemetry::NoopSink).expect("first");
+        let first = fs::read(dir.join(sealed_name(0))).expect("read");
+        let report = compact(&cfg, &mut mobisense_telemetry::NoopSink).expect("second");
+        assert_eq!(report.segments_before, 1);
+        assert_eq!(report.segments_after, 1);
+        let second = fs::read(dir.join(sealed_name(0))).expect("read");
+        assert_eq!(first, second, "compaction is a fixed point");
+        let r = TraceReader::open(&dir).expect("open");
+        assert_eq!(r.read_frames().expect("read").0, frames);
+    }
+}

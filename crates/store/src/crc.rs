@@ -1,0 +1,109 @@
+//! Hand-rolled CRC-32 (IEEE 802.3 / zlib: reflected, polynomial
+//! `0xEDB88320`, initial and final XOR `0xFFFFFFFF`).
+//!
+//! The store depends on nothing outside `std`, so the checksum is
+//! implemented here: a 256-entry table built in a `const fn` and a
+//! byte-at-a-time update. Throughput is far beyond what segment
+//! sealing needs — the record path is dominated by the frame copy.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// Streaming CRC-32 state, for checksumming data as it is written.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state (equivalent to having hashed zero bytes).
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything folded in so far. Non-destructive:
+    /// more updates may follow.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0u16..2048).map(|i| (i % 251) as u8).collect();
+        let whole = crc32(&data);
+        for split in [0usize, 1, 7, 1024, 2047, 2048] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finish(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let data = [0x4Du8, 0x53, 0x53, 0x47, 0x01, 0x00, 0xAB, 0xCD];
+        let base = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data;
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! mobisense-store: the durable trace log under the serving layer.
+//!
+//! The paper's whole methodology is replay — recorded PHY observations
+//! (CSI digests + ToF distances) driven back through the classifier
+//! and the Table-2 adaptations. At controller scale that recording has
+//! to be a first-class subsystem: observation streams must survive
+//! crashes and partial corruption, and must replay **bit-exactly** so
+//! any production decision can be reproduced on a laptop. This crate
+//! is that subsystem, built entirely on `std`:
+//!
+//! * [`crc`] — hand-rolled CRC-32 (no dependencies);
+//! * [`segment`] — the on-disk format: a versioned header,
+//!   length-prefixed CRC-checksummed records, and a sealing footer
+//!   carrying the record count, a whole-body checksum and a **sparse
+//!   index** (client-id set, sequence and timestamp ranges);
+//! * [`writer`] — [`TraceWriter`]: append-only, size-based rotation,
+//!   atomic sealing (`seg-N.open` → `seg-N.seg` via rename);
+//! * [`reader`] — [`TraceReader`]: strict reads with typed errors,
+//!   plus a recovering read that salvages a crash-truncated tail and
+//!   skips (whole, detectably-damaged) segments;
+//! * [`compact`] — merges many small sealed segments into few large
+//!   ones, preserving record order and hence replay output;
+//! * [`replay`] — the golden-regression harness: record a fleet
+//!   together with the decision log the live service produced, then
+//!   replay the stored frames through [`serve_streams`] and verify the
+//!   merged decision log is byte-identical for any shard count.
+//!
+//! [`serve_streams`]: mobisense_serve::service::serve_streams
+//!
+//! The durability story is deliberately boring: every record carries
+//! its own CRC, the seal's body CRC covers every remaining byte, and a
+//! segment only gets its sealed name after its footer is on disk — so
+//! a reader can always tell "crash-truncated tail" (salvage the
+//! prefix) from "sealed data that went bad" (skip the segment, say
+//! so). Nothing is ever silently wrong.
+
+#![warn(missing_docs)]
+
+pub mod compact;
+pub mod crc;
+pub mod reader;
+pub mod replay;
+pub mod segment;
+pub mod writer;
+
+pub use compact::{compact, CompactReport};
+pub use crc::{crc32, Crc32};
+pub use reader::{Recovery, SegmentMeta, TraceReader};
+pub use replay::{record_fleet, replay_client, replay_fleet, RecordSummary, ReplayReport};
+pub use segment::{RecordKind, SegmentError, SegmentIndex};
+pub use writer::{StoreConfig, TraceWriter, WriteSummary};
+
+use mobisense_serve::wire::WireError;
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A segment's bytes are damaged (strict reads report this; the
+    /// recovering read skips the segment instead).
+    Corrupt {
+        /// The damaged segment.
+        segment_id: u64,
+        /// What the scanner found.
+        error: SegmentError,
+    },
+    /// A strict read found an unsealed segment (crash leftovers); use
+    /// the recovering read to salvage it.
+    Unsealed {
+        /// The unsealed segment.
+        segment_id: u64,
+    },
+    /// An observation record's payload is not a single well-formed
+    /// wire frame.
+    BadFrame {
+        /// The segment holding the record (the writer's current
+        /// segment when appending).
+        segment_id: u64,
+        /// The wire-level reason.
+        error: WireError,
+    },
+    /// A decision-row record's payload is not UTF-8.
+    BadUtf8 {
+        /// The segment holding the record.
+        segment_id: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Corrupt { segment_id, error } => {
+                write!(f, "segment {segment_id} corrupt: {error}")
+            }
+            StoreError::Unsealed { segment_id } => {
+                write!(f, "segment {segment_id} is unsealed (crash leftovers?)")
+            }
+            StoreError::BadFrame { segment_id, error } => {
+                write!(f, "segment {segment_id}: bad observation frame: {error}")
+            }
+            StoreError::BadUtf8 { segment_id } => {
+                write!(f, "segment {segment_id}: decision row is not UTF-8")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt { error, .. } => Some(error),
+            StoreError::BadFrame { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// File name of a sealed segment.
+pub(crate) fn sealed_name(id: u64) -> String {
+    format!("seg-{id:08}.seg")
+}
+
+/// File name of an in-progress (unsealed) segment.
+pub(crate) fn open_name(id: u64) -> String {
+    format!("seg-{id:08}.open")
+}
+
+/// Parses a segment file name into `(id, sealed)`.
+pub(crate) fn parse_segment_name(name: &str) -> Option<(u64, bool)> {
+    let (stem, sealed) = name
+        .strip_suffix(".seg")
+        .map(|s| (s, true))
+        .or_else(|| name.strip_suffix(".open").map(|s| (s, false)))?;
+    let digits = stem.strip_prefix("seg-")?;
+    if digits.len() != 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok().map(|id| (id, sealed))
+}
+
+#[cfg(test)]
+pub(crate) mod testdir {
+    //! Unique scratch directories for file-backed unit tests.
+
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Creates a fresh, empty directory under the system temp dir.
+    pub fn fresh(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "mobisense-store-test-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        // A stale run's leftovers must not leak into this test.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create test dir");
+        dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_names_round_trip() {
+        assert_eq!(sealed_name(7), "seg-00000007.seg");
+        assert_eq!(open_name(42), "seg-00000042.open");
+        assert_eq!(parse_segment_name("seg-00000007.seg"), Some((7, true)));
+        assert_eq!(parse_segment_name("seg-00000042.open"), Some((42, false)));
+        assert_eq!(parse_segment_name("seg-00000042.tmp"), None);
+        assert_eq!(parse_segment_name("seg-42.seg"), None);
+        assert_eq!(parse_segment_name("other.seg"), None);
+        assert_eq!(parse_segment_name("seg-0000004x.seg"), None);
+    }
+
+    #[test]
+    fn store_error_display_and_source() {
+        use std::error::Error as _;
+        let e = StoreError::Corrupt {
+            segment_id: 3,
+            error: SegmentError::RecordCorrupt { offset: 21 },
+        };
+        assert!(e.to_string().contains("segment 3"));
+        assert!(e.source().is_some());
+        assert!(StoreError::Unsealed { segment_id: 1 }
+            .to_string()
+            .contains("unsealed"));
+        let io = StoreError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+    }
+}

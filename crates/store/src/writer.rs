@@ -1,0 +1,412 @@
+//! [`TraceWriter`]: the append-only, rotating segment writer.
+//!
+//! The writer streams records into `seg-N.open` through a buffered
+//! file handle while folding every byte into a running body CRC and
+//! the segment's sparse index. When the body would exceed the
+//! configured target size it **rotates**: the current segment is
+//! sealed — footer written, file flushed and synced, then atomically
+//! renamed to `seg-N.seg` — and a fresh `.open` file starts. A crash
+//! at any point therefore leaves a set of fully-sealed segments plus
+//! at most one truncated `.open` tail, which is exactly the shape
+//! [`TraceReader::recover`](crate::reader::TraceReader::recover)
+//! knows how to salvage.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use mobisense_serve::wire::ObsFrame;
+use mobisense_util::units::Nanos;
+
+use crate::crc::Crc32;
+use crate::reader::SegmentMeta;
+use crate::segment::{
+    self, RecordKind, SealInfo, SegmentIndex, MAX_RECORD_LEN, RECORD_OVERHEAD, SEGMENT_HEADER_LEN,
+};
+use crate::{open_name, parse_segment_name, sealed_name, StoreError};
+
+/// Where and how a trace store writes its segments.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Directory holding the segment files (created on demand).
+    pub dir: PathBuf,
+    /// Rotate once a segment's body reaches this many bytes. The seal
+    /// footer is written on top, so files end slightly larger.
+    pub target_segment_bytes: usize,
+}
+
+impl StoreConfig {
+    /// A config with the default 4 MiB segment target.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            dir: dir.into(),
+            target_segment_bytes: 4 << 20,
+        }
+    }
+
+    /// Overrides the rotation threshold (tests use tiny segments).
+    pub fn with_target_segment_bytes(mut self, bytes: usize) -> Self {
+        assert!(bytes > SEGMENT_HEADER_LEN, "segment target too small");
+        self.target_segment_bytes = bytes;
+        self
+    }
+}
+
+/// What a completed write produced.
+#[derive(Debug)]
+pub struct WriteSummary {
+    /// Metadata of every segment sealed by this writer, in id order.
+    pub segments: Vec<SegmentMeta>,
+    /// Observation frames appended.
+    pub frames: u64,
+    /// Total bytes of the sealed segment files.
+    pub bytes: u64,
+}
+
+/// Append-only writer over a directory of rotating segments.
+///
+/// Records go to `seg-N.open`; sealing renames it to `seg-N.seg`.
+/// Call [`finish`](TraceWriter::finish) to seal the last segment — a
+/// writer that is merely dropped leaves its `.open` tail behind, which
+/// is also how a crash looks (see [`abandon`](TraceWriter::abandon)
+/// for simulating exactly that).
+pub struct TraceWriter {
+    cfg: StoreConfig,
+    segment_id: u64,
+    file: BufWriter<File>,
+    open_path: PathBuf,
+    body_crc: Crc32,
+    body_len: usize,
+    records: u64,
+    index: SegmentIndex,
+    frames_total: u64,
+    sealed: Vec<SegmentMeta>,
+    scratch: Vec<u8>,
+}
+
+impl TraceWriter {
+    /// Opens a writer over `cfg.dir`, creating the directory if
+    /// needed. Segment ids continue after any files already present,
+    /// so appending to an existing store never collides.
+    pub fn create(cfg: StoreConfig) -> io::Result<TraceWriter> {
+        fs::create_dir_all(&cfg.dir)?;
+        let next_id = next_segment_id(&cfg.dir)?;
+        let (file, open_path, body_crc) = start_segment(&cfg.dir, next_id)?;
+        Ok(TraceWriter {
+            cfg,
+            segment_id: next_id,
+            file,
+            open_path,
+            body_crc,
+            body_len: SEGMENT_HEADER_LEN,
+            records: 0,
+            index: SegmentIndex::empty(),
+            frames_total: 0,
+            sealed: Vec::new(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Id of the segment currently being written.
+    pub fn segment_id(&self) -> u64 {
+        self.segment_id
+    }
+
+    /// Segments sealed so far (not counting the one in progress).
+    pub fn sealed(&self) -> &[SegmentMeta] {
+        &self.sealed
+    }
+
+    /// Appends one observation frame.
+    pub fn append_frame(&mut self, frame: &ObsFrame) -> io::Result<()> {
+        let mut bytes = std::mem::take(&mut self.scratch);
+        bytes.clear();
+        frame.encode_into(&mut bytes);
+        let res = self.append_obs(&bytes, frame.client_id, frame.seq, frame.at);
+        self.scratch = bytes;
+        res
+    }
+
+    /// Appends one already-encoded observation frame without decoding
+    /// it — only the frame header is peeked for the index. This is the
+    /// zero-copy path recording straight off a wire buffer or an
+    /// [`EncodedFleet`](mobisense_serve::fleet::EncodedFleet).
+    pub fn append_encoded(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        let meta = ObsFrame::peek_meta(bytes).map_err(|error| StoreError::BadFrame {
+            segment_id: self.segment_id,
+            error,
+        })?;
+        if meta.encoded_len != bytes.len() {
+            return Err(StoreError::BadFrame {
+                segment_id: self.segment_id,
+                error: mobisense_serve::wire::WireError::Truncated {
+                    needed: meta.encoded_len,
+                    got: bytes.len(),
+                },
+            });
+        }
+        self.append_obs(bytes, meta.client_id, meta.seq, meta.at)?;
+        Ok(())
+    }
+
+    /// Appends one decision-log line (no trailing newline).
+    pub fn append_decision_row(&mut self, row: &str) -> io::Result<()> {
+        assert!(!row.contains('\n'), "decision rows are single lines");
+        self.append_record(RecordKind::DecisionRow, row.as_bytes())
+    }
+
+    /// Seals the current segment now (even below the size target) and
+    /// starts a new one. No-op when the current segment is empty.
+    pub fn seal_segment(&mut self) -> io::Result<()> {
+        if self.records == 0 {
+            return Ok(());
+        }
+        self.rotate()
+    }
+
+    /// Seals the final segment and returns what was written. An empty
+    /// in-progress segment is deleted rather than sealed.
+    pub fn finish(mut self) -> io::Result<WriteSummary> {
+        if self.records > 0 {
+            self.seal_current()?;
+        } else {
+            // Nothing in the tail segment: drop the handle, remove it.
+            self.file.flush()?;
+            fs::remove_file(&self.open_path)?;
+        }
+        let bytes = self.sealed.iter().map(|m| m.bytes).sum();
+        Ok(WriteSummary {
+            segments: std::mem::take(&mut self.sealed),
+            frames: self.frames_total,
+            bytes,
+        })
+    }
+
+    /// Flushes buffered bytes and walks away, leaving the current
+    /// segment as an unsealed `.open` file — byte-for-byte what a
+    /// process crash after the last OS write would leave. Returns the
+    /// abandoned path. Tests and the crash-recovery example use this.
+    pub fn abandon(mut self) -> io::Result<PathBuf> {
+        self.file.flush()?;
+        Ok(std::mem::take(&mut self.open_path))
+    }
+
+    fn append_obs(&mut self, bytes: &[u8], client_id: u32, seq: u32, at: Nanos) -> io::Result<()> {
+        self.append_record(RecordKind::Obs, bytes)?;
+        // After append_record: a rotation in there must not carry this
+        // frame's metadata into the *previous* segment's index.
+        self.index.note(client_id, seq, at);
+        self.frames_total += 1;
+        Ok(())
+    }
+
+    /// Streams one framed record (length, kind, payload, CRC) to the
+    /// file, rotating first when it would overflow the size target.
+    fn append_record(&mut self, kind: RecordKind, payload: &[u8]) -> io::Result<()> {
+        assert!(payload.len() <= MAX_RECORD_LEN, "record payload too large");
+        if self.records > 0
+            && self.body_len + RECORD_OVERHEAD + payload.len() > self.cfg.target_segment_bytes
+        {
+            self.rotate()?;
+        }
+        let len = (payload.len() as u32).to_le_bytes();
+        let kind_byte = [kind.as_u8()];
+        let mut rec_crc = Crc32::new();
+        rec_crc.update(&kind_byte);
+        rec_crc.update(payload);
+        let crc = rec_crc.finish().to_le_bytes();
+        for part in [&len[..], &kind_byte, payload, &crc] {
+            self.file.write_all(part)?;
+            self.body_crc.update(part);
+        }
+        self.body_len += RECORD_OVERHEAD + payload.len();
+        self.records += 1;
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.seal_current()?;
+        self.segment_id += 1;
+        let (file, open_path, body_crc) = start_segment(&self.cfg.dir, self.segment_id)?;
+        self.file = file;
+        self.open_path = open_path;
+        self.body_crc = body_crc;
+        self.body_len = SEGMENT_HEADER_LEN;
+        self.records = 0;
+        self.index = SegmentIndex::empty();
+        Ok(())
+    }
+
+    fn seal_current(&mut self) -> io::Result<()> {
+        let seal = SealInfo {
+            records: self.records,
+            body_crc: self.body_crc.finish(),
+            index: std::mem::replace(&mut self.index, SegmentIndex::empty()),
+        };
+        self.scratch.clear();
+        segment::append_record(&mut self.scratch, RecordKind::Seal, &seal.encode());
+        self.file.write_all(&self.scratch)?;
+        self.file.flush()?;
+        // The footer must be durable before the sealed name appears.
+        self.file.get_ref().sync_all()?;
+        let sealed_path = self.cfg.dir.join(sealed_name(self.segment_id));
+        fs::rename(&self.open_path, &sealed_path)?;
+        self.sealed.push(SegmentMeta {
+            id: self.segment_id,
+            path: sealed_path,
+            sealed: true,
+            bytes: (self.body_len + self.scratch.len()) as u64,
+            records: seal.records,
+            index: Some(seal.index),
+        });
+        Ok(())
+    }
+}
+
+fn start_segment(dir: &Path, id: u64) -> io::Result<(BufWriter<File>, PathBuf, Crc32)> {
+    let open_path = dir.join(open_name(id));
+    let mut file = BufWriter::new(File::create(&open_path)?);
+    let header = segment::segment_header(id);
+    file.write_all(&header)?;
+    let mut crc = Crc32::new();
+    crc.update(&header);
+    Ok((file, open_path, crc))
+}
+
+/// One past the highest segment id present in `dir` (sealed or open).
+fn next_segment_id(dir: &Path) -> io::Result<u64> {
+    let mut next = 0u64;
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some((id, _)) = entry.file_name().to_str().and_then(parse_segment_name) {
+            next = next.max(id + 1);
+        }
+    }
+    Ok(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::scan_segment;
+    use crate::testdir;
+
+    fn frame(client: u32, seq: u32) -> ObsFrame {
+        ObsFrame {
+            client_id: client,
+            seq,
+            at: 1_000_000 * seq as Nanos,
+            distance_m: 2.0 + seq as f64,
+            digest: vec![0.5; 8],
+        }
+    }
+
+    #[test]
+    fn single_sealed_segment_round_trips() {
+        let dir = testdir::fresh("writer-single");
+        let mut w = TraceWriter::create(StoreConfig::new(&dir)).expect("create");
+        for seq in 0..5 {
+            w.append_frame(&frame(9, seq)).expect("append");
+        }
+        w.append_decision_row("9,4,x").expect("row");
+        let summary = w.finish().expect("finish");
+        assert_eq!(summary.segments.len(), 1);
+        assert_eq!(summary.frames, 5);
+        let meta = &summary.segments[0];
+        assert_eq!(meta.id, 0);
+        assert!(meta.sealed);
+        assert_eq!(meta.records, 6);
+
+        let bytes = fs::read(&meta.path).expect("read");
+        assert_eq!(bytes.len() as u64, meta.bytes);
+        assert_eq!(summary.bytes, meta.bytes);
+        let scan = scan_segment(&bytes).expect("header");
+        assert!(scan.sealed_ok());
+        assert_eq!(scan.records.len(), 6);
+        let seal = scan.seal.expect("seal");
+        assert_eq!(seal.index.frames, 5);
+        assert_eq!(seal.index.clients, vec![9]);
+        // No .open leftovers.
+        assert!(!dir.join(open_name(0)).exists());
+    }
+
+    #[test]
+    fn rotation_splits_by_size_and_indexes_per_segment() {
+        let dir = testdir::fresh("writer-rotate");
+        let cfg = StoreConfig::new(&dir).with_target_segment_bytes(256);
+        let mut w = TraceWriter::create(cfg).expect("create");
+        for seq in 0..20 {
+            w.append_frame(&frame(seq % 3, seq)).expect("append");
+        }
+        let summary = w.finish().expect("finish");
+        assert!(summary.segments.len() > 1, "tiny target must rotate");
+        let total: u64 = summary
+            .segments
+            .iter()
+            .map(|m| m.index.as_ref().expect("index").frames)
+            .sum();
+        assert_eq!(total, 20);
+        // Ids are consecutive from zero and every file scans sealed.
+        for (i, meta) in summary.segments.iter().enumerate() {
+            assert_eq!(meta.id, i as u64);
+            let bytes = fs::read(&meta.path).expect("read");
+            assert!(scan_segment(&bytes).expect("header").sealed_ok());
+        }
+    }
+
+    #[test]
+    fn create_continues_ids_after_existing_segments() {
+        let dir = testdir::fresh("writer-continue");
+        let mut w = TraceWriter::create(StoreConfig::new(&dir)).expect("create");
+        w.append_frame(&frame(1, 0)).expect("append");
+        w.finish().expect("finish");
+
+        let w = TraceWriter::create(StoreConfig::new(&dir)).expect("recreate");
+        assert_eq!(w.segment_id(), 1);
+        // Finishing with no records must not leave an empty segment.
+        w.finish().expect("finish empty");
+        assert!(!dir.join(sealed_name(1)).exists());
+        assert!(!dir.join(open_name(1)).exists());
+    }
+
+    #[test]
+    fn abandon_leaves_a_salvageable_open_tail() {
+        let dir = testdir::fresh("writer-abandon");
+        let cfg = StoreConfig::new(&dir).with_target_segment_bytes(256);
+        let mut w = TraceWriter::create(cfg).expect("create");
+        for seq in 0..20 {
+            w.append_frame(&frame(7, seq)).expect("append");
+        }
+        let open_path = w.abandon().expect("abandon");
+        assert!(open_path.exists());
+        let scan_bytes = fs::read(&open_path).expect("read");
+        let scan = scan_segment(&scan_bytes).expect("header");
+        assert!(scan.seal.is_none());
+        assert!(scan.error.is_none(), "clean open tail");
+        assert!(!scan.records.is_empty());
+    }
+
+    #[test]
+    fn append_encoded_rejects_damaged_frames() {
+        let dir = testdir::fresh("writer-badframe");
+        let mut w = TraceWriter::create(StoreConfig::new(&dir)).expect("create");
+        let good = frame(4, 2).encode();
+        w.append_encoded(&good).expect("good frame");
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            w.append_encoded(&bad),
+            Err(StoreError::BadFrame { .. })
+        ));
+        // Trailing garbage (length mismatch).
+        let mut long = good.clone();
+        long.push(0);
+        assert!(matches!(
+            w.append_encoded(&long),
+            Err(StoreError::BadFrame { .. })
+        ));
+        let summary = w.finish().expect("finish");
+        assert_eq!(summary.frames, 1);
+    }
+}

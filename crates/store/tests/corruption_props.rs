@@ -1,0 +1,174 @@
+//! Property tests for store durability: random single-bit flips and
+//! random truncations against real segment files on disk. The
+//! invariants under attack:
+//!
+//! * the reader is **total** — no input ever panics it;
+//! * a single corruption is always detected (strict reads error);
+//! * recovery loses **at most one segment**, and what it does return
+//!   is exactly the undamaged segments' records, in order;
+//! * a crash-truncated tail salvages a clean prefix of what was
+//!   written, and never costs any sealed frame.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mobisense_serve::wire::ObsFrame;
+use mobisense_store::segment::{scan_segment, RecordKind};
+use mobisense_store::{StoreConfig, TraceReader, TraceWriter};
+use proptest::prelude::*;
+use proptest::strategy::StrategyExt;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "mobisense-store-props-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn frame(client: u32, seq: u32) -> ObsFrame {
+    ObsFrame {
+        client_id: client,
+        seq,
+        at: 1000 * seq as u64,
+        distance_m: 2.0 + client as f64,
+        digest: vec![0.5, 1.5, -0.5, 0.25],
+    }
+}
+
+/// Writes a deterministic multi-segment store: 3 clients × 20 frames
+/// interleaved, a decision row every 10 frames, tiny segments.
+fn build_store(dir: &std::path::Path) -> usize {
+    let cfg = StoreConfig::new(dir).with_target_segment_bytes(400);
+    let mut w = TraceWriter::create(cfg).expect("create");
+    for seq in 0..20u32 {
+        for client in 0..3u32 {
+            w.append_frame(&frame(client, seq)).expect("append");
+        }
+        if seq % 10 == 9 {
+            w.append_decision_row(&format!("row-{seq}")).expect("row");
+        }
+    }
+    w.finish().expect("finish").segments.len()
+}
+
+/// Strictly reads the store back grouped by segment id, so a test can
+/// predict exactly what recovery must return when one segment dies.
+fn records_by_segment(dir: &std::path::Path) -> BTreeMap<u64, (Vec<ObsFrame>, Vec<String>)> {
+    let reader = TraceReader::open(dir).expect("open");
+    let mut out: BTreeMap<u64, (Vec<ObsFrame>, Vec<String>)> = BTreeMap::new();
+    reader
+        .visit_records(|seg, kind, payload| {
+            let entry = out.entry(seg).or_default();
+            match kind {
+                RecordKind::Obs => entry
+                    .0
+                    .push(ObsFrame::decode(payload).expect("intact store").0),
+                RecordKind::DecisionRow => entry
+                    .1
+                    .push(String::from_utf8(payload.to_vec()).expect("utf8")),
+                RecordKind::Seal => unreachable!(),
+            }
+            Ok(())
+        })
+        .expect("intact store reads strictly");
+    out
+}
+
+proptest! {
+    /// Flip one bit anywhere in one sealed segment: strict reads must
+    /// detect it, recovery must skip exactly that segment and nothing
+    /// else.
+    #[test]
+    fn single_bit_flip_costs_at_most_one_segment(
+        seg_pick in 0usize..64,
+        offset_frac in 0.0..1.0f64,
+        bit in 0u32..8,
+    ) {
+        let dir = fresh_dir("flip");
+        let n_segments = build_store(&dir);
+        prop_assert!(n_segments > 2, "want a multi-segment store");
+        let baseline = records_by_segment(&dir);
+
+        let reader = TraceReader::open(&dir).expect("open");
+        let victim = &reader.segments()[seg_pick % n_segments];
+        let victim_id = victim.id;
+        let mut bytes = std::fs::read(&victim.path).expect("read");
+        let pos = ((bytes.len() as f64 * offset_frac) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        std::fs::write(&victim.path, &bytes).expect("write");
+
+        // Totality: open and both read disciplines must not panic.
+        let reader = TraceReader::open(&dir).expect("open survives");
+        prop_assert!(reader.read_frames().is_err(), "strict read must detect the flip");
+        let rec = reader.recover().expect("recover is io-clean");
+
+        prop_assert!(rec.skipped.len() <= 1, "skipped {:?}", rec.skipped);
+        prop_assert_eq!(rec.skipped.clone(), vec![victim_id]);
+        prop_assert_eq!(rec.tail_segments, 0);
+        let expected_frames: Vec<ObsFrame> = baseline
+            .iter()
+            .filter(|(id, _)| **id != victim_id)
+            .flat_map(|(_, (frames, _))| frames.clone())
+            .collect();
+        let expected_rows: Vec<String> = baseline
+            .iter()
+            .filter(|(id, _)| **id != victim_id)
+            .flat_map(|(_, (_, rows))| rows.clone())
+            .collect();
+        prop_assert_eq!(rec.frames, expected_frames);
+        prop_assert_eq!(rec.decision_rows, expected_rows);
+    }
+
+    /// Truncate a crash tail at a random point: every sealed frame
+    /// survives, and the tail contributes a clean prefix.
+    #[test]
+    fn truncated_tail_salvages_a_prefix_and_no_sealed_frame(
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let dir = fresh_dir("trunc");
+        build_store(&dir);
+        let sealed: Vec<ObsFrame> = records_by_segment(&dir)
+            .into_values()
+            .flat_map(|(frames, _)| frames)
+            .collect();
+
+        // A crash mid-write: 8 more frames, then the process dies.
+        let cfg = StoreConfig::new(&dir).with_target_segment_bytes(1 << 20);
+        let mut w = TraceWriter::create(cfg).expect("create");
+        let tail_frames: Vec<ObsFrame> = (0..8u32).map(|seq| frame(9, seq)).collect();
+        for f in &tail_frames {
+            w.append_frame(f).expect("append");
+        }
+        let open_path = w.abandon().expect("abandon");
+        let mut bytes = std::fs::read(&open_path).expect("read");
+        let cut = ((bytes.len() as f64 * cut_frac) as usize).min(bytes.len());
+        bytes.truncate(cut);
+        std::fs::write(&open_path, &bytes).expect("write");
+
+        let reader = TraceReader::open(&dir).expect("open survives");
+        let rec = reader.recover().expect("recover is io-clean");
+        prop_assert!(rec.skipped.is_empty(), "no sealed segment may be lost");
+        prop_assert_eq!(rec.frames.len(), sealed.len() + rec.tail_frames as usize);
+        prop_assert_eq!(&rec.frames[..sealed.len()], &sealed[..]);
+        // Whatever the tail yields is a prefix of what was written.
+        prop_assert!(rec.tail_frames as usize <= tail_frames.len());
+        prop_assert_eq!(
+            &rec.frames[sealed.len()..],
+            &tail_frames[..rec.tail_frames as usize]
+        );
+    }
+
+    /// The segment scanner is total over arbitrary bytes.
+    #[test]
+    fn scanner_never_panics_on_junk(
+        junk in prop::collection::vec((0u32..256).prop_map(|b| b as u8), 0..512),
+    ) {
+        let _ = scan_segment(&junk);
+    }
+}

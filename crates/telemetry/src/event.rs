@@ -92,6 +92,32 @@ pub enum Event {
         /// Deepest ingest-queue occupancy the worker observed.
         max_depth: u64,
     },
+    /// The trace store sealed one segment (`mobisense-store`).
+    StoreSegment {
+        /// Sim time of the newest frame in the segment (0 for
+        /// segments holding no observation frames).
+        at: Nanos,
+        /// Segment id.
+        segment: u64,
+        /// Observation frames the segment holds.
+        frames: u64,
+        /// Sealed segment size on disk, bytes.
+        bytes: u64,
+    },
+    /// The trace store salvaged or skipped damaged data during a
+    /// recovering read (`mobisense-store`).
+    StoreRecovery {
+        /// Sim time of the newest frame recovered from the damaged
+        /// segment (0 when nothing was salvageable).
+        at: Nanos,
+        /// The damaged segment's id.
+        segment: u64,
+        /// Frames salvaged from the segment's good prefix.
+        frames: u64,
+        /// Frames known lost (sealed segments record their count; 0
+        /// when the loss is unknowable, e.g. a truncated tail).
+        lost: u64,
+    },
 }
 
 impl Event {
@@ -105,7 +131,9 @@ impl Event {
             | Event::Beamsound { at, .. }
             | Event::AmpduTx { at, .. }
             | Event::Goodput { at, .. }
-            | Event::ServeShard { at, .. } => at,
+            | Event::ServeShard { at, .. }
+            | Event::StoreSegment { at, .. }
+            | Event::StoreRecovery { at, .. } => at,
         }
     }
 
@@ -121,6 +149,8 @@ impl Event {
             Event::AmpduTx { .. } => "ampdu_tx",
             Event::Goodput { .. } => "goodput",
             Event::ServeShard { .. } => "serve_shard",
+            Event::StoreSegment { .. } => "store_segment",
+            Event::StoreRecovery { .. } => "store_recovery",
         }
     }
 }

@@ -93,6 +93,28 @@ pub fn event_to_json(event: &Event) -> String {
             field_u64(&mut s, "shed", shed);
             field_u64(&mut s, "max_depth", max_depth);
         }
+        Event::StoreSegment {
+            at,
+            segment,
+            frames,
+            bytes,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "segment", segment);
+            field_u64(&mut s, "frames", frames);
+            field_u64(&mut s, "bytes", bytes);
+        }
+        Event::StoreRecovery {
+            at,
+            segment,
+            frames,
+            lost,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "segment", segment);
+            field_u64(&mut s, "frames", frames);
+            field_u64(&mut s, "lost", lost);
+        }
     }
     s.push('}');
     s
@@ -174,6 +196,18 @@ pub fn parse_event(line: &str) -> Result<Event, String> {
             decisions: get_u64(&fields, "decisions")?,
             shed: get_u64(&fields, "shed")?,
             max_depth: get_u64(&fields, "max_depth")?,
+        }),
+        "store_segment" => Ok(Event::StoreSegment {
+            at,
+            segment: get_u64(&fields, "segment")?,
+            frames: get_u64(&fields, "frames")?,
+            bytes: get_u64(&fields, "bytes")?,
+        }),
+        "store_recovery" => Ok(Event::StoreRecovery {
+            at,
+            segment: get_u64(&fields, "segment")?,
+            frames: get_u64(&fields, "frames")?,
+            lost: get_u64(&fields, "lost")?,
         }),
         other => Err(format!("unknown event type {other:?}")),
     }
@@ -462,6 +496,18 @@ mod tests {
                 decisions: 512,
                 shed: 7,
                 max_depth: 96,
+            },
+            Event::StoreSegment {
+                at: 900,
+                segment: 12,
+                frames: 4096,
+                bytes: 1_048_576,
+            },
+            Event::StoreRecovery {
+                at: 950,
+                segment: 13,
+                frames: 118,
+                lost: 3978,
             },
         ]
     }

@@ -108,9 +108,12 @@ fn soak_smoke_64_clients_2_shards() {
         .expect("serve.run span recorded");
     assert_eq!(count, 1);
 
-    // Latency and depth histograms saw real traffic.
+    // Depth is sampled at every pop; latency at every completed
+    // classification. Under shedding the host scheduler decides how
+    // many classifications complete (possibly none on a loaded
+    // machine), so assert the counting invariants, not a minimum.
     assert_eq!(report.depth.count(), report.frames_processed);
-    assert!(report.latency_ns.count() > 0);
+    assert!(report.latency_ns.count() >= report.decisions);
 }
 
 /// The serving layer and the single-link harness agree: a one-client
