@@ -1,0 +1,114 @@
+//! Flight-recorder overhead: serve throughput with background
+//! recording off, on with a blocking (lossless) channel, and on with
+//! drop-newest shedding — plus the raw CRC-32 bandwidth every
+//! recorded byte pays.
+//!
+//! Not a paper artefact — this measures the always-on recording path
+//! (DESIGN.md section 5.9). The same pre-encoded fleet is served
+//! three times; the recorder variants tee every observation frame and
+//! the merged decision log into a real on-disk segmented store from a
+//! dedicated writer thread behind a bounded channel.
+
+use std::time::Instant;
+
+use mobisense_bench::header;
+use mobisense_serve::fleet::{EncodedFleet, FleetConfig};
+use mobisense_serve::recording::{RecordPolicy, RecordingConfig};
+use mobisense_serve::service::{serve_streams, serve_streams_recorded, ServeConfig};
+use mobisense_store::{crc32, spawn_flight_recorder, StoreConfig};
+use mobisense_telemetry::NoopSink;
+use mobisense_util::units::{MILLISECOND, SECOND};
+
+fn main() {
+    header(
+        "flight_recorder",
+        "serve frames/sec with background recording off / blocking / drop-newest, and CRC-32 MB/s",
+        "lossless (blocking) recording degrades serving to store write bandwidth; drop-newest sheds load to keep serving fast; CRC is never the bottleneck",
+    );
+
+    let fleet_cfg = FleetConfig {
+        n_clients: 192,
+        duration: 12 * SECOND,
+        step: 20 * MILLISECOND,
+        base_seed: 2014,
+        ..FleetConfig::default()
+    };
+    eprintln!(
+        "generating fleet: {} clients x {} frames...",
+        fleet_cfg.n_clients,
+        fleet_cfg.frames_per_client()
+    );
+    let fleet = EncodedFleet::generate(&fleet_cfg);
+    let serve_cfg = ServeConfig::default();
+    let total = fleet.total_frames();
+
+    println!("mode, frames, wall_ms, frames_per_sec, recorded, dropped, store_mib");
+
+    // Baseline: no recorder in the loop.
+    let t0 = Instant::now();
+    let (_decisions, report) = serve_streams(&serve_cfg, &fleet.streams, &mut NoopSink);
+    let wall = t0.elapsed();
+    assert_eq!(report.frames_processed, total);
+    println!(
+        "off, {total}, {:.0}, {:.0}, 0, 0, 0.0",
+        wall.as_secs_f64() * 1e3,
+        total as f64 / wall.as_secs_f64(),
+    );
+
+    for (name, policy) in [
+        ("block", RecordPolicy::Block),
+        ("drop_newest", RecordPolicy::DropNewest),
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "mobisense-bench-flightrec-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = StoreConfig::new(&dir);
+        let rec = spawn_flight_recorder(
+            store,
+            RecordingConfig {
+                capacity: 4096,
+                policy,
+            },
+        )
+        .expect("spawn recorder");
+        let handle = rec.handle();
+        let t0 = Instant::now();
+        let (_decisions, report) =
+            serve_streams_recorded(&serve_cfg, &fleet.streams, &handle, &mut NoopSink);
+        let (summary, stats) = rec.finish().expect("finish");
+        // The blocking variant's wall time includes the drain; that is
+        // the honest end-to-end cost of losslessness.
+        let wall = t0.elapsed();
+        assert_eq!(report.frames_processed, total);
+        if policy == RecordPolicy::Block {
+            assert_eq!(stats.dropped, 0, "blocking recorder is lossless");
+        }
+        println!(
+            "{name}, {total}, {:.0}, {:.0}, {}, {}, {:.1}",
+            wall.as_secs_f64() * 1e3,
+            total as f64 / wall.as_secs_f64(),
+            stats.frames,
+            stats.dropped,
+            summary.bytes as f64 / (1024.0 * 1024.0),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Raw CRC-32 bandwidth (slicing-by-8): what every stored byte pays
+    // twice (record CRC + seal body CRC).
+    let buf: Vec<u8> = (0..(16usize << 20)).map(|i| (i * 31) as u8).collect();
+    let mut acc = 0u32;
+    let t0 = Instant::now();
+    const ROUNDS: usize = 16;
+    for _ in 0..ROUNDS {
+        acc = acc.rotate_left(1) ^ crc32(&buf);
+    }
+    let wall = t0.elapsed();
+    let mib = (ROUNDS * buf.len()) as f64 / (1024.0 * 1024.0);
+    println!(
+        "crc32, mib_per_sec, {:.0}, checksum, {acc:08x}",
+        mib / wall.as_secs_f64()
+    );
+}

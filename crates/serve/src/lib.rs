@@ -17,7 +17,11 @@
 //!   mobility transition;
 //! * [`fleet`] — deterministic synthetic fleets: thousands of encoded
 //!   client streams generated from `mobisense-core` ground-truth
-//!   scenarios.
+//!   scenarios;
+//! * [`recording`] — the always-on flight recorder: a bounded channel
+//!   plus a dedicated writer thread teeing every served frame (and the
+//!   golden decision log) into a [`RecordBackend`] — in production the
+//!   trace store — without disk latency on the frame path.
 //!
 //! The headline property is the **determinism contract**: under
 //! blocking backpressure the merged decision log, sorted by
@@ -31,13 +35,17 @@
 
 pub mod fleet;
 pub mod queue;
+pub mod recording;
 pub mod service;
 pub mod wire;
 
 pub use fleet::{shard_of, ClientStream, EncodedFleet, FleetConfig};
 pub use queue::{OverflowPolicy, ShardQueue};
+pub use recording::{
+    RecordBackend, RecordPolicy, Recorder, RecorderHandle, RecorderStats, RecordingConfig,
+};
 pub use service::{
-    decision_log_csv, serve_fleet, serve_streams, ServeConfig, ServeDecision, ServeReport,
-    ShardSummary,
+    decision_log_csv, serve_fleet, serve_streams, serve_streams_recorded, ServeConfig,
+    ServeDecision, ServeReport, ShardSummary,
 };
 pub use wire::{decode_stream, decode_stream_lossy, FrameMeta, ObsFrame, WireError};

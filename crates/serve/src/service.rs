@@ -34,6 +34,7 @@ use mobisense_util::units::Nanos;
 
 use crate::fleet::{mix64, shard_of, ClientStream, EncodedFleet};
 use crate::queue::{OverflowPolicy, ShardQueue};
+use crate::recording::RecorderHandle;
 
 /// Queue-depth histogram bucket bounds (frames).
 pub const DEPTH_BUCKETS: &[f64] = &[
@@ -226,13 +227,25 @@ fn run_worker(queue: &ShardQueue, cfg: &ServeConfig) -> WorkerResult {
 /// each client's sequence order and interleaves clients fairly. Frames
 /// are decoded through the wire codec on the way in — the replay path
 /// exercises exactly the parser an ingest socket would.
-fn run_producer(queue: &ShardQueue, clients: &[&ClientStream], overflow: OverflowPolicy) -> u64 {
+/// When a recorder is attached, each frame's wire encoding is teed to
+/// it before the push — so the recording channel sees frames in the
+/// same per-client order the shard consumes them, which is what makes
+/// a lossless recording replay byte-identically.
+fn run_producer(
+    queue: &ShardQueue,
+    clients: &[&ClientStream],
+    overflow: OverflowPolicy,
+    recorder: Option<&RecorderHandle>,
+) -> u64 {
     let max_frames = clients.iter().map(|s| s.n_frames).max().unwrap_or(0);
     let mut submitted = 0u64;
     for i in 0..max_frames {
         for stream in clients {
             if i >= stream.n_frames {
                 continue;
+            }
+            if let Some(rec) = recorder {
+                rec.record_frame(stream.frame(i));
             }
             queue.push((Instant::now(), stream.obs(i)), overflow);
             submitted += 1;
@@ -265,6 +278,56 @@ pub fn serve_streams<S: Sink + ?Sized>(
     streams: &[ClientStream],
     sink: &mut S,
 ) -> (Vec<ServeDecision>, ServeReport) {
+    serve_streams_inner(cfg, streams, None, sink)
+}
+
+/// [`serve_streams`] with the flight recorder attached: every frame's
+/// wire encoding is teed onto `recorder`'s channel as its producer
+/// submits it, and after the run the golden decision log (every CSV
+/// line of [`decision_log_csv`], header included — matching the
+/// store's `record_fleet` layout) is appended as decision rows.
+///
+/// Under [`crate::recording::RecordPolicy::Block`] the recording is
+/// lossless, so replaying the resulting store reproduces this run's
+/// decision log byte-for-byte; under `DropNewest` serving never waits
+/// on the recorder and the drop counter says what the trace is
+/// missing. Emits one [`Event::ServeRecorder`] with the channel
+/// counters alongside the usual per-shard events.
+pub fn serve_streams_recorded<S: Sink + ?Sized>(
+    cfg: &ServeConfig,
+    streams: &[ClientStream],
+    recorder: &RecorderHandle,
+    sink: &mut S,
+) -> (Vec<ServeDecision>, ServeReport) {
+    let (decisions, report) = serve_streams_inner(cfg, streams, Some(recorder), sink);
+    for line in decision_log_csv(&decisions).lines() {
+        recorder.record_row(line);
+    }
+    if sink.enabled() {
+        let stats = recorder.stats();
+        let at = report
+            .per_shard
+            .iter()
+            .map(|s| s.last_at)
+            .max()
+            .unwrap_or(0);
+        sink.record(Event::ServeRecorder {
+            at,
+            frames: stats.frames,
+            rows: stats.rows,
+            dropped: stats.dropped,
+            max_depth: stats.max_depth,
+        });
+    }
+    (decisions, report)
+}
+
+fn serve_streams_inner<S: Sink + ?Sized>(
+    cfg: &ServeConfig,
+    streams: &[ClientStream],
+    recorder: Option<&RecorderHandle>,
+    sink: &mut S,
+) -> (Vec<ServeDecision>, ServeReport) {
     assert!(cfg.n_shards > 0, "need at least one shard");
     let started = Instant::now();
     let queues: Vec<Arc<ShardQueue>> = (0..cfg.n_shards)
@@ -291,7 +354,7 @@ pub fn serve_streams<S: Sink + ?Sized>(
             .map(|(q, clients)| {
                 let q = Arc::clone(q);
                 let clients: &[&ClientStream] = clients;
-                scope.spawn(move || run_producer(&q, clients, cfg.overflow))
+                scope.spawn(move || run_producer(&q, clients, cfg.overflow, recorder))
             })
             .collect();
         for p in producers {

@@ -128,6 +128,14 @@ fn compact_inner<S: Sink + ?Sized>(
             bytes: bytes.len() as u64,
         });
     }
+    // Same crash window as the writer's seal: the removals and
+    // swap-in renames above are directory mutations, and none of them
+    // is durable until the directory entry itself is fsynced — a
+    // crash could otherwise resurrect `.tmp` names or undelete old
+    // segments despite every data byte being on disk.
+    if cfg.dir_sync {
+        crate::writer::sync_dir(&cfg.dir)?;
+    }
 
     Ok(CompactReport {
         segments_before,

@@ -23,7 +23,16 @@
 //! * [`replay`] — the golden-regression harness: record a fleet
 //!   together with the decision log the live service produced, then
 //!   replay the stored frames through [`serve_streams`] and verify the
-//!   merged decision log is byte-identical for any shard count.
+//!   merged decision log is byte-identical for any shard count;
+//! * [`recording`] — the store as a flight-recorder backend: plugs a
+//!   [`TraceWriter`] into `mobisense-serve`'s background recording
+//!   channel so frames are persisted *during* normal serving;
+//! * [`tail`] — live tailing: a polling cursor with verified-prefix
+//!   reads over the unsealed `.open` segment, surviving writer
+//!   rotation and retention GC;
+//! * [`retention`] — bounded stores: size/age budgets enforced at
+//!   every seal, refusing to drop segments inside a configured
+//!   per-client replay window.
 //!
 //! [`serve_streams`]: mobisense_serve::service::serve_streams
 //!
@@ -39,15 +48,21 @@
 pub mod compact;
 pub mod crc;
 pub mod reader;
+pub mod recording;
 pub mod replay;
+pub mod retention;
 pub mod segment;
+pub mod tail;
 pub mod writer;
 
 pub use compact::{compact, CompactReport};
 pub use crc::{crc32, Crc32};
 pub use reader::{Recovery, SegmentMeta, TraceReader};
+pub use recording::{spawn_flight_recorder, FlightRecorder};
 pub use replay::{record_fleet, replay_client, replay_fleet, RecordSummary, ReplayReport};
+pub use retention::{enforce as enforce_retention, ReplayWindow, RetentionPlan, RetentionPolicy};
 pub use segment::{RecordKind, SegmentError, SegmentIndex};
+pub use tail::{TailCursor, TailItem};
 pub use writer::{StoreConfig, TraceWriter, WriteSummary};
 
 use mobisense_serve::wire::WireError;

@@ -76,6 +76,7 @@ impl Recovery {
 
 /// Read-side view of a segment directory.
 pub struct TraceReader {
+    dir: PathBuf,
     segments: Vec<SegmentMeta>,
 }
 
@@ -118,12 +119,23 @@ impl TraceReader {
             });
         }
         segments.sort_by_key(|m| m.id);
-        Ok(TraceReader { segments })
+        Ok(TraceReader {
+            dir: dir.to_path_buf(),
+            segments,
+        })
     }
 
     /// The segments found at open time, in id order.
     pub fn segments(&self) -> &[SegmentMeta] {
         &self.segments
+    }
+
+    /// A live tail cursor positioned at the start of the store: the
+    /// first poll yields everything currently readable (unsealed
+    /// `.open` tails included) and later polls follow the writer. See
+    /// [`TailCursor`](crate::tail::TailCursor) for the semantics.
+    pub fn tail(&self) -> crate::tail::TailCursor {
+        crate::tail::TailCursor::new(&self.dir)
     }
 
     /// Strict sequential visit of every non-seal record. The callback

@@ -1,0 +1,324 @@
+//! Retention and garbage collection over sealed segments.
+//!
+//! An always-on flight recorder fills disks; retention bounds the
+//! store by size ([`RetentionPolicy::max_bytes`]) and by age
+//! ([`RetentionPolicy::max_age`]) while **refusing** to drop what
+//! replay still needs: the newest
+//! [`keep_last_segments`](RetentionPolicy::keep_last_segments) are
+//! never candidates, and a segment whose sparse index shows frames of
+//! a protected client inside its configured [`ReplayWindow`] is kept
+//! even when the store is over budget — an auditable replay window
+//! beats a byte budget. A sealed segment whose index cannot be read
+//! (damage found at open) is also kept: GC must never turn "maybe
+//! recoverable" into "gone".
+//!
+//! Planning ([`RetentionPolicy::plan`]) is pure — it looks only at
+//! segment metadata and deletes nothing — so tests and the writer's
+//! seal-time enforcement share one decision procedure. [`enforce`] is
+//! the standalone sweep: plan, delete, fsync the directory, emit one
+//! [`Event::StoreRetention`] per dropped segment.
+//!
+//! Ages are measured on the **sim clock** (frame capture timestamps),
+//! like everything else in the workspace: a segment is "old" when the
+//! newest frame across the store has moved `max_age` past it, which
+//! keeps retention deterministic per recorded trace.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use mobisense_telemetry::event::Event;
+use mobisense_telemetry::sink::Sink;
+use mobisense_util::units::Nanos;
+
+use crate::reader::{SegmentMeta, TraceReader};
+use crate::writer::sync_dir;
+
+/// One client whose recent history must survive GC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayWindow {
+    /// The protected client.
+    pub client_id: u32,
+    /// How far back (sim time, from the newest frame in the store)
+    /// this client's frames must remain replayable.
+    pub window: Nanos,
+}
+
+/// When sealed segments may be deleted.
+#[derive(Clone, Debug, Default)]
+pub struct RetentionPolicy {
+    /// Delete oldest-first while the sealed store exceeds this many
+    /// bytes. `None` = unbounded.
+    pub max_bytes: Option<u64>,
+    /// Delete segments whose newest frame is more than this far (sim
+    /// time) behind the store's newest frame. `None` = keep forever.
+    pub max_age: Option<Nanos>,
+    /// The newest N sealed segments are never deletion candidates,
+    /// whatever the budgets say.
+    pub keep_last_segments: usize,
+    /// Per-client replay windows that override both budgets.
+    pub replay_windows: Vec<ReplayWindow>,
+}
+
+impl RetentionPolicy {
+    /// A policy that never deletes anything.
+    pub fn keep_everything() -> Self {
+        RetentionPolicy::default()
+    }
+
+    /// Caps the sealed store's total size.
+    pub fn with_max_bytes(mut self, bytes: u64) -> Self {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Caps segment age relative to the newest frame (sim time).
+    pub fn with_max_age(mut self, age: Nanos) -> Self {
+        self.max_age = Some(age);
+        self
+    }
+
+    /// Shields the newest `n` sealed segments from deletion.
+    pub fn with_keep_last_segments(mut self, n: usize) -> Self {
+        self.keep_last_segments = n;
+        self
+    }
+
+    /// Adds one protected per-client replay window.
+    pub fn with_replay_window(mut self, client_id: u32, window: Nanos) -> Self {
+        self.replay_windows.push(ReplayWindow { client_id, window });
+        self
+    }
+
+    /// Whether this policy can ever delete a segment.
+    pub fn is_noop(&self) -> bool {
+        self.max_bytes.is_none() && self.max_age.is_none()
+    }
+
+    /// Decides which of `sealed` (ascending by id, sealed segments
+    /// only) to delete. Pure: nothing is touched on disk.
+    pub fn plan(&self, sealed: &[SegmentMeta]) -> RetentionPlan {
+        debug_assert!(sealed.windows(2).all(|w| w[0].id < w[1].id));
+        let mut plan = RetentionPlan {
+            retained_bytes: sealed.iter().map(|m| m.bytes).sum(),
+            ..RetentionPlan::default()
+        };
+        if self.is_noop() || sealed.is_empty() {
+            return plan;
+        }
+        let newest_at = sealed
+            .iter()
+            .filter_map(|m| m.index.as_ref())
+            .map(|i| i.max_at)
+            .max()
+            .unwrap_or(0);
+        let candidates = sealed.len().saturating_sub(self.keep_last_segments);
+        for meta in &sealed[..candidates] {
+            let over_budget = self.max_bytes.is_some_and(|cap| plan.retained_bytes > cap);
+            let expired = match (&meta.index, self.max_age) {
+                (Some(idx), Some(age)) => idx.max_at.saturating_add(age) < newest_at,
+                _ => false,
+            };
+            if !over_budget && !expired {
+                // Deleting only ever *shrinks* the store, so once the
+                // byte budget holds it holds for every younger
+                // segment, and age only decreases with id — nothing
+                // further can need dropping.
+                break;
+            }
+            if self.protects(meta, newest_at) {
+                plan.protected.push(meta.id);
+                continue;
+            }
+            plan.retained_bytes -= meta.bytes;
+            plan.drop.push(meta.clone());
+        }
+        plan
+    }
+
+    /// Whether a replay window (or unreadable metadata) shields `meta`
+    /// from deletion.
+    fn protects(&self, meta: &SegmentMeta, newest_at: Nanos) -> bool {
+        let Some(idx) = &meta.index else {
+            // No readable index: its contents are unknown, so assume
+            // a protected client could be inside.
+            return true;
+        };
+        self.replay_windows.iter().any(|w| {
+            idx.contains_client(w.client_id) && idx.max_at >= newest_at.saturating_sub(w.window)
+        })
+    }
+}
+
+/// The outcome of planning one retention pass.
+#[derive(Clone, Debug, Default)]
+pub struct RetentionPlan {
+    /// Segments to delete, oldest first.
+    pub drop: Vec<SegmentMeta>,
+    /// Ids of segments a budget wanted gone but a replay window (or
+    /// unreadable metadata) kept.
+    pub protected: Vec<u64>,
+    /// Sealed-store bytes remaining once `drop` is carried out.
+    pub retained_bytes: u64,
+}
+
+impl RetentionPlan {
+    /// Bytes the plan frees.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.drop.iter().map(|m| m.bytes).sum()
+    }
+}
+
+/// One standalone retention sweep over the store at `dir`: plan over
+/// the sealed segments, delete what the plan says, make the deletions
+/// durable with a directory fsync, and emit one
+/// [`Event::StoreRetention`] per dropped segment. Unsealed tails are
+/// never touched. Returns the executed plan.
+pub fn enforce<S: Sink + ?Sized>(
+    dir: &Path,
+    policy: &RetentionPolicy,
+    sink: &mut S,
+) -> io::Result<RetentionPlan> {
+    let reader = TraceReader::open(dir)?;
+    let sealed: Vec<SegmentMeta> = reader
+        .segments()
+        .iter()
+        .filter(|m| m.sealed)
+        .cloned()
+        .collect();
+    let plan = policy.plan(&sealed);
+    for meta in &plan.drop {
+        fs::remove_file(&meta.path)?;
+        sink.record(Event::StoreRetention {
+            at: meta.index.as_ref().map(|i| i.max_at).unwrap_or(0),
+            segment: meta.id,
+            frames: meta.index.as_ref().map(|i| i.frames).unwrap_or(0),
+            bytes: meta.bytes,
+        });
+    }
+    if !plan.drop.is_empty() {
+        sync_dir(dir)?;
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentIndex;
+    use std::path::PathBuf;
+
+    /// A sealed meta with `frames` frames of `client` ending at `at`.
+    fn meta(id: u64, bytes: u64, client: u32, at: Nanos) -> SegmentMeta {
+        let mut index = SegmentIndex::empty();
+        index.note(client, id as u32, at);
+        SegmentMeta {
+            id,
+            path: PathBuf::from(format!("seg-{id:08}.seg")),
+            sealed: true,
+            bytes,
+            records: 1,
+            index: Some(index),
+        }
+    }
+
+    #[test]
+    fn noop_policy_drops_nothing() {
+        let sealed = vec![meta(0, 100, 1, 10), meta(1, 100, 1, 20)];
+        let plan = RetentionPolicy::keep_everything().plan(&sealed);
+        assert!(plan.drop.is_empty());
+        assert!(plan.protected.is_empty());
+        assert_eq!(plan.retained_bytes, 200);
+    }
+
+    #[test]
+    fn byte_budget_drops_oldest_first_until_under() {
+        let sealed: Vec<_> = (0..5).map(|i| meta(i, 100, 1, 10 * i)).collect();
+        let plan = RetentionPolicy::keep_everything()
+            .with_max_bytes(250)
+            .plan(&sealed);
+        let ids: Vec<u64> = plan.drop.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(plan.retained_bytes, 200);
+        assert_eq!(plan.dropped_bytes(), 300);
+    }
+
+    #[test]
+    fn age_budget_uses_sim_time_from_the_newest_frame() {
+        let sealed = vec![
+            meta(0, 100, 1, 100),
+            meta(1, 100, 1, 5_000),
+            meta(2, 100, 1, 10_000),
+        ];
+        let plan = RetentionPolicy::keep_everything()
+            .with_max_age(6_000)
+            .plan(&sealed);
+        // Only segment 0 is more than 6000 ns behind at=10000.
+        assert_eq!(plan.drop.len(), 1);
+        assert_eq!(plan.drop[0].id, 0);
+    }
+
+    #[test]
+    fn keep_last_segments_overrides_budgets() {
+        let sealed: Vec<_> = (0..4).map(|i| meta(i, 100, 1, 10 * i)).collect();
+        let plan = RetentionPolicy::keep_everything()
+            .with_max_bytes(0)
+            .with_keep_last_segments(3)
+            .plan(&sealed);
+        assert_eq!(plan.drop.len(), 1, "only the one non-shielded segment");
+        assert_eq!(plan.drop[0].id, 0);
+    }
+
+    #[test]
+    fn replay_window_protects_over_byte_budget() {
+        // Client 7 lives in segment 1; its window reaches back past it.
+        let sealed = vec![
+            meta(0, 100, 1, 1_000),
+            meta(1, 100, 7, 8_000),
+            meta(2, 100, 1, 10_000),
+        ];
+        let plan = RetentionPolicy::keep_everything()
+            .with_max_bytes(100)
+            .with_keep_last_segments(1)
+            .with_replay_window(7, 5_000)
+            .plan(&sealed);
+        let ids: Vec<u64> = plan.drop.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![0], "segment 1 is inside client 7's window");
+        assert_eq!(plan.protected, vec![1]);
+        // The protected segment's bytes still count against the store.
+        assert_eq!(plan.retained_bytes, 200);
+    }
+
+    #[test]
+    fn replay_window_expires_with_sim_time() {
+        // Same store, but client 7's frames are now ancient relative
+        // to the newest frame: the window no longer reaches them.
+        let sealed = vec![
+            meta(0, 100, 1, 1_000),
+            meta(1, 100, 7, 2_000),
+            meta(2, 100, 1, 100_000),
+        ];
+        let plan = RetentionPolicy::keep_everything()
+            .with_max_bytes(100)
+            .with_keep_last_segments(1)
+            .with_replay_window(7, 5_000)
+            .plan(&sealed);
+        let ids: Vec<u64> = plan.drop.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert!(plan.protected.is_empty());
+    }
+
+    #[test]
+    fn indexless_segments_are_conservatively_protected() {
+        let mut damaged = meta(0, 100, 1, 10);
+        damaged.index = None;
+        let sealed = vec![damaged, meta(1, 100, 1, 20), meta(2, 100, 1, 30)];
+        let plan = RetentionPolicy::keep_everything()
+            .with_max_bytes(100)
+            .with_keep_last_segments(1)
+            .plan(&sealed);
+        let ids: Vec<u64> = plan.drop.iter().map(|m| m.id).collect();
+        assert_eq!(ids, vec![1], "damaged segment 0 must survive");
+        assert_eq!(plan.protected, vec![0]);
+    }
+}

@@ -19,7 +19,8 @@ use mobisense_serve::wire::ObsFrame;
 use mobisense_util::units::Nanos;
 
 use crate::crc::Crc32;
-use crate::reader::SegmentMeta;
+use crate::reader::{SegmentMeta, TraceReader};
+use crate::retention::RetentionPolicy;
 use crate::segment::{
     self, RecordKind, SealInfo, SegmentIndex, MAX_RECORD_LEN, RECORD_OVERHEAD, SEGMENT_HEADER_LEN,
 };
@@ -33,6 +34,13 @@ pub struct StoreConfig {
     /// Rotate once a segment's body reaches this many bytes. The seal
     /// footer is written on top, so files end slightly larger.
     pub target_segment_bytes: usize,
+    /// Retention enforced at every seal; `None` keeps everything.
+    pub retention: Option<RetentionPolicy>,
+    /// Whether to fsync the parent directory after sealing renames
+    /// (on by default). Disabling it reopens the crash window the
+    /// sync closes — the only legitimate use is tests simulating
+    /// exactly that crash.
+    pub dir_sync: bool,
 }
 
 impl StoreConfig {
@@ -41,6 +49,8 @@ impl StoreConfig {
         StoreConfig {
             dir: dir.into(),
             target_segment_bytes: 4 << 20,
+            retention: None,
+            dir_sync: true,
         }
     }
 
@@ -50,17 +60,57 @@ impl StoreConfig {
         self.target_segment_bytes = bytes;
         self
     }
+
+    /// Enforces `policy` at every seal boundary.
+    pub fn with_retention(mut self, policy: RetentionPolicy) -> Self {
+        self.retention = Some(policy);
+        self
+    }
+
+    /// Disables the post-rename directory fsync — the test hook for
+    /// crash-window simulation. Never use in production.
+    pub fn without_dir_sync(mut self) -> Self {
+        self.dir_sync = false;
+        self
+    }
+}
+
+/// Makes directory-entry changes (renames, deletions) in `dir`
+/// durable. On non-Unix platforms directory handles cannot be synced
+/// portably; the no-op keeps behaviour consistent with pre-fix
+/// builds there.
+pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(test)]
+    DIR_SYNCS.with(|c| c.set(c.get() + 1));
+    #[cfg(unix)]
+    File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+#[cfg(test)]
+thread_local! {
+    /// Per-thread count of `sync_dir` calls, so unit tests can prove
+    /// the hook gates the sync without cross-test interference.
+    pub(crate) static DIR_SYNCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 /// What a completed write produced.
 #[derive(Debug)]
 pub struct WriteSummary {
-    /// Metadata of every segment sealed by this writer, in id order.
+    /// Metadata of every segment sealed by this writer and still on
+    /// disk (retention may have deleted some), in id order.
     pub segments: Vec<SegmentMeta>,
     /// Observation frames appended.
     pub frames: u64,
-    /// Total bytes of the sealed segment files.
+    /// Total bytes of the surviving sealed segment files.
     pub bytes: u64,
+    /// Sealed segments deleted by retention during this write
+    /// (preexisting ones included).
+    pub gc_segments: u64,
+    /// Bytes freed by those deletions.
+    pub gc_bytes: u64,
 }
 
 /// Append-only writer over a directory of rotating segments.
@@ -81,6 +131,12 @@ pub struct TraceWriter {
     index: SegmentIndex,
     frames_total: u64,
     sealed: Vec<SegmentMeta>,
+    /// Sealed segments that predate this writer, tracked (and kept
+    /// up to date) only when retention is configured — GC must see
+    /// the whole store, not just this writer's output.
+    preexisting: Vec<SegmentMeta>,
+    gc_segments: u64,
+    gc_bytes: u64,
     scratch: Vec<u8>,
 }
 
@@ -91,6 +147,16 @@ impl TraceWriter {
     pub fn create(cfg: StoreConfig) -> io::Result<TraceWriter> {
         fs::create_dir_all(&cfg.dir)?;
         let next_id = next_segment_id(&cfg.dir)?;
+        let preexisting = if cfg.retention.as_ref().is_some_and(|p| !p.is_noop()) {
+            TraceReader::open(&cfg.dir)?
+                .segments()
+                .iter()
+                .filter(|m| m.sealed)
+                .cloned()
+                .collect()
+        } else {
+            Vec::new()
+        };
         let (file, open_path, body_crc) = start_segment(&cfg.dir, next_id)?;
         Ok(TraceWriter {
             cfg,
@@ -103,6 +169,9 @@ impl TraceWriter {
             index: SegmentIndex::empty(),
             frames_total: 0,
             sealed: Vec::new(),
+            preexisting,
+            gc_segments: 0,
+            gc_bytes: 0,
             scratch: Vec::new(),
         })
     }
@@ -164,6 +233,13 @@ impl TraceWriter {
         self.rotate()
     }
 
+    /// Pushes buffered records to the OS so live tail readers can see
+    /// them. Visibility only, **not** durability — sealing is what
+    /// makes records crash-safe.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+
     /// Seals the final segment and returns what was written. An empty
     /// in-progress segment is deleted rather than sealed.
     pub fn finish(mut self) -> io::Result<WriteSummary> {
@@ -179,6 +255,8 @@ impl TraceWriter {
             segments: std::mem::take(&mut self.sealed),
             frames: self.frames_total,
             bytes,
+            gc_segments: self.gc_segments,
+            gc_bytes: self.gc_bytes,
         })
     }
 
@@ -251,6 +329,15 @@ impl TraceWriter {
         self.file.get_ref().sync_all()?;
         let sealed_path = self.cfg.dir.join(sealed_name(self.segment_id));
         fs::rename(&self.open_path, &sealed_path)?;
+        // The rename updated the *directory*, and directories have
+        // their own durability: until the parent dir is fsynced, a
+        // crash can revert the file to its `.open` name even though
+        // every byte (seal included) is safely on disk. That window
+        // would make "the sealed name is the durability promise" a
+        // lie, so close it before reporting the segment sealed.
+        if self.cfg.dir_sync {
+            sync_dir(&self.cfg.dir)?;
+        }
         self.sealed.push(SegmentMeta {
             id: self.segment_id,
             path: sealed_path,
@@ -259,6 +346,43 @@ impl TraceWriter {
             records: seal.records,
             index: Some(seal.index),
         });
+        self.enforce_retention()
+    }
+
+    /// Applies the configured retention policy across the whole store
+    /// (preexisting segments included), deleting what the plan says
+    /// and keeping the in-memory segment lists in step with the disk.
+    fn enforce_retention(&mut self) -> io::Result<()> {
+        let Some(policy) = &self.cfg.retention else {
+            return Ok(());
+        };
+        if policy.is_noop() {
+            return Ok(());
+        }
+        let mut all: Vec<SegmentMeta> = self
+            .preexisting
+            .iter()
+            .chain(self.sealed.iter())
+            .cloned()
+            .collect();
+        all.sort_by_key(|m| m.id);
+        let plan = policy.plan(&all);
+        if plan.drop.is_empty() {
+            return Ok(());
+        }
+        let mut dropped_ids = Vec::with_capacity(plan.drop.len());
+        for meta in &plan.drop {
+            fs::remove_file(&meta.path)?;
+            self.gc_segments += 1;
+            self.gc_bytes += meta.bytes;
+            dropped_ids.push(meta.id);
+        }
+        self.preexisting.retain(|m| !dropped_ids.contains(&m.id));
+        self.sealed.retain(|m| !dropped_ids.contains(&m.id));
+        // Deletions are directory mutations too.
+        if self.cfg.dir_sync {
+            sync_dir(&self.cfg.dir)?;
+        }
         Ok(())
     }
 }
@@ -384,6 +508,103 @@ mod tests {
         assert!(scan.seal.is_none());
         assert!(scan.error.is_none(), "clean open tail");
         assert!(!scan.records.is_empty());
+    }
+
+    #[test]
+    fn seal_syncs_the_directory_unless_disabled() {
+        // DIR_SYNCS is thread-local and every seal below runs on this
+        // thread, so the deltas are exact even under parallel tests.
+        let dir = testdir::fresh("writer-dirsync");
+        let before = DIR_SYNCS.with(|c| c.get());
+        let mut w = TraceWriter::create(StoreConfig::new(&dir)).expect("create");
+        w.append_frame(&frame(1, 0)).expect("append");
+        w.finish().expect("finish");
+        assert!(
+            DIR_SYNCS.with(|c| c.get()) > before,
+            "sealing must fsync the parent directory"
+        );
+
+        let dir = testdir::fresh("writer-nodirsync");
+        let before = DIR_SYNCS.with(|c| c.get());
+        let mut w = TraceWriter::create(StoreConfig::new(&dir).without_dir_sync()).expect("create");
+        w.append_frame(&frame(1, 0)).expect("append");
+        w.finish().expect("finish");
+        assert_eq!(
+            DIR_SYNCS.with(|c| c.get()),
+            before,
+            "the test hook disables the sync"
+        );
+    }
+
+    #[test]
+    fn retention_at_seal_gcs_budget_overruns_but_never_replay_windows() {
+        let dir = testdir::fresh("writer-retention");
+        let policy = crate::retention::RetentionPolicy::keep_everything()
+            .with_max_bytes(600)
+            .with_keep_last_segments(1)
+            .with_replay_window(0, Nanos::MAX);
+        let cfg = StoreConfig::new(&dir)
+            .with_target_segment_bytes(200)
+            .with_retention(policy);
+        let mut w = TraceWriter::create(cfg).expect("create");
+        // Client 0 (protected forever) fills the earliest segments,
+        // then client 1 floods the store far past the byte budget.
+        for seq in 0..8u32 {
+            w.append_frame(&frame(0, seq)).expect("append");
+        }
+        for seq in 0..60u32 {
+            w.append_frame(&frame(1, seq)).expect("append");
+        }
+        let summary = w.finish().expect("finish");
+        assert!(summary.gc_segments > 0, "budget overrun must GC");
+        assert!(summary.gc_bytes > 0);
+
+        let r = crate::reader::TraceReader::open(&dir).expect("open");
+        let protected = r.client_frames(0).expect("client 0");
+        assert_eq!(protected.len(), 8, "protected window survives GC whole");
+        assert!(
+            r.client_frames(1).expect("client 1").len() < 60,
+            "unprotected frames were dropped"
+        );
+    }
+
+    #[test]
+    fn retention_sees_preexisting_segments() {
+        let dir = testdir::fresh("writer-retention-preexisting");
+        // First writer: no retention, leaves several sealed segments.
+        let mut w = TraceWriter::create(StoreConfig::new(&dir).with_target_segment_bytes(200))
+            .expect("create");
+        for seq in 0..30u32 {
+            w.append_frame(&frame(2, seq)).expect("append");
+        }
+        let first = w.finish().expect("finish");
+        assert!(first.segments.len() > 2);
+
+        // Second writer: tight budget. Its first seal must GC the old
+        // writer's segments, not just its own.
+        let policy = crate::retention::RetentionPolicy::keep_everything()
+            .with_max_bytes(400)
+            .with_keep_last_segments(1);
+        let cfg = StoreConfig::new(&dir)
+            .with_target_segment_bytes(200)
+            .with_retention(policy);
+        let mut w = TraceWriter::create(cfg).expect("recreate");
+        for seq in 30..40u32 {
+            w.append_frame(&frame(2, seq)).expect("append");
+        }
+        let second = w.finish().expect("finish");
+        assert!(second.gc_segments > 0);
+        let r = crate::reader::TraceReader::open(&dir).expect("open");
+        assert!(
+            r.segments().iter().all(|m| m.sealed),
+            "GC leaves only sealed segments"
+        );
+        let total: u64 = r.segments().iter().map(|m| m.bytes).sum();
+        assert!(total <= 400 + 300, "store shrank toward the budget");
+        assert!(
+            first.segments.iter().any(|m| !m.path.exists()),
+            "a preexisting segment was deleted"
+        );
     }
 
     #[test]

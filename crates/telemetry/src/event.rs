@@ -118,6 +118,32 @@ pub enum Event {
         /// when the loss is unknowable, e.g. a truncated tail).
         lost: u64,
     },
+    /// End-of-run accounting of the background flight recorder behind
+    /// the serving layer (`mobisense-serve`).
+    ServeRecorder {
+        /// Sim time of the last frame the run consumed.
+        at: Nanos,
+        /// Observation frames accepted onto the recording channel.
+        frames: u64,
+        /// Decision-log rows accepted onto the recording channel.
+        rows: u64,
+        /// Frames dropped by the `DropNewest` overflow policy.
+        dropped: u64,
+        /// Deepest recording-queue occupancy observed.
+        max_depth: u64,
+    },
+    /// The trace store's retention policy deleted one sealed segment
+    /// (`mobisense-store`).
+    StoreRetention {
+        /// Sim time of the newest frame the deleted segment held.
+        at: Nanos,
+        /// The deleted segment's id.
+        segment: u64,
+        /// Observation frames the segment held.
+        frames: u64,
+        /// Bytes freed on disk.
+        bytes: u64,
+    },
 }
 
 impl Event {
@@ -133,7 +159,9 @@ impl Event {
             | Event::Goodput { at, .. }
             | Event::ServeShard { at, .. }
             | Event::StoreSegment { at, .. }
-            | Event::StoreRecovery { at, .. } => at,
+            | Event::StoreRecovery { at, .. }
+            | Event::ServeRecorder { at, .. }
+            | Event::StoreRetention { at, .. } => at,
         }
     }
 
@@ -151,6 +179,8 @@ impl Event {
             Event::ServeShard { .. } => "serve_shard",
             Event::StoreSegment { .. } => "store_segment",
             Event::StoreRecovery { .. } => "store_recovery",
+            Event::ServeRecorder { .. } => "serve_recorder",
+            Event::StoreRetention { .. } => "store_retention",
         }
     }
 }

@@ -115,6 +115,30 @@ pub fn event_to_json(event: &Event) -> String {
             field_u64(&mut s, "frames", frames);
             field_u64(&mut s, "lost", lost);
         }
+        Event::ServeRecorder {
+            at,
+            frames,
+            rows,
+            dropped,
+            max_depth,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "frames", frames);
+            field_u64(&mut s, "rows", rows);
+            field_u64(&mut s, "dropped", dropped);
+            field_u64(&mut s, "max_depth", max_depth);
+        }
+        Event::StoreRetention {
+            at,
+            segment,
+            frames,
+            bytes,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "segment", segment);
+            field_u64(&mut s, "frames", frames);
+            field_u64(&mut s, "bytes", bytes);
+        }
     }
     s.push('}');
     s
@@ -208,6 +232,19 @@ pub fn parse_event(line: &str) -> Result<Event, String> {
             segment: get_u64(&fields, "segment")?,
             frames: get_u64(&fields, "frames")?,
             lost: get_u64(&fields, "lost")?,
+        }),
+        "serve_recorder" => Ok(Event::ServeRecorder {
+            at,
+            frames: get_u64(&fields, "frames")?,
+            rows: get_u64(&fields, "rows")?,
+            dropped: get_u64(&fields, "dropped")?,
+            max_depth: get_u64(&fields, "max_depth")?,
+        }),
+        "store_retention" => Ok(Event::StoreRetention {
+            at,
+            segment: get_u64(&fields, "segment")?,
+            frames: get_u64(&fields, "frames")?,
+            bytes: get_u64(&fields, "bytes")?,
         }),
         other => Err(format!("unknown event type {other:?}")),
     }
@@ -508,6 +545,19 @@ mod tests {
                 segment: 13,
                 frames: 118,
                 lost: 3978,
+            },
+            Event::ServeRecorder {
+                at: 1000,
+                frames: 240_000,
+                rows: 1024,
+                dropped: 17,
+                max_depth: 2048,
+            },
+            Event::StoreRetention {
+                at: 1100,
+                segment: 2,
+                frames: 8192,
+                bytes: 2_097_152,
             },
         ]
     }
