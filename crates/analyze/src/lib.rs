@@ -1,0 +1,233 @@
+//! `mobisense-analyze`: a workspace invariant analyzer.
+//!
+//! The store's headline guarantee — replay of a recorded trace is
+//! byte-identical to the live decision log — and the serve layer's
+//! no-deadlock / no-silent-loss guarantees rest on conventions that
+//! the compiler cannot check: no wall clock in decision paths, no
+//! iteration-order-dependent containers, consistent lock ordering,
+//! every telemetry event round-tripping through JSONL, wire constants
+//! declared exactly once. This crate checks them mechanically.
+//!
+//! The analyzer is std-only and offline: a small hand-rolled lexer
+//! ([`lexer`]) blanks comments and string literals and marks
+//! `#[cfg(test)]` regions, and each lint ([`lints`]) scans the
+//! resulting code view. Run it as:
+//!
+//! ```text
+//! cargo run -p mobisense-analyze -- --deny-all
+//! ```
+//!
+//! Findings can be waived at a specific site with a
+//! `// lint: <tag> -- reason` comment on the same line or the line
+//! above; see DESIGN.md §5.10 for each lint's contract and the waiver
+//! tags it accepts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod lints;
+
+pub use lexer::{lex, Lexed};
+
+/// One lint violation at a specific source location.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Name of the lint that fired.
+    pub lint: &'static str,
+    /// What is wrong and how to fix or waive it.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// One lexed source file of the workspace.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated (e.g.
+    /// `crates/serve/src/wire.rs`).
+    pub rel: String,
+    /// The lexed views of the file.
+    pub lexed: Lexed,
+}
+
+/// All first-party sources of the workspace, lexed.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    /// Files in sorted `rel` order.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// The file with exactly this workspace-relative path, if loaded.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// Builds a workspace from in-memory sources — used by lint
+    /// self-tests to check that each lint fires on known-bad fixtures.
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        let mut files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| SourceFile {
+                rel: (*rel).to_string(),
+                lexed: lex(src),
+            })
+            .collect();
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Workspace { files }
+    }
+}
+
+/// A single invariant check over the whole workspace.
+pub trait Lint {
+    /// Short kebab-case name, used in output and `--only`.
+    fn name(&self) -> &'static str;
+    /// One-line statement of the invariant the lint enforces.
+    fn invariant(&self) -> &'static str;
+    /// Appends findings for every violation in `ws`.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// Loads every first-party source file under `root`: `crates/*/src/**`
+/// and `xtests/src/**`. Vendored code (`third_party/`), build output
+/// (`target/`), and integration-test / bench / example trees are out
+/// of scope — the lints govern shipped library and binary code.
+pub fn load_workspace(root: &Path) -> io::Result<Workspace> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut paths)?;
+            }
+        }
+    }
+    let xtests_src = root.join("xtests").join("src");
+    if xtests_src.is_dir() {
+        collect_rs(&xtests_src, &mut paths)?;
+    }
+    paths.sort();
+
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = fs::read_to_string(&path)?;
+        files.push(SourceFile {
+            rel,
+            lexed: lex(&source),
+        });
+    }
+    Ok(Workspace { files })
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The full lint suite, in the order they are listed and run.
+pub fn all_lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(lints::determinism::Determinism),
+        Box::new(lints::panic::PanicDiscipline),
+        Box::new(lints::locks::LockDiscipline),
+        Box::new(lints::telemetry::TelemetryExhaustive),
+        Box::new(lints::format_const::FormatConstSingleness),
+        Box::new(lints::unsafe_ban::UnsafeBan),
+    ]
+}
+
+/// Runs `lints` over `ws`; findings come back sorted by file, line,
+/// lint name.
+pub fn run(ws: &Workspace, lints: &[Box<dyn Lint>]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for lint in lints {
+        lint.check(ws, &mut findings);
+    }
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn findings_sort_and_render_stably() {
+        let a = Finding {
+            file: "crates/a/src/lib.rs".into(),
+            line: 3,
+            lint: "determinism",
+            message: "m".into(),
+        };
+        let b = Finding {
+            file: "crates/a/src/lib.rs".into(),
+            line: 10,
+            lint: "determinism",
+            message: "m".into(),
+        };
+        let mut v = vec![b.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![a.clone(), b]);
+        assert_eq!(a.to_string(), "crates/a/src/lib.rs:3: [determinism] m");
+    }
+
+    #[test]
+    fn workspace_from_sources_sorts_and_resolves() {
+        let ws = Workspace::from_sources(&[
+            ("crates/b/src/lib.rs", "fn b() {}"),
+            ("crates/a/src/lib.rs", "fn a() {}"),
+        ]);
+        assert_eq!(ws.files[0].rel, "crates/a/src/lib.rs");
+        assert!(ws.file("crates/b/src/lib.rs").is_some());
+        assert!(ws.file("crates/c/src/lib.rs").is_none());
+    }
+
+    #[test]
+    fn all_lints_have_unique_names_and_invariants() {
+        let lints = all_lints();
+        assert!(lints.len() >= 6, "the suite ships at least six lints");
+        let mut names: Vec<&str> = lints.iter().map(|l| l.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), lints.len(), "duplicate lint name");
+        for lint in &lints {
+            assert!(!lint.invariant().is_empty());
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Determinism lint: decision and replay paths must not read wall
+//! clocks or use iteration-order-unstable containers.
+//!
+//! The replay contract is that re-running a recorded trace produces a
+//! decision log byte-identical to the live run. `SystemTime::now` and
+//! `Instant::now` differ between runs; `HashMap`/`HashSet` iterate in
+//! per-process-seed order. Any of them in a decision or replay path is
+//! a latent replay divergence. Files covered: `core::pipeline`,
+//! `serve::service`, `store::replay`.
+//!
+//! Waiver tag: `determinism` — for sites where the value provably
+//! never feeds a decision (e.g. wall clock stamped into latency
+//! telemetry only).
+
+use crate::lexer::find_token_lines;
+use crate::{Finding, Lint, Workspace};
+
+/// Files whose contents are decision/replay paths.
+const TARGET_FILES: &[&str] = &[
+    "crates/core/src/pipeline.rs",
+    "crates/serve/src/service.rs",
+    "crates/store/src/replay.rs",
+];
+
+/// Forbidden tokens and why each breaks replay.
+const FORBIDDEN: &[(&str, &str)] = &[
+    (
+        "SystemTime::now",
+        "wall clock diverges between live run and replay",
+    ),
+    (
+        "Instant::now",
+        "monotonic clock diverges between live run and replay",
+    ),
+    (
+        "HashMap",
+        "iteration order depends on the per-process hash seed",
+    ),
+    (
+        "HashSet",
+        "iteration order depends on the per-process hash seed",
+    ),
+];
+
+/// The determinism lint.
+pub struct Determinism;
+
+impl Lint for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn invariant(&self) -> &'static str {
+        "decision/replay paths never read wall clocks or iterate seed-ordered containers (SystemTime::now, Instant::now, HashMap, HashSet)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if !TARGET_FILES.contains(&file.rel.as_str()) {
+                continue;
+            }
+            for (token, why) in FORBIDDEN {
+                for line in find_token_lines(&file.lexed, token) {
+                    if file.lexed.is_test_line(line) {
+                        continue;
+                    }
+                    if file.lexed.waived(line, &["determinism"]) {
+                        continue;
+                    }
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line,
+                        lint: self.name(),
+                        message: format!(
+                            "`{token}` in a decision/replay path: {why}; use the \
+                             sim clock / BTree containers, or waive with \
+                             `// lint: determinism -- <why it never feeds a decision>`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    fn findings_for(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(&[("crates/core/src/pipeline.rs", src)]);
+        run(&ws, &[Box::new(Determinism)])
+    }
+
+    #[test]
+    fn fires_on_known_bad_fixture() {
+        let bad = "\
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn decide() {
+    let t = Instant::now();
+    let m: HashMap<u32, u8> = HashMap::new();
+    let _ = (t, m);
+}
+";
+        let f = findings_for(bad);
+        assert!(
+            f.iter().any(|x| x.lint == "determinism" && x.line == 1),
+            "HashMap import flagged: {f:?}"
+        );
+        assert!(f.iter().any(|x| x.line == 5), "Instant::now flagged");
+        // Line 6 mentions HashMap twice but findings dedup to one per
+        // (file, line, message).
+        assert!(f.iter().any(|x| x.line == 6));
+    }
+
+    #[test]
+    fn ignores_tests_comments_strings_and_waivers() {
+        let ok = "\
+// HashMap would be wrong here, hence BTreeMap.
+use std::collections::BTreeMap;
+
+fn decide() {
+    let s = \"HashMap\";
+    let _ = (s, BTreeMap::<u32, u8>::new());
+    let t = std::time::Instant::now(); // lint: determinism -- latency telemetry only
+    let _ = t;
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() {
+        let _ = HashMap::<u32, u8>::new();
+    }
+}
+";
+        assert_eq!(findings_for(ok), vec![], "clean fixture must pass");
+    }
+
+    #[test]
+    fn non_target_files_are_out_of_scope() {
+        let ws = Workspace::from_sources(&[(
+            "crates/telemetry/src/export.rs",
+            "use std::collections::HashMap;",
+        )]);
+        assert_eq!(run(&ws, &[Box::new(Determinism)]), vec![]);
+    }
+}

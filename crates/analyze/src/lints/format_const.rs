@@ -1,0 +1,356 @@
+//! Format-constant-singleness lint: wire/segment format constants are
+//! declared once and referenced by name, never re-typed as literals.
+//!
+//! A magic number or CRC polynomial typed twice can drift: the writer
+//! stamps one value, the scanner checks another, and every segment
+//! after the edit is unreadable. The lint collects `const` declarations
+//! whose names look like format constants (contain `MAGIC` or
+//! `VERSION`, end in `_LEN` or `_OVERHEAD`, or are named `POLY`) and:
+//!
+//! 1. flags any second declaration of the same name anywhere in the
+//!    workspace (the value must have one home);
+//! 2. for distinctive values (hex literals >= 0x100 — magic words and
+//!    polynomials, not small sizes like `1` or `28` that legitimately
+//!    appear as lengths and offsets), flags every other integer
+//!    literal in non-test code with the same numeric value.
+//!
+//! Waiver tag: `format-const`.
+
+use std::collections::BTreeMap;
+
+use crate::{Finding, Lint, Workspace};
+
+/// The format-constant-singleness lint.
+pub struct FormatConstSingleness;
+
+/// A collected format-constant declaration.
+#[derive(Clone, Debug)]
+struct Decl {
+    name: String,
+    file: String,
+    line: usize,
+    /// Numeric value when the initializer is an integer literal.
+    value: Option<u128>,
+    /// Whether the initializer was written in hex (distinctive
+    /// format words rather than incidental sizes).
+    hex: bool,
+}
+
+impl Lint for FormatConstSingleness {
+    fn name(&self) -> &'static str {
+        "format-const"
+    }
+
+    fn invariant(&self) -> &'static str {
+        "wire/segment format constants (MAGIC/VERSION/*_LEN/*_OVERHEAD/POLY) are declared once; distinctive values (hex >= 0x100) are never re-typed as literals elsewhere"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let mut decls: Vec<Decl> = Vec::new();
+        for file in &ws.files {
+            for d in collect_decls(&file.lexed.code) {
+                decls.push(Decl {
+                    file: file.rel.clone(),
+                    ..d
+                });
+            }
+        }
+
+        // 1. A format constant has exactly one declaration.
+        let mut by_name: BTreeMap<&str, Vec<&Decl>> = BTreeMap::new();
+        for d in &decls {
+            by_name.entry(d.name.as_str()).or_default().push(d);
+        }
+        for (name, sites) in &by_name {
+            if sites.len() > 1 {
+                let home = &sites[0];
+                for dup in &sites[1..] {
+                    out.push(Finding {
+                        file: dup.file.clone(),
+                        line: dup.line,
+                        lint: self.name(),
+                        message: format!(
+                            "format constant `{name}` is also declared at \
+                             {}:{}; it must have exactly one home, re-export \
+                             and reference it instead",
+                            home.file, home.line
+                        ),
+                    });
+                }
+            }
+        }
+
+        // 2. Distinctive values never re-typed as literals.
+        for d in &decls {
+            let Some(value) = d.value else { continue };
+            if !d.hex || value < 0x100 {
+                continue;
+            }
+            for file in &ws.files {
+                for (line, lit_value) in integer_literals(&file.lexed.code) {
+                    if lit_value != value {
+                        continue;
+                    }
+                    if file.rel == d.file && line == d.line {
+                        continue; // the declaration itself
+                    }
+                    if file.lexed.is_test_line(line) {
+                        continue;
+                    }
+                    if file.lexed.waived(line, &["format-const"]) {
+                        continue;
+                    }
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line,
+                        lint: self.name(),
+                        message: format!(
+                            "literal {value:#x} re-types format constant \
+                             `{}` (declared at {}:{}); reference the constant \
+                             so the value has one home",
+                            d.name, d.file, d.line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Whether a const name is a format constant by naming convention.
+fn is_format_name(name: &str) -> bool {
+    name.contains("MAGIC")
+        || name.contains("VERSION")
+        || name.ends_with("_LEN")
+        || name.ends_with("_OVERHEAD")
+        || name == "POLY"
+}
+
+/// Collects `const NAME: T = <literal>;` declarations with format
+/// names from a code view. `file` is left empty for the caller.
+fn collect_decls(code: &str) -> Vec<Decl> {
+    let mut decls = Vec::new();
+    for (line, l) in (1usize..).zip(code.lines()) {
+        let trimmed = l.trim_start();
+        let body = trimmed
+            .strip_prefix("pub const ")
+            .or_else(|| trimmed.strip_prefix("pub(crate) const "))
+            .or_else(|| trimmed.strip_prefix("const "));
+        if let Some(body) = body {
+            let name: String = body
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() && is_format_name(&name) {
+                let init = body.split('=').nth(1).unwrap_or("");
+                let token: String = init
+                    .trim()
+                    .chars()
+                    .take_while(|c| !c.is_whitespace() && *c != ';')
+                    .collect();
+                let (value, hex) = parse_int_literal(&token)
+                    .map(|(v, h)| (Some(v), h))
+                    .unwrap_or((None, false));
+                decls.push(Decl {
+                    name,
+                    file: String::new(),
+                    line,
+                    value,
+                    hex,
+                });
+            }
+        }
+    }
+    decls
+}
+
+/// Parses one integer literal token (underscores and type suffixes
+/// allowed): returns (value, written_in_hex).
+fn parse_int_literal(token: &str) -> Option<(u128, bool)> {
+    let t: String = token.chars().filter(|c| *c != '_').collect();
+    let (digits, radix, hex) =
+        if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+            (h, 16u32, true)
+        } else if let Some(b) = t.strip_prefix("0b") {
+            (b, 2, false)
+        } else if let Some(o) = t.strip_prefix("0o") {
+            (o, 8, false)
+        } else {
+            (t.as_str(), 10, false)
+        };
+    // Trim a type suffix (u8..u128, usize, i*). Hex digits are a
+    // subset of [0-9a-f], so scanning for the first non-digit works.
+    let end = digits
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(digits.len());
+    let (num, suffix) = digits.split_at(end);
+    if num.is_empty() {
+        return None;
+    }
+    if !suffix.is_empty()
+        && !matches!(
+            suffix,
+            "u8" | "u16"
+                | "u32"
+                | "u64"
+                | "u128"
+                | "usize"
+                | "i8"
+                | "i16"
+                | "i32"
+                | "i64"
+                | "i128"
+                | "isize"
+        )
+    {
+        return None;
+    }
+    u128::from_str_radix(num, radix).ok().map(|v| (v, hex))
+}
+
+/// All integer literals in a code view, as (1-based line, value).
+fn integer_literals(code: &str) -> Vec<(usize, u128)> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_digit() {
+            // Skip literals glued to an identifier (e.g. `x2`).
+            if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                continue;
+            }
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            // Not part of a float: `1.5` counts the `1` only if the
+            // dot is a range (`..`); skip fractional parts.
+            if bytes.get(i) == Some(&b'.') && bytes.get(i + 1) != Some(&b'.') {
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+                    i += 1;
+                }
+                continue;
+            }
+            if let Some((v, _)) = parse_int_literal(&code[start..i]) {
+                out.push((line, v));
+            }
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    #[test]
+    fn fires_on_retyped_magic_fixture() {
+        let decl = "pub const MAGIC: u16 = 0x4D53;\n";
+        let reuse = "\
+fn check(word: u16) -> bool {
+    word == 0x4D53
+}
+fn tiny(len: usize) -> bool {
+    len == 28
+}
+";
+        let ws = Workspace::from_sources(&[
+            ("crates/serve/src/wire.rs", decl),
+            ("crates/serve/src/service.rs", reuse),
+        ]);
+        let f = run(&ws, &[Box::new(FormatConstSingleness)]);
+        assert!(
+            f.iter()
+                .any(|x| x.file == "crates/serve/src/service.rs" && x.line == 2),
+            "re-typed magic flagged: {f:?}"
+        );
+        assert!(
+            !f.iter().any(|x| x.line == 5),
+            "small decimal 28 is not distinctive: {f:?}"
+        );
+    }
+
+    #[test]
+    fn fires_on_duplicate_declaration_fixture() {
+        let a = "pub const SEGMENT_MAGIC: u32 = 0x4753_534D;\n";
+        let b = "const SEGMENT_MAGIC: u32 = 0x4753_534D;\n";
+        let ws = Workspace::from_sources(&[
+            ("crates/store/src/segment.rs", a),
+            ("crates/store/src/replay.rs", b),
+        ]);
+        let f = run(&ws, &[Box::new(FormatConstSingleness)]);
+        assert!(
+            f.iter().any(|x| x.message.contains("also declared")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn references_tests_and_waivers_pass() {
+        let decl = "pub const MAGIC: u16 = 0x4D53;\npub const VERSION: u8 = 1;\n";
+        let usage = "\
+use crate::wire::MAGIC;
+fn stamp(buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    let waived = 0x4D53; // lint: format-const -- doc example
+    let _ = waived;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert_eq!(super::super::wire::MAGIC, 0x4D53);
+    }
+}
+";
+        let ws = Workspace::from_sources(&[
+            ("crates/serve/src/wire.rs", decl),
+            ("crates/serve/src/service.rs", usage),
+        ]);
+        assert_eq!(run(&ws, &[Box::new(FormatConstSingleness)]), vec![]);
+    }
+
+    #[test]
+    fn literal_parsing_handles_suffixes_and_underscores() {
+        assert_eq!(parse_int_literal("0x4D53"), Some((0x4D53, true)));
+        assert_eq!(parse_int_literal("0x4753_534D"), Some((0x4753_534D, true)));
+        assert_eq!(
+            parse_int_literal("0xEDB8_8320u32"),
+            Some((0xEDB8_8320, true))
+        );
+        assert_eq!(parse_int_literal("28usize"), Some((28, false)));
+        assert_eq!(parse_int_literal("1"), Some((1, false)));
+        assert_eq!(parse_int_literal("abc"), None);
+        // `1e9` is a float, not an int with suffix `e9`.
+        assert_eq!(parse_int_literal("1e9"), None);
+    }
+
+    #[test]
+    fn float_fractions_do_not_alias_magics() {
+        let decl = "pub const MAGIC: u32 = 0x100;\n";
+        let usage = "fn f() -> f64 { 0.256 + 1.0 }\n";
+        let ws = Workspace::from_sources(&[
+            ("crates/serve/src/wire.rs", decl),
+            ("crates/serve/src/service.rs", usage),
+        ]);
+        assert_eq!(run(&ws, &[Box::new(FormatConstSingleness)]), vec![]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Lock-discipline lint: poison handling is explicit and lock order is
+//! declared and acyclic.
+//!
+//! Two checks:
+//!
+//! 1. **Poison discipline.** Every non-test `.lock()` site either
+//!    recovers poison in place (`into_inner` on the same or next line
+//!    — the `unwrap_or_else(|e| e.into_inner())` idiom) or carries a
+//!    `// lint: poison-loud -- <reason>` waiver stating that
+//!    propagating the panic is the design (fail-fast frame paths).
+//!    Silent `.lock().unwrap()` with neither is a finding.
+//!
+//! 2. **Lock order.** `// lock-order: A < B` comments declare that
+//!    lock `A` is always taken before lock `B`. The declarations are
+//!    collected workspace-wide and the resulting graph is checked for
+//!    cycles; a cycle means two call paths disagree about ordering —
+//!    a latent deadlock.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::find_token_lines;
+use crate::{Finding, Lint, Workspace};
+
+/// The lock-discipline lint.
+pub struct LockDiscipline;
+
+impl Lint for LockDiscipline {
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn invariant(&self) -> &'static str {
+        "every Mutex::lock site recovers poison (into_inner) or carries `// lint: poison-loud`; declared `// lock-order: A < B` edges form no cycle"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // 1. Poison discipline at each .lock() site.
+        for file in &ws.files {
+            let lexed = &file.lexed;
+            let code_lines: Vec<&str> = lexed.code.lines().collect();
+            for line in find_token_lines(lexed, ".lock()") {
+                if lexed.is_test_line(line) {
+                    continue;
+                }
+                if lexed.waived(line, &["poison-loud"]) {
+                    continue;
+                }
+                let here = code_lines.get(line - 1).copied().unwrap_or("");
+                let next = code_lines.get(line).copied().unwrap_or("");
+                if here.contains("into_inner") || next.contains("into_inner") {
+                    continue;
+                }
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line,
+                    lint: self.name(),
+                    message: "`.lock()` without poison recovery: recover with \
+                              `.unwrap_or_else(|e| e.into_inner())`, or declare \
+                              fail-fast intent with `// lint: poison-loud -- <reason>`"
+                        .to_string(),
+                });
+            }
+        }
+
+        // 2. Collect lock-order edges and check for cycles.
+        let mut edges: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut edge_sites: Vec<(String, usize, String, String)> = Vec::new();
+        for file in &ws.files {
+            for c in &file.lexed.comments {
+                let Some(rest) = c.text.strip_prefix("lock-order:") else {
+                    continue;
+                };
+                let spec = rest.split("--").next().unwrap_or("").trim();
+                let parts: Vec<&str> = spec.split('<').map(str::trim).collect();
+                if parts.len() < 2 || parts.iter().any(|p| p.is_empty()) {
+                    out.push(Finding {
+                        file: file.rel.clone(),
+                        line: c.line,
+                        lint: self.name(),
+                        message: format!(
+                            "malformed lock-order declaration `{spec}`: expected \
+                             `// lock-order: A < B [< C ...]`"
+                        ),
+                    });
+                    continue;
+                }
+                for w in parts.windows(2) {
+                    edges
+                        .entry(w[0].to_string())
+                        .or_default()
+                        .push(w[1].to_string());
+                    edge_sites.push((file.rel.clone(), c.line, w[0].to_string(), w[1].to_string()));
+                }
+            }
+        }
+        if let Some(cycle) = find_cycle(&edges) {
+            // Anchor the finding at the first declaration that appears
+            // in the cycle, so the report points at real source.
+            let on_cycle = |a: &str, b: &str| cycle.windows(2).any(|w| w[0] == a && w[1] == b);
+            let site = edge_sites
+                .iter()
+                .find(|(_, _, a, b)| on_cycle(a, b))
+                .cloned();
+            let (file, line) = site
+                .map(|(f, l, _, _)| (f, l))
+                .unwrap_or_else(|| ("<workspace>".to_string(), 0));
+            out.push(Finding {
+                file,
+                line,
+                lint: self.name(),
+                message: format!(
+                    "lock-order declarations form a cycle ({}): two call paths \
+                     disagree about acquisition order — a latent deadlock",
+                    cycle.join(" < ")
+                ),
+            });
+        }
+    }
+}
+
+/// Finds a cycle in the directed graph, returned as a node path whose
+/// first and last elements coincide. Deterministic: nodes and edges
+/// are visited in sorted order.
+fn find_cycle(edges: &BTreeMap<String, Vec<String>>) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unvisited,
+        InStack,
+        Done,
+    }
+    let mut state: BTreeMap<&str, State> = BTreeMap::new();
+    for (from, tos) in edges {
+        state.entry(from).or_insert(State::Unvisited);
+        for to in tos {
+            state.entry(to).or_insert(State::Unvisited);
+        }
+    }
+    let nodes: Vec<&str> = state.keys().copied().collect();
+
+    fn dfs<'a>(
+        node: &'a str,
+        edges: &'a BTreeMap<String, Vec<String>>,
+        state: &mut BTreeMap<&'a str, State>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        state.insert(node, State::InStack);
+        stack.push(node);
+        if let Some(tos) = edges.get(node) {
+            let mut tos: Vec<&str> = tos.iter().map(String::as_str).collect();
+            tos.sort();
+            for to in tos {
+                match state.get(to).copied().unwrap_or(State::Unvisited) {
+                    State::InStack => {
+                        let start = stack.iter().position(|&n| n == to).unwrap_or(0);
+                        let mut cycle: Vec<String> =
+                            stack[start..].iter().map(|s| s.to_string()).collect();
+                        cycle.push(to.to_string());
+                        return Some(cycle);
+                    }
+                    State::Unvisited => {
+                        if let Some(c) = dfs(to, edges, state, stack) {
+                            return Some(c);
+                        }
+                    }
+                    State::Done => {}
+                }
+            }
+        }
+        stack.pop();
+        state.insert(node, State::Done);
+        None
+    }
+
+    let mut stack = Vec::new();
+    for node in nodes {
+        if state.get(node).copied() == Some(State::Unvisited) {
+            if let Some(c) = dfs(node, edges, &mut state, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    #[test]
+    fn fires_on_unrecovered_lock_fixture() {
+        let bad = "\
+fn stat(&self) -> u64 {
+    let inner = self.inner.lock().unwrap();
+    inner.count
+}
+";
+        let ws = Workspace::from_sources(&[("crates/serve/src/queue.rs", bad)]);
+        let f = run(&ws, &[Box::new(LockDiscipline)]);
+        assert!(
+            f.iter().any(|x| x.lint == "lock-discipline" && x.line == 2),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_waiver_and_tests_all_pass() {
+        let ok = "\
+fn read(&self) -> u64 {
+    let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+    inner.count
+}
+
+fn read_wrapped(&self) -> u64 {
+    let inner = self.inner.lock()
+        .unwrap_or_else(|e| e.into_inner());
+    inner.count
+}
+
+fn push(&self) {
+    // lint: poison-loud -- frame path propagates poison by design
+    let inner = self.inner.lock().expect(\"queue poisoned\");
+    drop(inner);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let m = std::sync::Mutex::new(0u32);
+        let _ = m.lock().unwrap();
+    }
+}
+";
+        let ws = Workspace::from_sources(&[("crates/serve/src/queue.rs", ok)]);
+        assert_eq!(run(&ws, &[Box::new(LockDiscipline)]), vec![]);
+    }
+
+    #[test]
+    fn lock_order_cycle_is_a_finding() {
+        let a = "\
+// lock-order: queue < recorder
+fn f() {}
+";
+        let b = "\
+// lock-order: recorder < queue -- oops, disagrees
+fn g() {}
+";
+        let ws = Workspace::from_sources(&[
+            ("crates/serve/src/queue.rs", a),
+            ("crates/serve/src/recording.rs", b),
+        ]);
+        let f = run(&ws, &[Box::new(LockDiscipline)]);
+        assert!(
+            f.iter().any(|x| x.message.contains("cycle")),
+            "cycle detected: {f:?}"
+        );
+    }
+
+    #[test]
+    fn acyclic_chain_and_malformed_decl() {
+        let ok = "\
+// lock-order: a < b < c
+// lock-order: a < c
+fn f() {}
+";
+        let ws = Workspace::from_sources(&[("crates/serve/src/queue.rs", ok)]);
+        assert_eq!(run(&ws, &[Box::new(LockDiscipline)]), vec![]);
+
+        let bad = "// lock-order: just-one\nfn f() {}\n";
+        let ws = Workspace::from_sources(&[("crates/serve/src/queue.rs", bad)]);
+        let f = run(&ws, &[Box::new(LockDiscipline)]);
+        assert!(f.iter().any(|x| x.message.contains("malformed")), "{f:?}");
+    }
+}

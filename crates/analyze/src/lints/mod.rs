@@ -1,0 +1,9 @@
+//! The lint suite. Each module hosts one lint plus the fixture
+//! self-tests proving it fires on known-bad snippets.
+
+pub mod determinism;
+pub mod format_const;
+pub mod locks;
+pub mod panic;
+pub mod telemetry;
+pub mod unsafe_ban;

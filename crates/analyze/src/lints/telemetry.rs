@@ -1,0 +1,281 @@
+//! Telemetry-exhaustiveness lint: every `Event` variant round-trips
+//! through the JSONL exporter.
+//!
+//! `telemetry::export` encodes events to JSONL and parses them back;
+//! the replay tooling depends on the round trip being lossless. Both
+//! `event_to_json` and `parse_event` are `match` arms over
+//! `Event::Variant`, so a variant that appears fewer than twice in
+//! `export.rs` is missing from at least one side. The variant
+//! inventory is extracted lexically from the `pub enum Event`
+//! declaration in `event.rs` — the same inventory the exhaustive
+//! round-trip test in `xtests` is generated from, so a new variant
+//! fails both until it is wired through.
+
+use crate::lexer::Lexed;
+use crate::{Finding, Lint, Workspace};
+
+/// File declaring `pub enum Event`.
+const EVENT_FILE: &str = "crates/telemetry/src/event.rs";
+/// File hosting both JSONL encode and parse arms.
+const EXPORT_FILE: &str = "crates/telemetry/src/export.rs";
+
+/// The telemetry-exhaustiveness lint.
+pub struct TelemetryExhaustive;
+
+impl Lint for TelemetryExhaustive {
+    fn name(&self) -> &'static str {
+        "telemetry-exhaustive"
+    }
+
+    fn invariant(&self) -> &'static str {
+        "every telemetry::Event variant appears in export.rs in both the JSONL encode match and the parse match (>= 2 `Event::V` mentions)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(event_file) = ws.file(EVENT_FILE) else {
+            return;
+        };
+        let variants = event_variants_lexed(&event_file.lexed);
+        let Some(export) = ws.file(EXPORT_FILE) else {
+            if !variants.is_empty() {
+                out.push(Finding {
+                    file: EVENT_FILE.to_string(),
+                    line: 1,
+                    lint: self.name(),
+                    message: "Event variants exist but export.rs is missing".to_string(),
+                });
+            }
+            return;
+        };
+        // Count `Event::V` mentions in non-test export code.
+        let code_lines: Vec<&str> = export.lexed.code.lines().collect();
+        for (variant, decl_line) in &variants {
+            let needle = format!("Event::{variant}");
+            let mut count = 0usize;
+            for (idx, l) in code_lines.iter().enumerate() {
+                if export.lexed.is_test_line(idx + 1) {
+                    continue;
+                }
+                count += count_word_matches(l, &needle);
+            }
+            if count < 2 {
+                out.push(Finding {
+                    file: EVENT_FILE.to_string(),
+                    line: *decl_line,
+                    lint: self.name(),
+                    message: format!(
+                        "Event::{variant} appears {count} time(s) in export.rs \
+                         non-test code; the JSONL encode match and the parse \
+                         match must both handle it (expected >= 2)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Word-bounded occurrences of `needle` in `line` — so `Event::Decision`
+/// does not match `Event::DecisionOther`.
+fn count_word_matches(line: &str, needle: &str) -> usize {
+    let bytes = line.as_bytes();
+    line.match_indices(needle)
+        .filter(|(pos, _)| {
+            let end = pos + needle.len();
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+        })
+        .count()
+}
+
+/// Extracts the variant names of `pub enum Event` from a lexed
+/// `event.rs`: identifiers at brace depth 1 inside the enum body that
+/// start a variant (first token after `{`, `,`, or a closed variant
+/// payload).
+fn event_variants_lexed(lexed: &Lexed) -> Vec<(String, usize)> {
+    let code = &lexed.code;
+    let Some(enum_pos) = code.find("pub enum Event") else {
+        return Vec::new();
+    };
+    let Some(open_rel) = code[enum_pos..].find('{') else {
+        return Vec::new();
+    };
+    let body_start = enum_pos + open_rel + 1;
+    let bytes = code.as_bytes();
+    let mut depth = 1usize;
+    let mut i = body_start;
+    let mut variants = Vec::new();
+    let mut expecting_variant = true;
+    while i < bytes.len() && depth > 0 {
+        let b = bytes[i];
+        match b {
+            b'{' | b'(' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b')' => {
+                depth -= 1;
+                i += 1;
+            }
+            b',' if depth == 1 => {
+                expecting_variant = true;
+                i += 1;
+            }
+            b'#' if depth == 1 => {
+                // Variant attribute: skip the `[...]` group.
+                i += 1;
+                let mut adepth = 0usize;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'[' => adepth += 1,
+                        b']' => {
+                            adepth -= 1;
+                            if adepth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ if depth == 1 && expecting_variant && (b.is_ascii_alphabetic() || b == b'_') => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let name = code[start..i].to_string();
+                let line = lexed.line_of(start);
+                variants.push((name, line));
+                expecting_variant = false;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+/// Public variant-inventory helper: names of `pub enum Event` variants
+/// in declaration order, extracted from `event.rs` source text. The
+/// exhaustive round-trip test in `xtests` uses this same function, so
+/// the analyzer and the test can never disagree about the inventory.
+pub fn event_variants(event_rs_source: &str) -> Vec<String> {
+    event_variants_lexed(&crate::lex(event_rs_source))
+        .into_iter()
+        .map(|(name, _)| name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    const EVENT_SRC: &str = "\
+/// Events.
+pub enum Event {
+    /// A decision.
+    Decision { client: u32, seq: u64 },
+    /// A rate change.
+    RateChange(u8),
+    /// A handoff.
+    Handoff,
+}
+";
+
+    #[test]
+    fn inventory_extraction_handles_payload_shapes() {
+        assert_eq!(
+            event_variants(EVENT_SRC),
+            vec!["Decision", "RateChange", "Handoff"]
+        );
+        // Field names and types at depth 2 never leak into the
+        // inventory; doc comments are blanked by the lexer.
+        let tricky = "\
+pub enum Event {
+    A { nested: Vec<(u32, u64)>, other: [u8; 4] },
+    #[doc = \"attr\"]
+    B(Box<Event>),
+}
+";
+        assert_eq!(event_variants(tricky), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn fires_when_a_variant_misses_an_arm() {
+        // Handoff appears once (encode only), RateChange not at all.
+        let export = "\
+fn event_to_json(e: &Event) -> String {
+    match e {
+        Event::Decision { .. } => String::new(),
+        Event::Handoff => String::new(),
+        _ => String::new(),
+    }
+}
+fn parse_event(s: &str) -> Option<Event> {
+    let _ = s;
+    Some(Event::Decision { client: 0, seq: 0 })
+}
+";
+        let ws = Workspace::from_sources(&[
+            ("crates/telemetry/src/event.rs", EVENT_SRC),
+            ("crates/telemetry/src/export.rs", export),
+        ]);
+        let f = run(&ws, &[Box::new(TelemetryExhaustive)]);
+        assert!(
+            f.iter().any(|x| x.message.contains("Event::RateChange")),
+            "{f:?}"
+        );
+        assert!(f.iter().any(|x| x.message.contains("Event::Handoff")));
+        assert!(
+            !f.iter().any(|x| x.message.contains("Event::Decision ")),
+            "Decision has both arms: {f:?}"
+        );
+    }
+
+    #[test]
+    fn passes_when_every_variant_has_both_arms() {
+        let export = "\
+fn event_to_json(e: &Event) -> String {
+    match e {
+        Event::Decision { .. } => String::new(),
+        Event::RateChange(_) => String::new(),
+        Event::Handoff => String::new(),
+    }
+}
+fn parse_event(tag: &str) -> Option<Event> {
+    match tag {
+        \"decision\" => Some(Event::Decision { client: 0, seq: 0 }),
+        \"rate_change\" => Some(Event::RateChange(0)),
+        \"handoff\" => Some(Event::Handoff),
+        _ => None,
+    }
+}
+";
+        let ws = Workspace::from_sources(&[
+            ("crates/telemetry/src/event.rs", EVENT_SRC),
+            ("crates/telemetry/src/export.rs", export),
+        ]);
+        assert_eq!(run(&ws, &[Box::new(TelemetryExhaustive)]), vec![]);
+    }
+
+    #[test]
+    fn test_code_mentions_do_not_count() {
+        let export = "\
+fn event_to_json(e: &Event) -> String { match e { Event::Handoff => String::new(), _ => String::new() } }
+#[cfg(test)]
+mod tests {
+    fn f() { let _ = (Event::Handoff, Event::Decision { client: 0, seq: 0 }, Event::RateChange(0)); }
+    fn g() { let _ = (Event::Decision { client: 0, seq: 0 }, Event::RateChange(0)); }
+}
+";
+        let ws = Workspace::from_sources(&[
+            ("crates/telemetry/src/event.rs", EVENT_SRC),
+            ("crates/telemetry/src/export.rs", export),
+        ]);
+        let f = run(&ws, &[Box::new(TelemetryExhaustive)]);
+        // All three variants are under-mentioned in non-test code.
+        assert_eq!(f.len(), 3, "{f:?}");
+    }
+}

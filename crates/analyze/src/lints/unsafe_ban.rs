@@ -1,0 +1,128 @@
+//! Unsafe-ban lint: the workspace is 100% safe Rust, enforced at every
+//! crate root.
+//!
+//! Two checks: every crate root (`crates/*/src/lib.rs`,
+//! `crates/*/src/main.rs` for binary-only crates, `xtests/src/lib.rs`)
+//! declares `#![forbid(unsafe_code)]`, and no non-test code anywhere
+//! contains the `unsafe` keyword. The forbid attribute makes the
+//! compiler the enforcer; the keyword scan catches code that would
+//! fail that enforcement before it reaches a build.
+
+use crate::lexer::find_token_lines;
+use crate::{Finding, Lint, Workspace};
+
+/// The unsafe-ban lint.
+pub struct UnsafeBan;
+
+impl Lint for UnsafeBan {
+    fn name(&self) -> &'static str {
+        "unsafe-ban"
+    }
+
+    fn invariant(&self) -> &'static str {
+        "every crate root declares #![forbid(unsafe_code)] and no first-party code uses the `unsafe` keyword"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        // Crate roots: lib.rs, or main.rs when the crate has no lib.rs.
+        for file in &ws.files {
+            let is_lib = file.rel.ends_with("/src/lib.rs");
+            let is_main = file.rel.ends_with("/src/main.rs") && {
+                let lib = file.rel.replace("/src/main.rs", "/src/lib.rs");
+                ws.file(&lib).is_none()
+            };
+            if (is_lib || is_main) && !file.lexed.code.contains("forbid(unsafe_code)") {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: 1,
+                    lint: self.name(),
+                    message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+                });
+            }
+        }
+        // No `unsafe` keyword anywhere outside tests.
+        for file in &ws.files {
+            for line in find_token_lines(&file.lexed, "unsafe") {
+                if file.lexed.is_test_line(line) {
+                    continue;
+                }
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line,
+                    lint: self.name(),
+                    message: "`unsafe` keyword in first-party code: the workspace \
+                              invariant is 100% safe Rust"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    #[test]
+    fn fires_on_missing_forbid_and_unsafe_block_fixtures() {
+        let ws = Workspace::from_sources(&[
+            ("crates/bad/src/lib.rs", "pub fn f() {}\n"),
+            (
+                "crates/worse/src/lib.rs",
+                "#![forbid(unsafe_code)]\npub fn g(p: *const u8) -> u8 { unsafe { *p } }\n",
+            ),
+        ]);
+        let f = run(&ws, &[Box::new(UnsafeBan)]);
+        assert!(
+            f.iter()
+                .any(|x| x.file == "crates/bad/src/lib.rs" && x.message.contains("forbid")),
+            "{f:?}"
+        );
+        assert!(
+            f.iter()
+                .any(|x| x.file == "crates/worse/src/lib.rs" && x.line == 2),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn main_rs_counts_as_root_only_without_lib_rs() {
+        let ws = Workspace::from_sources(&[
+            ("crates/bin/src/main.rs", "fn main() {}\n"),
+            ("crates/mixed/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ("crates/mixed/src/main.rs", "fn main() {}\n"),
+        ]);
+        let f = run(&ws, &[Box::new(UnsafeBan)]);
+        assert!(
+            f.iter().any(|x| x.file == "crates/bin/src/main.rs"),
+            "bin-only main.rs is a root: {f:?}"
+        );
+        assert!(
+            !f.iter().any(|x| x.file == "crates/mixed/src/main.rs"),
+            "main.rs next to lib.rs is not a root: {f:?}"
+        );
+    }
+
+    #[test]
+    fn comments_strings_and_tests_are_exempt() {
+        let ws = Workspace::from_sources(&[(
+            "crates/ok/src/lib.rs",
+            "\
+#![forbid(unsafe_code)]
+// the word unsafe in a comment is fine
+pub fn f() -> &'static str { \"unsafe\" }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        // even a test may mention it in a string
+        assert_eq!(super::f(), \"unsafe\");
+    }
+}
+",
+        )]);
+        assert_eq!(run(&ws, &[Box::new(UnsafeBan)]), vec![]);
+    }
+}

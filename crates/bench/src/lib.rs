@@ -10,6 +10,7 @@
 //! the paper artefact and the expectation, then comma-separated rows a
 //! plotting tool can ingest directly.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use mobisense_core::classifier::{Classification, ClassifierConfig, MobilityClassifier};

@@ -27,6 +27,7 @@
 //! and MIMO-mode policies, and [`sim`] runs saturated-downlink sessions
 //! combining them.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agg;

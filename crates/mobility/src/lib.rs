@@ -19,6 +19,7 @@
 //! that feeds these positions into the PHY channel lives in
 //! `mobisense-core`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod mode;

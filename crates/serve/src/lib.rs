@@ -31,6 +31,7 @@
 //! `DESIGN.md` section 5.7 for how this coexists with the workspace's
 //! single-threaded-determinism rule.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod fleet;

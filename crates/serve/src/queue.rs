@@ -6,6 +6,13 @@
 //! every client its freshest frame rather than a backlog of stale
 //! ones). So the queue is hand-rolled: a `Mutex<VecDeque>` with two
 //! condvars, one item type, no unsafe.
+//!
+//! The serve layer has exactly two locks. A worker never takes the
+//! recorder channel lock while holding its shard-queue lock-order
+//! position's guard (it pops, drops the guard, then records), but the
+//! declared order below documents the intent and lets the analyzer
+//! reject a future declaration that contradicts it.
+// lock-order: serve.shard-queue < serve.recorder-channel
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -87,11 +94,13 @@ impl ShardQueue {
     /// maybe-truncated stream would break the determinism contract.
     /// Failing the whole run is the correct outcome there.
     pub fn push(&self, item: QueueItem, policy: OverflowPolicy) -> u64 {
+        // lint: poison-loud -- frame path: a poisoned FIFO cannot be trusted, fail the run
         let mut inner = self.inner.lock().expect("queue poisoned");
         let mut shed_now = 0u64;
         match policy {
             OverflowPolicy::Block => {
                 while inner.q.len() >= self.capacity && !inner.closed {
+                    // lint: poison-loud -- frame path fails fast on poison
                     inner = self.not_full.wait(inner).expect("queue poisoned");
                 }
             }
@@ -126,6 +135,7 @@ impl ShardQueue {
     /// (for depth telemetry), or `None` once the queue is closed and
     /// drained.
     pub fn pop(&self) -> Option<(QueueItem, usize)> {
+        // lint: poison-loud -- frame path: a poisoned FIFO cannot be trusted, fail the run
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
             if let Some(item) = inner.q.pop_front() {
@@ -137,6 +147,7 @@ impl ShardQueue {
             if inner.closed {
                 return None;
             }
+            // lint: poison-loud -- frame path fails fast on poison
             inner = self.not_empty.wait(inner).expect("queue poisoned");
         }
     }

@@ -140,7 +140,7 @@ impl Channel {
     /// backend failed). `block` forces the lossless path regardless of
     /// the frame policy (decision rows use this).
     fn push(&self, msg: Msg, policy: RecordPolicy, block: bool) -> bool {
-        let mut inner = self.lock();
+        let mut inner = self.lock_recovered();
         if !block && policy == RecordPolicy::DropNewest && inner.q.len() >= self.capacity {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return false;
@@ -166,7 +166,7 @@ impl Channel {
     /// drained.
     fn pop(&self, on_idle: &mut dyn FnMut()) -> Option<Msg> {
         let mut idled = false;
-        let mut inner = self.lock();
+        let mut inner = self.lock_recovered();
         loop {
             if let Some(msg) = inner.q.pop_front() {
                 drop(inner);
@@ -181,7 +181,7 @@ impl Channel {
                 drop(inner);
                 on_idle();
                 idled = true;
-                inner = self.lock();
+                inner = self.lock_recovered();
                 continue;
             }
             inner = self
@@ -192,7 +192,7 @@ impl Channel {
     }
 
     fn close(&self) {
-        let mut inner = self.lock();
+        let mut inner = self.lock_recovered();
         inner.closed = true;
         drop(inner);
         self.not_empty.notify_all();
@@ -203,7 +203,7 @@ impl Channel {
     /// records can never be written; leaving them would park blocking
     /// producers forever.
     fn poison(&self) {
-        let mut inner = self.lock();
+        let mut inner = self.lock_recovered();
         inner.closed = true;
         self.dropped
             .fetch_add(inner.q.len() as u64, Ordering::Relaxed);
@@ -216,7 +216,7 @@ impl Channel {
     /// Locks the channel, recovering from poisoning: the recorder
     /// thread holds this lock only around queue ops that cannot leave
     /// the queue malformed, so a panicking peer must not cascade.
-    fn lock(&self) -> std::sync::MutexGuard<'_, ChannelInner> {
+    fn lock_recovered(&self) -> std::sync::MutexGuard<'_, ChannelInner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
@@ -271,25 +271,26 @@ impl RecorderHandle {
 /// [`Recorder::finish`] to seal and join.
 pub struct Recorder<B: RecordBackend + 'static> {
     handle: RecorderHandle,
-    thread: JoinHandle<io::Result<B::Output>>,
+    /// `Some` until `finish` (or drop) joins the thread.
+    thread: Option<JoinHandle<io::Result<B::Output>>>,
 }
 
 impl<B: RecordBackend + 'static> Recorder<B> {
-    /// Spawns the recorder thread over `backend`.
-    pub fn spawn(backend: B, cfg: RecordingConfig) -> Recorder<B> {
+    /// Spawns the recorder thread over `backend`. Errs when the OS
+    /// refuses the thread.
+    pub fn spawn(backend: B, cfg: RecordingConfig) -> io::Result<Recorder<B>> {
         let chan = Arc::new(Channel::new(cfg.capacity));
         let thread_chan = Arc::clone(&chan);
         let thread = std::thread::Builder::new()
             .name("flight-recorder".into())
-            .spawn(move || run_backend(backend, &thread_chan))
-            .expect("spawn recorder thread");
-        Recorder {
+            .spawn(move || run_backend(backend, &thread_chan))?;
+        Ok(Recorder {
             handle: RecorderHandle {
                 chan,
                 policy: cfg.policy,
             },
-            thread,
-        }
+            thread: Some(thread),
+        })
     }
 
     /// The producer-side handle (clone freely; all clones feed the
@@ -301,13 +302,29 @@ impl<B: RecordBackend + 'static> Recorder<B> {
     /// Closes the channel, waits for the backlog to drain and the
     /// backend to finalize, and returns the backend's output plus the
     /// run's final counters.
-    pub fn finish(self) -> io::Result<(B::Output, RecorderStats)> {
+    pub fn finish(mut self) -> io::Result<(B::Output, RecorderStats)> {
         self.handle.chan.close();
-        let out = self
-            .thread
-            .join()
-            .unwrap_or_else(|_| Err(io::Error::other("recorder thread panicked")))?;
+        let out = match self.thread.take() {
+            Some(thread) => thread
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("recorder thread panicked")))?,
+            None => return Err(io::Error::other("recorder already joined")),
+        };
         Ok((out, self.handle.stats()))
+    }
+}
+
+impl<B: RecordBackend + 'static> Drop for Recorder<B> {
+    /// A recorder dropped without [`Recorder::finish`] closes the
+    /// channel — waking any producer parked on a full queue, whose
+    /// pending message is counted dropped — and joins the thread, so
+    /// dropping can never deadlock producers. The backend's output and
+    /// any backend error are discarded; call `finish` to observe them.
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.handle.chan.close();
+            let _ = thread.join();
+        }
     }
 }
 
@@ -405,7 +422,8 @@ mod tests {
                 capacity: 4,
                 policy: RecordPolicy::Block,
             },
-        );
+        )
+        .expect("spawn");
         let h = rec.handle();
         for i in 0..100u8 {
             assert!(h.record_frame(&[i, i.wrapping_mul(3)]));
@@ -452,7 +470,8 @@ mod tests {
                 capacity: 8,
                 policy: RecordPolicy::DropNewest,
             },
-        );
+        )
+        .expect("spawn");
         let h = rec.handle();
         let mut accepted = 0u64;
         for i in 0..1000u32 {
@@ -480,7 +499,8 @@ mod tests {
                 capacity: 2,
                 policy: RecordPolicy::Block,
             },
-        );
+        )
+        .expect("spawn");
         let h = rec.handle();
         // Far more frames than the backend accepts: blocking pushes
         // must not hang once the backend dies.
@@ -496,7 +516,7 @@ mod tests {
 
     #[test]
     fn stats_are_readable_mid_run() {
-        let rec = Recorder::spawn(MemBackend::new(), RecordingConfig::default());
+        let rec = Recorder::spawn(MemBackend::new(), RecordingConfig::default()).expect("spawn");
         let h = rec.handle();
         assert_eq!(h.stats(), RecorderStats::default());
         h.record_frame(&[1, 2, 3]);

@@ -20,7 +20,7 @@
 //! and one depth histogram per shard, merged after join), so shard
 //! scaling costs no cross-shard synchronisation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -177,7 +177,10 @@ struct WorkerResult {
 }
 
 fn run_worker(queue: &ShardQueue, cfg: &ServeConfig) -> WorkerResult {
-    let mut sessions: HashMap<u32, ClientState> = HashMap::new();
+    // BTreeMap, not HashMap: per-client state is only keyed lookups
+    // today, but the determinism contract bans seed-ordered iteration
+    // from ever sneaking into this file.
+    let mut sessions: BTreeMap<u32, ClientState> = BTreeMap::new();
     let mut out = WorkerResult {
         decisions: Vec::new(),
         frames: 0,
@@ -247,6 +250,7 @@ fn run_producer(
             if let Some(rec) = recorder {
                 rec.record_frame(stream.frame(i));
             }
+            // lint: determinism -- ingest stamp feeds latency telemetry only, never decisions
             queue.push((Instant::now(), stream.obs(i)), overflow);
             submitted += 1;
         }
@@ -329,6 +333,7 @@ fn serve_streams_inner<S: Sink + ?Sized>(
     sink: &mut S,
 ) -> (Vec<ServeDecision>, ServeReport) {
     assert!(cfg.n_shards > 0, "need at least one shard");
+    // lint: determinism -- run wall clock feeds the serve report only, never decisions
     let started = Instant::now();
     let queues: Vec<Arc<ShardQueue>> = (0..cfg.n_shards)
         .map(|_| Arc::new(ShardQueue::new(cfg.queue_capacity)))

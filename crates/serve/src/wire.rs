@@ -143,39 +143,35 @@ impl ObsFrame {
                 got: buf.len(),
             });
         }
-        let magic = u16::from_le_bytes([buf[0], buf[1]]);
+        let magic = u16::from_le_bytes(le_bytes::<2>(buf, 0)?);
         if magic != MAGIC {
             return Err(WireError::BadMagic(magic));
         }
-        if buf[2] != VERSION {
-            return Err(WireError::BadVersion(buf[2]));
+        let version = byte_at(buf, 2)?;
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
         }
-        let digest_len = buf[3] as usize;
+        let digest_len = byte_at(buf, 3)? as usize;
         if digest_len == 0 {
             return Err(WireError::EmptyDigest);
         }
         let total = HEADER_LEN + 4 * digest_len;
-        if buf.len() < total {
-            return Err(WireError::Truncated {
-                needed: total,
-                got: buf.len(),
-            });
-        }
-        let u32_at = |o: usize| u32::from_le_bytes(buf[o..o + 4].try_into().expect("4 bytes"));
-        let u64_at = |o: usize| u64::from_le_bytes(buf[o..o + 8].try_into().expect("8 bytes"));
+        let payload = buf.get(HEADER_LEN..total).ok_or(WireError::Truncated {
+            needed: total,
+            got: buf.len(),
+        })?;
         let mut digest = Vec::with_capacity(digest_len);
-        for i in 0..digest_len {
-            let o = HEADER_LEN + 4 * i;
-            digest.push(f32::from_le_bytes(
-                buf[o..o + 4].try_into().expect("4 bytes"),
-            ));
+        for ch in payload.chunks_exact(4) {
+            if let &[a, b, c, d] = ch {
+                digest.push(f32::from_le_bytes([a, b, c, d]));
+            }
         }
         Ok((
             ObsFrame {
-                client_id: u32_at(4),
-                seq: u32_at(8),
-                at: u64_at(12),
-                distance_m: f64::from_bits(u64_at(20)),
+                client_id: u32::from_le_bytes(le_bytes::<4>(buf, 4)?),
+                seq: u32::from_le_bytes(le_bytes::<4>(buf, 8)?),
+                at: u64::from_le_bytes(le_bytes::<8>(buf, 12)?),
+                distance_m: f64::from_bits(u64::from_le_bytes(le_bytes::<8>(buf, 20)?)),
                 digest,
             },
             total,
@@ -191,11 +187,11 @@ impl ObsFrame {
                 got: buf.len(),
             });
         }
-        let magic = u16::from_le_bytes([buf[0], buf[1]]);
+        let magic = u16::from_le_bytes(le_bytes::<2>(buf, 0)?);
         if magic != MAGIC {
             return Err(WireError::BadMagic(magic));
         }
-        Ok(u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(le_bytes::<4>(buf, 4)?))
     }
 
     /// Validates the header of an encoded frame and returns its routing
@@ -211,24 +207,46 @@ impl ObsFrame {
                 got: buf.len(),
             });
         }
-        let magic = u16::from_le_bytes([buf[0], buf[1]]);
+        let magic = u16::from_le_bytes(le_bytes::<2>(buf, 0)?);
         if magic != MAGIC {
             return Err(WireError::BadMagic(magic));
         }
-        if buf[2] != VERSION {
-            return Err(WireError::BadVersion(buf[2]));
+        let version = byte_at(buf, 2)?;
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
         }
-        let digest_len = buf[3] as usize;
+        let digest_len = byte_at(buf, 3)? as usize;
         if digest_len == 0 {
             return Err(WireError::EmptyDigest);
         }
         Ok(FrameMeta {
-            client_id: u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
-            seq: u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")),
-            at: u64::from_le_bytes(buf[12..20].try_into().expect("8 bytes")),
+            client_id: u32::from_le_bytes(le_bytes::<4>(buf, 4)?),
+            seq: u32::from_le_bytes(le_bytes::<4>(buf, 8)?),
+            at: u64::from_le_bytes(le_bytes::<8>(buf, 12)?),
             encoded_len: HEADER_LEN + 4 * digest_len,
         })
     }
+}
+
+/// Reads `N` little-endian bytes at `offset`, as a typed error instead
+/// of a panicking slice-index on short input.
+#[inline]
+fn le_bytes<const N: usize>(buf: &[u8], offset: usize) -> Result<[u8; N], WireError> {
+    buf.get(offset..offset + N)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or(WireError::Truncated {
+            needed: offset + N,
+            got: buf.len(),
+        })
+}
+
+/// Reads the byte at `offset`, as a typed error on short input.
+#[inline]
+fn byte_at(buf: &[u8], offset: usize) -> Result<u8, WireError> {
+    buf.get(offset).copied().ok_or(WireError::Truncated {
+        needed: offset + 1,
+        got: buf.len(),
+    })
 }
 
 /// Routing metadata peeked from an encoded frame's header (no payload
@@ -252,7 +270,7 @@ pub fn decode_stream(mut buf: &[u8]) -> Result<Vec<ObsFrame>, WireError> {
     while !buf.is_empty() {
         let (frame, used) = ObsFrame::decode(buf)?;
         out.push(frame);
-        buf = &buf[used..];
+        buf = buf.get(used..).unwrap_or_default();
     }
     Ok(out)
 }
@@ -273,7 +291,7 @@ pub fn decode_stream_lossy(mut buf: &[u8]) -> (Vec<ObsFrame>, usize, Option<Wire
             Ok((frame, used)) => {
                 out.push(frame);
                 consumed += used;
-                buf = &buf[used..];
+                buf = buf.get(used..).unwrap_or_default();
             }
             Err(e) => return (out, consumed, Some(e)),
         }

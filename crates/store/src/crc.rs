@@ -25,14 +25,15 @@ const fn make_tables() -> [[u32; 256]; 8] {
             c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
             k += 1;
         }
-        tables[0][i] = c;
+        tables[0][i] = c; // lint: checked-index -- i < 256, table is [_; 256]
         i += 1;
     }
     let mut t = 1usize;
     while t < 8 {
         let mut i = 0usize;
         while i < 256 {
-            let prev = tables[t - 1][i];
+            let prev = tables[t - 1][i]; // lint: checked-index -- 1 <= t < 8, i < 256
+                                         // lint: checked-index -- index masked to u8
             tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
             i += 1;
         }
@@ -42,6 +43,14 @@ const fn make_tables() -> [[u32; 256]; 8] {
 }
 
 static TABLES: [[u32; 256]; 8] = make_tables();
+
+/// One table lookup: `t` is a literal 0..8 at every call site and the
+/// byte index is masked, so the access is always in bounds.
+#[inline(always)]
+fn tbl(t: usize, b: u32) -> u32 {
+    // lint: checked-index -- t < 8 const at call sites, index masked to u8
+    TABLES[t][(b & 0xFF) as usize]
+}
 
 /// Streaming CRC-32 state, for checksumming data as it is written.
 #[derive(Clone, Copy, Debug)]
@@ -60,18 +69,23 @@ impl Crc32 {
         let mut c = self.state;
         let mut chunks = bytes.chunks_exact(8);
         for ch in &mut chunks {
-            let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
-            c = TABLES[7][(lo & 0xFF) as usize]
-                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
-                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
-                ^ TABLES[4][(lo >> 24) as usize]
-                ^ TABLES[3][ch[4] as usize]
-                ^ TABLES[2][ch[5] as usize]
-                ^ TABLES[1][ch[6] as usize]
-                ^ TABLES[0][ch[7] as usize];
+            // Slice pattern, not indexing: `chunks_exact(8)` guarantees
+            // the shape, and the pattern lets the compiler see it too.
+            let &[b0, b1, b2, b3, b4, b5, b6, b7] = ch else {
+                continue;
+            };
+            let lo = u32::from_le_bytes([b0, b1, b2, b3]) ^ c;
+            c = tbl(7, lo)
+                ^ tbl(6, lo >> 8)
+                ^ tbl(5, lo >> 16)
+                ^ tbl(4, lo >> 24)
+                ^ tbl(3, b4 as u32)
+                ^ tbl(2, b5 as u32)
+                ^ tbl(1, b6 as u32)
+                ^ tbl(0, b7 as u32);
         }
         for &b in chunks.remainder() {
-            c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+            c = tbl(0, c ^ b as u32) ^ (c >> 8);
         }
         self.state = c;
     }

@@ -43,6 +43,7 @@
 //! prefix) from "sealed data that went bad" (skip the segment, say
 //! so). Nothing is ever silently wrong.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compact;
@@ -100,6 +101,16 @@ pub enum StoreError {
         /// The segment holding the record.
         segment_id: u64,
     },
+    /// An appended record's payload exceeds the format's 24-bit length
+    /// budget ([`segment`] frames lengths as `u32` capped well below).
+    RecordTooLarge {
+        /// The rejected payload's length in bytes.
+        len: usize,
+    },
+    /// An appended decision row contains a newline — rows are the
+    /// line-oriented golden log, so an embedded newline would forge an
+    /// extra row on read-back.
+    BadDecisionRow,
 }
 
 impl std::fmt::Display for StoreError {
@@ -117,6 +128,12 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::BadUtf8 { segment_id } => {
                 write!(f, "segment {segment_id}: decision row is not UTF-8")
+            }
+            StoreError::RecordTooLarge { len } => {
+                write!(f, "record payload of {len} bytes exceeds the format limit")
+            }
+            StoreError::BadDecisionRow => {
+                write!(f, "decision row contains a newline")
             }
         }
     }

@@ -45,7 +45,9 @@ impl RecordBackend for FlightRecorder {
     }
 
     fn record_row(&mut self, row: &str) -> io::Result<()> {
-        self.writer.append_decision_row(row)
+        self.writer
+            .append_decision_row(row)
+            .map_err(io::Error::other)
     }
 
     fn idle(&mut self) -> io::Result<()> {
@@ -64,10 +66,7 @@ pub fn spawn_flight_recorder(
     store_cfg: StoreConfig,
     recording_cfg: RecordingConfig,
 ) -> io::Result<Recorder<FlightRecorder>> {
-    Ok(Recorder::spawn(
-        FlightRecorder::create(store_cfg)?,
-        recording_cfg,
-    ))
+    Recorder::spawn(FlightRecorder::create(store_cfg)?, recording_cfg)
 }
 
 #[cfg(test)]

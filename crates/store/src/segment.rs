@@ -87,7 +87,7 @@ impl RecordKind {
 }
 
 /// Why a segment (or part of one) could not be read.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SegmentError {
     /// Shorter than the fixed header.
     TooShort {
@@ -259,39 +259,64 @@ impl SealInfo {
         if b.len() < SEAL_FIXED_LEN {
             return None;
         }
-        let u32_at = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().expect("4 bytes"));
-        let u64_at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().expect("8 bytes"));
-        let n_clients = u32_at(44) as usize;
+        let n_clients = le_u32(b, 44)? as usize;
         if b.len() != SEAL_FIXED_LEN + 4 * n_clients {
             return None;
         }
-        let clients: Vec<u32> = (0..n_clients)
-            .map(|i| u32_at(SEAL_FIXED_LEN + 4 * i))
-            .collect();
-        if !clients.windows(2).all(|w| w[0] < w[1]) {
+        let mut clients = Vec::with_capacity(n_clients);
+        for ch in b.get(SEAL_FIXED_LEN..)?.chunks_exact(4) {
+            if let &[c0, c1, c2, c3] = ch {
+                clients.push(u32::from_le_bytes([c0, c1, c2, c3]));
+            }
+        }
+        if !clients.windows(2).all(|w| matches!(*w, [a, b] if a < b)) {
             return None;
         }
         Some(SealInfo {
-            records: u64_at(0),
-            body_crc: u32_at(8),
+            records: le_u64(b, 0)?,
+            body_crc: le_u32(b, 8)?,
             index: SegmentIndex {
-                frames: u64_at(12),
-                min_seq: u32_at(20),
-                max_seq: u32_at(24),
-                min_at: u64_at(28),
-                max_at: u64_at(36),
+                frames: le_u64(b, 12)?,
+                min_seq: le_u32(b, 20)?,
+                max_seq: le_u32(b, 24)?,
+                min_at: le_u64(b, 28)?,
+                max_at: le_u64(b, 36)?,
                 clients,
             },
         })
     }
 }
 
+/// Reads a little-endian `u16` at `o`; `None` on short input.
+#[inline]
+fn le_u16(b: &[u8], o: usize) -> Option<u16> {
+    b.get(o..o + 2)
+        .and_then(|s| <[u8; 2]>::try_from(s).ok())
+        .map(u16::from_le_bytes)
+}
+
+/// Reads a little-endian `u32` at `o`; `None` on short input.
+#[inline]
+fn le_u32(b: &[u8], o: usize) -> Option<u32> {
+    b.get(o..o + 4)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .map(u32::from_le_bytes)
+}
+
+/// Reads a little-endian `u64` at `o`; `None` on short input.
+#[inline]
+fn le_u64(b: &[u8], o: usize) -> Option<u64> {
+    b.get(o..o + 8)
+        .and_then(|s| <[u8; 8]>::try_from(s).ok())
+        .map(u64::from_le_bytes)
+}
+
 /// Writes the 16-byte segment header.
 pub fn segment_header(segment_id: u64) -> [u8; SEGMENT_HEADER_LEN] {
     let mut h = [0u8; SEGMENT_HEADER_LEN];
-    h[0..4].copy_from_slice(&SEGMENT_MAGIC.to_le_bytes());
-    h[4..6].copy_from_slice(&SEGMENT_VERSION.to_le_bytes());
-    h[8..16].copy_from_slice(&segment_id.to_le_bytes());
+    h[0..4].copy_from_slice(&SEGMENT_MAGIC.to_le_bytes()); // lint: checked-index -- const range in [u8; 16]
+    h[4..6].copy_from_slice(&SEGMENT_VERSION.to_le_bytes()); // lint: checked-index -- const range in [u8; 16]
+    h[8..16].copy_from_slice(&segment_id.to_le_bytes()); // lint: checked-index -- const range in [u8; 16]
     h
 }
 
@@ -349,15 +374,16 @@ pub fn scan_segment(bytes: &[u8]) -> Result<ScannedSegment<'_>, SegmentError> {
     if bytes.len() < SEGMENT_HEADER_LEN {
         return Err(SegmentError::TooShort { got: bytes.len() });
     }
-    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    let too_short = SegmentError::TooShort { got: bytes.len() };
+    let magic = le_u32(bytes, 0).ok_or(too_short)?;
     if magic != SEGMENT_MAGIC {
         return Err(SegmentError::BadMagic(magic));
     }
-    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    let version = le_u16(bytes, 4).ok_or(too_short)?;
     if version != SEGMENT_VERSION {
         return Err(SegmentError::BadVersion(version));
     }
-    let segment_id = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let segment_id = le_u64(bytes, 8).ok_or(too_short)?;
 
     let mut out = ScannedSegment {
         segment_id,
@@ -367,23 +393,21 @@ pub fn scan_segment(bytes: &[u8]) -> Result<ScannedSegment<'_>, SegmentError> {
     };
     let mut pos = SEGMENT_HEADER_LEN;
     while pos < bytes.len() {
-        if bytes.len() - pos < 5 {
+        let (Some(len), Some(&kind_byte)) = (le_u32(bytes, pos), bytes.get(pos + 4)) else {
             out.error = Some(SegmentError::RecordTruncated { offset: pos });
             break;
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        };
+        let len = len as usize;
         if len > MAX_RECORD_LEN {
             out.error = Some(SegmentError::RecordCorrupt { offset: pos });
             break;
         }
         let end = pos + RECORD_OVERHEAD + len;
-        if end > bytes.len() {
+        let (Some(payload), Some(stored)) = (bytes.get(pos + 5..end - 4), le_u32(bytes, end - 4))
+        else {
             out.error = Some(SegmentError::RecordTruncated { offset: pos });
             break;
-        }
-        let kind_byte = bytes[pos + 4];
-        let payload = &bytes[pos + 5..pos + 5 + len];
-        let stored = u32::from_le_bytes(bytes[end - 4..end].try_into().expect("4 bytes"));
+        };
         let mut c = Crc32::new();
         c.update(&[kind_byte]);
         c.update(payload);
@@ -396,10 +420,11 @@ pub fn scan_segment(bytes: &[u8]) -> Result<ScannedSegment<'_>, SegmentError> {
             break;
         };
         if kind == RecordKind::Seal {
+            // lint: checked-index -- pos < bytes.len() loop invariant
+            let body_crc = crc32(&bytes[..pos]);
             match SealInfo::decode(payload) {
                 Some(info)
-                    if info.records == out.records.len() as u64
-                        && info.body_crc == crc32(&bytes[..pos]) =>
+                    if info.records == out.records.len() as u64 && info.body_crc == body_crc =>
                 {
                     if end != bytes.len() {
                         out.error = Some(SegmentError::TrailingData { offset: end });

@@ -187,7 +187,7 @@ impl TraceWriter {
     }
 
     /// Appends one observation frame.
-    pub fn append_frame(&mut self, frame: &ObsFrame) -> io::Result<()> {
+    pub fn append_frame(&mut self, frame: &ObsFrame) -> Result<(), StoreError> {
         let mut bytes = std::mem::take(&mut self.scratch);
         bytes.clear();
         frame.encode_into(&mut bytes);
@@ -218,9 +218,13 @@ impl TraceWriter {
         Ok(())
     }
 
-    /// Appends one decision-log line (no trailing newline).
-    pub fn append_decision_row(&mut self, row: &str) -> io::Result<()> {
-        assert!(!row.contains('\n'), "decision rows are single lines");
+    /// Appends one decision-log line (no trailing newline). A row with
+    /// an embedded newline is refused — on read-back it would forge an
+    /// extra golden-log row.
+    pub fn append_decision_row(&mut self, row: &str) -> Result<(), StoreError> {
+        if row.contains('\n') {
+            return Err(StoreError::BadDecisionRow);
+        }
         self.append_record(RecordKind::DecisionRow, row.as_bytes())
     }
 
@@ -269,7 +273,13 @@ impl TraceWriter {
         Ok(std::mem::take(&mut self.open_path))
     }
 
-    fn append_obs(&mut self, bytes: &[u8], client_id: u32, seq: u32, at: Nanos) -> io::Result<()> {
+    fn append_obs(
+        &mut self,
+        bytes: &[u8],
+        client_id: u32,
+        seq: u32,
+        at: Nanos,
+    ) -> Result<(), StoreError> {
         self.append_record(RecordKind::Obs, bytes)?;
         // After append_record: a rotation in there must not carry this
         // frame's metadata into the *previous* segment's index.
@@ -280,8 +290,10 @@ impl TraceWriter {
 
     /// Streams one framed record (length, kind, payload, CRC) to the
     /// file, rotating first when it would overflow the size target.
-    fn append_record(&mut self, kind: RecordKind, payload: &[u8]) -> io::Result<()> {
-        assert!(payload.len() <= MAX_RECORD_LEN, "record payload too large");
+    fn append_record(&mut self, kind: RecordKind, payload: &[u8]) -> Result<(), StoreError> {
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(StoreError::RecordTooLarge { len: payload.len() });
+        }
         if self.records > 0
             && self.body_len + RECORD_OVERHEAD + payload.len() > self.cfg.target_segment_bytes
         {
@@ -293,7 +305,7 @@ impl TraceWriter {
         rec_crc.update(&kind_byte);
         rec_crc.update(payload);
         let crc = rec_crc.finish().to_le_bytes();
-        for part in [&len[..], &kind_byte, payload, &crc] {
+        for part in [len.as_slice(), &kind_byte, payload, &crc] {
             self.file.write_all(part)?;
             self.body_crc.update(part);
         }

@@ -10,6 +10,7 @@
 //! global state: all randomness flows from explicitly seeded [`rng::DetRng`]
 //! values so that every experiment in the workspace is bit-reproducible.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cdf;

@@ -1,0 +1,178 @@
+//! Cross-crate analyzer tests: the lint suite holds on the shipped
+//! workspace, every lint self-describes, and the telemetry round-trip
+//! test is *generated* from the same `Event` inventory the analyzer's
+//! exhaustiveness lint checks — so adding a variant without extending
+//! the exporter fails here and under `mobisense-analyze` alike.
+
+use std::path::{Path, PathBuf};
+
+use mobisense_analyze::lints::telemetry::event_variants;
+use mobisense_analyze::{all_lints, load_workspace, run};
+use mobisense_telemetry::export::{event_to_json, parse_event};
+use mobisense_telemetry::Event;
+
+/// The workspace root: xtests' manifest dir is `<root>/xtests`.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtests has a parent")
+        .to_path_buf()
+}
+
+/// The shipped workspace is lint-clean: what CI enforces with
+/// `cargo run -p mobisense-analyze -- --deny-all`, asserted here so
+/// a plain `cargo test` catches regressions too.
+#[test]
+fn shipped_workspace_has_no_findings() {
+    let ws = load_workspace(&repo_root()).expect("load workspace");
+    assert!(
+        ws.files.len() >= 40,
+        "workspace discovery looks broken: only {} files",
+        ws.files.len()
+    );
+    let findings = run(&ws, &all_lints());
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        findings.is_empty(),
+        "lint findings:\n{}",
+        rendered.join("\n")
+    );
+}
+
+/// The suite carries the six contract lints, each with a distinct
+/// name and a non-empty invariant statement (what `--list` prints).
+#[test]
+fn lint_suite_covers_the_six_contracts() {
+    let lints = all_lints();
+    let names: Vec<&str> = lints.iter().map(|l| l.name()).collect();
+    for expected in [
+        "determinism",
+        "panic-paths",
+        "lock-discipline",
+        "telemetry-exhaustive",
+        "format-const",
+        "unsafe-ban",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "missing lint {expected}: {names:?}"
+        );
+    }
+    let mut sorted = names.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), names.len(), "duplicate lint names: {names:?}");
+    for lint in &lints {
+        assert!(
+            lint.invariant().len() > 20,
+            "lint {} has no real invariant description",
+            lint.name()
+        );
+    }
+}
+
+/// A sample value for each known `Event` variant. Failing on an
+/// unknown name is the point: a variant added to `event.rs` shows up
+/// in the lexical inventory below before anyone writes a sample here.
+fn sample_for(variant: &str) -> Event {
+    match variant {
+        "Decision" => Event::Decision {
+            at: 1_000,
+            mode: "micro".to_string(),
+            direction: Some("approaching".to_string()),
+        },
+        "TofMedian" => Event::TofMedian {
+            at: 2_000,
+            cycles: 3.25,
+        },
+        "RateChange" => Event::RateChange {
+            at: 3_000,
+            from_mcs: 4,
+            to_mcs: 7,
+        },
+        "Handoff" => Event::Handoff {
+            at: 4_000,
+            from_ap: 1,
+            to_ap: 2,
+        },
+        "Beamsound" => Event::Beamsound { at: 5_000, ap: 3 },
+        "AmpduTx" => Event::AmpduTx {
+            at: 6_000,
+            mcs: 5,
+            n_mpdus: 16,
+            n_delivered: 14,
+            airtime: 250_000,
+        },
+        "Goodput" => Event::Goodput {
+            at: 7_000,
+            elapsed: 1_000_000,
+            bits: 123_456,
+        },
+        "ServeShard" => Event::ServeShard {
+            at: 8_000,
+            shard: 2,
+            frames: 1_000,
+            decisions: 12,
+            shed: 3,
+            max_depth: 9,
+        },
+        "StoreSegment" => Event::StoreSegment {
+            at: 9_000,
+            segment: 7,
+            frames: 512,
+            bytes: 65_536,
+        },
+        "StoreRecovery" => Event::StoreRecovery {
+            at: 10_000,
+            segment: 8,
+            frames: 100,
+            lost: 4,
+        },
+        "ServeRecorder" => Event::ServeRecorder {
+            at: 11_000,
+            frames: 2_048,
+            rows: 16,
+            dropped: 5,
+            max_depth: 33,
+        },
+        "StoreRetention" => Event::StoreRetention {
+            at: 12_000,
+            segment: 9,
+            frames: 256,
+            bytes: 32_768,
+        },
+        other => panic!(
+            "Event::{other} has no JSONL round-trip sample — a new \
+             variant was added to telemetry::Event; extend sample_for \
+             (and the exporter, which mobisense-analyze also checks)"
+        ),
+    }
+}
+
+/// Every `Event` variant — enumerated from `event.rs`'s *source* with
+/// the analyzer's own inventory — survives a JSONL round-trip intact.
+/// Exhaustive by construction: the variant list is not hand-kept.
+#[test]
+fn every_event_variant_round_trips_through_jsonl() {
+    let event_rs = repo_root().join("crates/telemetry/src/event.rs");
+    let source = std::fs::read_to_string(&event_rs).expect("read event.rs");
+    let variants = event_variants(&source);
+    assert!(
+        variants.len() >= 12,
+        "Event inventory shrank unexpectedly: {variants:?}"
+    );
+    for variant in &variants {
+        let event = sample_for(variant);
+        let json = event_to_json(&event);
+        assert!(
+            json.starts_with('{') && json.ends_with('}'),
+            "Event::{variant} encodes as one flat JSON object: {json}"
+        );
+        let parsed = parse_event(&json)
+            .unwrap_or_else(|e| panic!("Event::{variant} failed to parse back: {e}\n{json}"));
+        assert_eq!(
+            parsed, event,
+            "Event::{variant} round-trip changed the value"
+        );
+    }
+}
