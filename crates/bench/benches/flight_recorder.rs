@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 use mobisense_bench::header;
+use mobisense_bench::report::{self, BenchReport};
 use mobisense_serve::fleet::{EncodedFleet, FleetConfig};
 use mobisense_serve::recording::{RecordPolicy, RecordingConfig};
 use mobisense_serve::service::{serve_streams, serve_streams_recorded, ServeConfig};
@@ -25,10 +26,11 @@ fn main() {
         "serve frames/sec with background recording off / blocking / drop-newest, and CRC-32 MB/s",
         "lossless (blocking) recording degrades serving to store write bandwidth; drop-newest sheds load to keep serving fast; CRC is never the bottleneck",
     );
+    let smoke = report::smoke_mode();
 
     let fleet_cfg = FleetConfig {
-        n_clients: 192,
-        duration: 12 * SECOND,
+        n_clients: if smoke { 24 } else { 192 },
+        duration: if smoke { 3 * SECOND } else { 12 * SECOND },
         step: 20 * MILLISECOND,
         base_seed: 2014,
         ..FleetConfig::default()
@@ -43,17 +45,19 @@ fn main() {
     let total = fleet.total_frames();
 
     println!("mode, frames, wall_ms, frames_per_sec, recorded, dropped, store_mib");
+    let mut out = BenchReport::new("flight_recorder");
 
     // Baseline: no recorder in the loop.
     let t0 = Instant::now();
     let (_decisions, report) = serve_streams(&serve_cfg, &fleet.streams, &mut NoopSink);
     let wall = t0.elapsed();
     assert_eq!(report.frames_processed, total);
+    let off_fps = total as f64 / wall.as_secs_f64();
     println!(
-        "off, {total}, {:.0}, {:.0}, 0, 0, 0.0",
-        wall.as_secs_f64() * 1e3,
-        total as f64 / wall.as_secs_f64(),
+        "off, {total}, {:.0}, {off_fps:.0}, 0, 0, 0.0",
+        wall.as_secs_f64() * 1e3
     );
+    out.push("off_frames_per_sec", off_fps, true, 90.0);
 
     for (name, policy) in [
         ("block", RecordPolicy::Block),
@@ -84,11 +88,13 @@ fn main() {
         assert_eq!(report.frames_processed, total);
         if policy == RecordPolicy::Block {
             assert_eq!(stats.dropped, 0, "blocking recorder is lossless");
+            out.push("block_dropped", stats.dropped as f64, false, 0.0);
         }
+        let fps = total as f64 / wall.as_secs_f64();
+        out.push(&format!("{name}_frames_per_sec"), fps, true, 90.0);
         println!(
-            "{name}, {total}, {:.0}, {:.0}, {}, {}, {:.1}",
+            "{name}, {total}, {:.0}, {fps:.0}, {}, {}, {:.1}",
             wall.as_secs_f64() * 1e3,
-            total as f64 / wall.as_secs_f64(),
             stats.frames,
             stats.dropped,
             summary.bytes as f64 / (1024.0 * 1024.0),
@@ -98,17 +104,22 @@ fn main() {
 
     // Raw CRC-32 bandwidth (slicing-by-8): what every stored byte pays
     // twice (record CRC + seal body CRC).
-    let buf: Vec<u8> = (0..(16usize << 20)).map(|i| (i * 31) as u8).collect();
+    let buf_mib = if smoke { 2usize } else { 16 };
+    let rounds = if smoke { 2usize } else { 16 };
+    let buf: Vec<u8> = (0..(buf_mib << 20)).map(|i| (i * 31) as u8).collect();
     let mut acc = 0u32;
     let t0 = Instant::now();
-    const ROUNDS: usize = 16;
-    for _ in 0..ROUNDS {
+    for _ in 0..rounds {
         acc = acc.rotate_left(1) ^ crc32(&buf);
     }
     let wall = t0.elapsed();
-    let mib = (ROUNDS * buf.len()) as f64 / (1024.0 * 1024.0);
-    println!(
-        "crc32, mib_per_sec, {:.0}, checksum, {acc:08x}",
-        mib / wall.as_secs_f64()
-    );
+    let mib = (rounds * buf.len()) as f64 / (1024.0 * 1024.0);
+    let crc_mib_per_sec = mib / wall.as_secs_f64();
+    println!("crc32, mib_per_sec, {crc_mib_per_sec:.0}, checksum, {acc:08x}");
+
+    out.push("crc_mib_per_sec", crc_mib_per_sec, true, 90.0);
+    let path = out
+        .write_to(&report::default_dir())
+        .expect("write bench report");
+    println!("# report: {}", path.display());
 }

@@ -1,0 +1,154 @@
+//! The CI perf-regression gate over persisted bench reports.
+//!
+//! ```text
+//! bench_gate compare <baseline_dir> <current_dir>
+//! bench_gate self-test
+//! ```
+//!
+//! `compare` loads every `BENCH_*.json` in the baseline directory,
+//! finds the same-named report in the current directory, and fails
+//! (exit 1) when any metric worsened beyond its baseline tolerance —
+//! or when a report/metric disappeared, because a gate that silently
+//! shrinks is not a gate. `self-test` proves the gate can catch an
+//! injected 20% synthetic regression and exits non-zero if it cannot,
+//! so CI validates the gate itself on every run.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use mobisense_bench::report::{compare, BenchReport};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") if args.len() == 3 => run_compare(Path::new(&args[1]), Path::new(&args[2])),
+        Some("self-test") if args.len() == 1 => run_self_test(),
+        _ => {
+            eprintln!("usage: bench_gate compare <baseline_dir> <current_dir>");
+            eprintln!("       bench_gate self-test");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_compare(baseline_dir: &Path, current_dir: &Path) -> ExitCode {
+    let mut baselines: Vec<_> = match std::fs::read_dir(baseline_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {e}", baseline_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    baselines.sort();
+    if baselines.is_empty() {
+        eprintln!(
+            "bench_gate: no BENCH_*.json baselines in {}",
+            baseline_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    for base_path in &baselines {
+        let name = base_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        let base = match BenchReport::load(base_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("FAIL {name}: bad baseline: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let cur_path = current_dir.join(name);
+        let cur = match BenchReport::load(&cur_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("FAIL {name}: current run missing or unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match compare(&base, &cur) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!(
+                    "PASS {name}: {} metrics within tolerance",
+                    base.metrics.len()
+                );
+            }
+            Ok(regressions) => {
+                failed = true;
+                for r in &regressions {
+                    eprintln!(
+                        "FAIL {name}: {} worsened {:.1}% (allowed {:.1}%): baseline {} -> current {}",
+                        r.metric, r.change_pct, r.allowed_pct, r.baseline, r.current
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL {name}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Proves the gate catches what it exists to catch: a 20% drop on a
+/// 10%-tolerance throughput metric must be flagged, an in-tolerance
+/// wobble must not, and a vanished metric must fail loudly.
+fn run_self_test() -> ExitCode {
+    let mut base = BenchReport::new("self_test");
+    base.push("frames_per_sec", 1000.0, true, 10.0);
+    base.push("p99_latency_ns", 500.0, false, 25.0);
+    base.push("golden_match", 1.0, true, 0.0);
+
+    let mut regressed = base.clone();
+    regressed.push("frames_per_sec", 800.0, true, 10.0); // -20%, 10% allowed
+
+    let mut ok = base.clone();
+    ok.push("frames_per_sec", 950.0, true, 10.0); // -5%, 10% allowed
+    ok.push("p99_latency_ns", 600.0, false, 25.0); // +20%, 25% allowed
+
+    let mut shrunk = base.clone();
+    shrunk.metrics.remove("golden_match");
+
+    let caught = matches!(
+        compare(&base, &regressed).as_deref(),
+        Ok([r]) if r.metric == "frames_per_sec" && (r.change_pct - 20.0).abs() < 1e-9
+    );
+    let passed = matches!(compare(&base, &ok).as_deref(), Ok([]));
+    let loud_on_loss = compare(&base, &shrunk).is_err();
+    // The JSON layer must round-trip, or the on-disk gate differs from
+    // this in-memory one.
+    let round_trips = BenchReport::from_json(&base.to_json()).as_ref() == Ok(&base);
+
+    for (check, result) in [
+        ("catches 20% regression at 10% tolerance", caught),
+        ("passes in-tolerance wobble", passed),
+        ("fails loudly on vanished metric", loud_on_loss),
+        ("report JSON round-trips", round_trips),
+    ] {
+        println!(
+            "self-test: {check}: {}",
+            if result { "ok" } else { "FAILED" }
+        );
+        if !result {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use mobisense_core::classifier::{Classification, ClassifierConfig, MobilityClassifier};
 use mobisense_core::scenario::{Observation, Scenario};
 use mobisense_mobility::MobilityMode;

@@ -1,0 +1,536 @@
+//! Persisted performance trajectory: every perf-oriented bench emits a
+//! `BENCH_<name>.json` report of its headline metrics, and a `compare`
+//! mode diffs a fresh run against committed baselines with per-metric
+//! tolerances — the CI regression gate (`bench_gate`).
+//!
+//! The JSON is hand-rolled (workspace rule: no external deps) and
+//! schema-versioned, so a gate comparing reports from two different
+//! layouts fails loudly instead of silently passing. Metric names are
+//! stored in a `BTreeMap`, making the serialization byte-deterministic
+//! for a given set of values.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Version of the on-disk report layout. Bump on any breaking change;
+/// [`compare`] refuses to diff mismatched versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One benchmark metric: its value plus how the gate should judge it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Metric {
+    /// The measured value (units are part of the metric name).
+    pub value: f64,
+    /// Whether larger values are better (throughput) or worse
+    /// (latency, drop counts).
+    pub higher_is_better: bool,
+    /// Allowed worsening versus the baseline, in percent. `0` demands
+    /// exact-or-better (used for correctness ratios like
+    /// `golden_match`); large values absorb host-to-host variance.
+    pub tol_pct: f64,
+}
+
+/// One bench's persisted report: schema version, host facts, metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Layout version ([`SCHEMA_VERSION`] when written by this code).
+    pub schema_version: u64,
+    /// The bench name (`BENCH_<name>.json`).
+    pub name: String,
+    /// Host OS (`std::env::consts::OS`).
+    pub os: String,
+    /// Host architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Logical CPUs available when the bench ran.
+    pub cpus: u64,
+    /// Metrics by name.
+    pub metrics: BTreeMap<String, Metric>,
+}
+
+impl BenchReport {
+    /// An empty report for this host.
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            name: name.to_owned(),
+            os: std::env::consts::OS.to_owned(),
+            arch: std::env::consts::ARCH.to_owned(),
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Adds (or replaces) one metric.
+    pub fn push(&mut self, name: &str, value: f64, higher_is_better: bool, tol_pct: f64) {
+        self.metrics.insert(
+            name.to_owned(),
+            Metric {
+                value,
+                higher_is_better,
+                tol_pct,
+            },
+        );
+    }
+
+    /// Serializes the report as pretty-printed JSON (deterministic:
+    /// metrics are name-sorted).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!("  \"name\": {},\n", json_string(&self.name)));
+        out.push_str(&format!("  \"os\": {},\n", json_string(&self.os)));
+        out.push_str(&format!("  \"arch\": {},\n", json_string(&self.arch)));
+        out.push_str(&format!("  \"cpus\": {},\n", self.cpus));
+        out.push_str("  \"metrics\": {");
+        let mut first = true;
+        for (name, m) in &self.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {}: {{\"value\": {}, \"higher_is_better\": {}, \"tol_pct\": {}}}",
+                json_string(name),
+                json_f64(m.value),
+                m.higher_is_better,
+                json_f64(m.tol_pct)
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`BenchReport::to_json`]
+    /// (or hand-edited to the same shape).
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let root = match parse_value(&mut Cursor::new(text))? {
+            Val::Obj(map) => map,
+            _ => return Err("report root must be a JSON object".into()),
+        };
+        let schema_version = get_num(&root, "schema_version")? as u64;
+        let mut metrics = BTreeMap::new();
+        match root.get("metrics") {
+            Some(Val::Obj(raw)) => {
+                for (name, v) in raw {
+                    let m = match v {
+                        Val::Obj(m) => m,
+                        _ => return Err(format!("metric {name} must be an object")),
+                    };
+                    metrics.insert(
+                        name.clone(),
+                        Metric {
+                            value: get_num(m, "value")?,
+                            higher_is_better: get_bool(m, "higher_is_better")?,
+                            tol_pct: get_num(m, "tol_pct")?,
+                        },
+                    );
+                }
+            }
+            _ => return Err("missing metrics object".into()),
+        }
+        Ok(BenchReport {
+            schema_version,
+            name: get_str(&root, "name")?,
+            os: get_str(&root, "os")?,
+            arch: get_str(&root, "arch")?,
+            cpus: get_num(&root, "cpus")? as u64,
+            metrics,
+        })
+    }
+
+    /// The report's canonical file name.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Writes the report into `dir` (created as needed) under its
+    /// canonical name, returning the path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Loads a report from a file.
+    pub fn load(path: &Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        BenchReport::from_json(&text)
+    }
+}
+
+/// Where bench reports land: `$MOBISENSE_BENCH_DIR`, else
+/// `target/bench-reports`.
+pub fn default_dir() -> PathBuf {
+    match std::env::var_os("MOBISENSE_BENCH_DIR") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from("target").join("bench-reports"),
+    }
+}
+
+/// Whether benches should run in CI smoke mode (tiny workloads that
+/// exercise every code path without meaningful timing): set
+/// `MOBISENSE_BENCH_SMOKE` to anything but `0`.
+pub fn smoke_mode() -> bool {
+    matches!(std::env::var("MOBISENSE_BENCH_SMOKE"), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// One metric the gate judged worse than the baseline allows.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// The failing metric.
+    pub metric: String,
+    /// Its baseline value.
+    pub baseline: f64,
+    /// Its value in the current run.
+    pub current: f64,
+    /// How much worsening the baseline tolerates, percent.
+    pub allowed_pct: f64,
+    /// The observed worsening, percent (positive = worse).
+    pub change_pct: f64,
+}
+
+/// Diffs `current` against `baseline`: every baseline metric must be
+/// present in `current` and within its tolerance. Returns the list of
+/// regressions (empty = gate passes). Errs on schema or name mismatch
+/// and on metrics the current run no longer reports — silent metric
+/// loss must fail the gate, not shrink it.
+pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Result<Vec<Regression>, String> {
+    if baseline.schema_version != current.schema_version {
+        return Err(format!(
+            "schema mismatch: baseline v{}, current v{}",
+            baseline.schema_version, current.schema_version
+        ));
+    }
+    if baseline.name != current.name {
+        return Err(format!(
+            "report mismatch: baseline {:?}, current {:?}",
+            baseline.name, current.name
+        ));
+    }
+    let mut regressions = Vec::new();
+    for (name, base) in &baseline.metrics {
+        let cur = current
+            .metrics
+            .get(name)
+            .ok_or_else(|| format!("metric {name} missing from current run"))?;
+        let denom = base.value.abs().max(1e-12);
+        let change_pct = if base.higher_is_better {
+            (base.value - cur.value) / denom * 100.0
+        } else {
+            (cur.value - base.value) / denom * 100.0
+        };
+        if change_pct > base.tol_pct {
+            regressions.push(Regression {
+                metric: name.clone(),
+                baseline: base.value,
+                current: cur.value,
+                allowed_pct: base.tol_pct,
+                change_pct,
+            });
+        }
+    }
+    Ok(regressions)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        // JSON has no NaN/inf; null round-trips to NaN on parse.
+        return "null".into();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+// --- minimal JSON reader (objects, strings, numbers, bools, null) ---
+
+#[derive(Clone, Debug)]
+enum Val {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Obj(BTreeMap<String, Val>),
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Cursor {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+}
+
+fn parse_value(c: &mut Cursor<'_>) -> Result<Val, String> {
+    match c.peek() {
+        Some(b'{') => parse_object(c),
+        Some(b'"') => Ok(Val::Str(parse_string(c)?)),
+        Some(b't') | Some(b'f') => parse_keyword(c),
+        Some(b'n') => parse_keyword(c),
+        Some(b) if b == b'-' || b.is_ascii_digit() => parse_number(c),
+        other => Err(format!("unexpected input at byte {}: {other:?}", c.pos)),
+    }
+}
+
+fn parse_object(c: &mut Cursor<'_>) -> Result<Val, String> {
+    c.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    if c.peek() == Some(b'}') {
+        c.pos += 1;
+        return Ok(Val::Obj(map));
+    }
+    loop {
+        let key = parse_string(c)?;
+        c.expect(b':')?;
+        let value = parse_value(c)?;
+        if map.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate key {key:?}"));
+        }
+        match c.peek() {
+            Some(b',') => c.pos += 1,
+            Some(b'}') => {
+                c.pos += 1;
+                return Ok(Val::Obj(map));
+            }
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+}
+
+fn parse_string(c: &mut Cursor<'_>) -> Result<String, String> {
+    c.expect(b'"')?;
+    let mut out = String::new();
+    loop {
+        match c.bytes.get(c.pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                c.pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                c.pos += 1;
+                match c.bytes.get(c.pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = c
+                            .bytes
+                            .get(c.pos + 1..c.pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        c.pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                c.pos += 1;
+            }
+            Some(_) => {
+                // Consume one whole UTF-8 scalar.
+                let rest = std::str::from_utf8(&c.bytes[c.pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().ok_or("unterminated string")?;
+                out.push(ch);
+                c.pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(c: &mut Cursor<'_>) -> Result<Val, String> {
+    c.skip_ws();
+    let start = c.pos;
+    while c
+        .bytes
+        .get(c.pos)
+        .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+    {
+        c.pos += 1;
+    }
+    let text = std::str::from_utf8(&c.bytes[start..c.pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Val::Num)
+        .map_err(|e| format!("bad number {text:?}: {e}"))
+}
+
+fn parse_keyword(c: &mut Cursor<'_>) -> Result<Val, String> {
+    c.skip_ws();
+    for (word, val) in [
+        ("true", Val::Bool(true)),
+        ("false", Val::Bool(false)),
+        ("null", Val::Num(f64::NAN)),
+    ] {
+        if c.bytes[c.pos..].starts_with(word.as_bytes()) {
+            c.pos += word.len();
+            return Ok(val);
+        }
+    }
+    Err(format!("unknown keyword at byte {}", c.pos))
+}
+
+fn get_num(map: &BTreeMap<String, Val>, key: &str) -> Result<f64, String> {
+    match map.get(key) {
+        Some(Val::Num(v)) => Ok(*v),
+        other => Err(format!("field {key} must be a number, found {other:?}")),
+    }
+}
+
+fn get_str(map: &BTreeMap<String, Val>, key: &str) -> Result<String, String> {
+    match map.get(key) {
+        Some(Val::Str(s)) => Ok(s.clone()),
+        other => Err(format!("field {key} must be a string, found {other:?}")),
+    }
+}
+
+fn get_bool(map: &BTreeMap<String, Val>, key: &str) -> Result<bool, String> {
+    match map.get(key) {
+        Some(Val::Bool(b)) => Ok(*b),
+        other => Err(format!("field {key} must be a bool, found {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("unit");
+        r.push("frames_per_sec", 12345.5, true, 90.0);
+        r.push("p99_latency_ns", 842.0, false, 200.0);
+        r.push("golden_match", 1.0, true, 0.0);
+        r
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample();
+        let parsed = BenchReport::from_json(&r.to_json()).expect("parses");
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance() {
+        let base = sample();
+        let mut cur = sample();
+        cur.push("frames_per_sec", 12345.5 * 0.5, true, 90.0); // -50% < 90% tol
+        cur.push("p99_latency_ns", 842.0 * 2.5, false, 200.0); // +150% < 200% tol
+        assert!(compare(&base, &cur).expect("comparable").is_empty());
+    }
+
+    #[test]
+    fn compare_flags_a_twenty_percent_regression() {
+        let mut base = sample();
+        base.push("frames_per_sec", 1000.0, true, 10.0);
+        let mut cur = sample();
+        cur.push("frames_per_sec", 800.0, true, 10.0); // 20% down, 10% allowed
+        let regs = compare(&base, &cur).expect("comparable");
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "frames_per_sec");
+        assert!((regs[0].change_pct - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_ratio_metrics_tolerate_nothing() {
+        let base = sample();
+        let mut cur = sample();
+        cur.push("golden_match", 0.99, true, 0.0);
+        let regs = compare(&base, &cur).expect("comparable");
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "golden_match");
+    }
+
+    #[test]
+    fn missing_metric_and_schema_drift_fail_loudly() {
+        let base = sample();
+        let mut cur = sample();
+        cur.metrics.remove("golden_match");
+        assert!(compare(&base, &cur).is_err());
+        let mut v2 = sample();
+        v2.schema_version = 2;
+        assert!(compare(&base, &v2).is_err());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(BenchReport::from_json("").is_err());
+        assert!(BenchReport::from_json("[1,2]").is_err());
+        assert!(BenchReport::from_json("{\"schema_version\": 1}").is_err());
+        assert!(BenchReport::from_json("{\"a\": 1, \"a\": 2}").is_err());
+    }
+
+    #[test]
+    fn write_and_load_round_trip() {
+        let dir =
+            std::env::temp_dir().join(format!("mobisense-bench-report-{}", std::process::id()));
+        let r = sample();
+        let path = r.write_to(&dir).expect("write");
+        assert!(path.ends_with("BENCH_unit.json"));
+        assert_eq!(BenchReport::load(&path).expect("load"), r);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

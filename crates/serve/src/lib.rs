@@ -21,7 +21,11 @@
 //! * [`recording`] — the always-on flight recorder: a bounded channel
 //!   plus a dedicated writer thread teeing every served frame (and the
 //!   golden decision log) into a [`RecordBackend`] — in production the
-//!   trace store — without disk latency on the frame path.
+//!   trace store — without disk latency on the frame path;
+//! * [`ops`] — live operational monitoring: a background ticker
+//!   snapshotting queue / recorder health as versioned JSONL
+//!   ([`mobisense_telemetry::snapshot`]) and a stall watchdog flagging
+//!   sources that stop making progress while work is pending.
 //!
 //! The headline property is the **determinism contract**: under
 //! blocking backpressure the merged decision log, sorted by
@@ -35,13 +39,15 @@
 #![warn(missing_docs)]
 
 pub mod fleet;
+pub mod ops;
 pub mod queue;
 pub mod recording;
 pub mod service;
 pub mod wire;
 
 pub use fleet::{shard_of, ClientStream, EncodedFleet, FleetConfig};
-pub use queue::{OverflowPolicy, ShardQueue};
+pub use ops::{OpsMonitor, OpsOutcome, SnapshotMeta, SnapshotPolicy, StallDetector, StallFlag};
+pub use queue::{OverflowPolicy, ShardQueue, Ticket};
 pub use recording::{
     RecordBackend, RecordPolicy, Recorder, RecorderHandle, RecorderStats, RecordingConfig,
 };

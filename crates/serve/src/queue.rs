@@ -18,6 +18,8 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
+use mobisense_telemetry::{Stage, StageTrace};
+
 use crate::wire::ObsFrame;
 
 /// What a producer does when a shard's queue is full.
@@ -35,16 +37,52 @@ pub enum OverflowPolicy {
     ShedOldestPerClient,
 }
 
-/// One enqueued frame, stamped with its ingest wall-clock instant so
-/// the worker can measure decision latency.
-pub type QueueItem = (Instant, ObsFrame);
+/// Per-frame bookkeeping riding alongside an enqueued observation: the
+/// ingest wall-clock instant (decision-latency telemetry) plus an
+/// optional sampled [`StageTrace`] (per-stage latency telemetry).
+#[derive(Clone, Copy, Debug)]
+pub struct Ticket {
+    /// When the producer materialized the frame.
+    pub ingested: Instant,
+    /// The sampled stage trace, `None` for the untraced majority.
+    pub trace: Option<StageTrace>,
+}
+
+impl Ticket {
+    /// A plain ticket: ingest stamp only, no stage trace.
+    pub fn untraced() -> Self {
+        Ticket {
+            ingested: Instant::now(),
+            trace: None,
+        }
+    }
+
+    /// A ticket carrying a stage trace started at `Ingest`. One clock
+    /// read serves both the ingest stamp and the trace origin, so the
+    /// traced path pays no extra read here and the trace origin *is*
+    /// the latency epoch.
+    pub fn traced() -> Self {
+        let now = Instant::now();
+        Ticket {
+            ingested: now,
+            trace: Some(StageTrace::start_at(now)),
+        }
+    }
+}
+
+/// One enqueued frame plus its [`Ticket`].
+pub type QueueItem = (Ticket, ObsFrame);
 
 #[derive(Debug, Default)]
 struct Inner {
     q: VecDeque<QueueItem>,
     closed: bool,
     shed: u64,
+    popped: u64,
     max_depth: usize,
+    /// Deepest occupancy since the last [`ShardQueue::take_high_water`]
+    /// read (the ops monitor's between-ticks peak detector).
+    high_water: usize,
 }
 
 /// A bounded FIFO between one ingest producer and one shard worker.
@@ -93,7 +131,7 @@ impl ShardQueue {
     /// longer be trusted, and silently serving a maybe-reordered or
     /// maybe-truncated stream would break the determinism contract.
     /// Failing the whole run is the correct outcome there.
-    pub fn push(&self, item: QueueItem, policy: OverflowPolicy) -> u64 {
+    pub fn push(&self, mut item: QueueItem, policy: OverflowPolicy) -> u64 {
         // lint: poison-loud -- frame path: a poisoned FIFO cannot be trusted, fail the run
         let mut inner = self.inner.lock().expect("queue poisoned");
         let mut shed_now = 0u64;
@@ -123,8 +161,14 @@ impl ShardQueue {
         if inner.closed {
             return shed_now;
         }
+        // Stamped after any backpressure wait, immediately before
+        // insertion, so the dequeue delta is pure queue residency.
+        if let Some(trace) = item.0.trace.as_mut() {
+            trace.mark(Stage::Enqueue);
+        }
         inner.q.push_back(item);
         inner.max_depth = inner.max_depth.max(inner.q.len());
+        inner.high_water = inner.high_water.max(inner.q.len());
         drop(inner);
         self.not_empty.notify_one();
         shed_now
@@ -140,6 +184,7 @@ impl ShardQueue {
         loop {
             if let Some(item) = inner.q.pop_front() {
                 let depth = inner.q.len() + 1;
+                inner.popped += 1;
                 drop(inner);
                 self.not_full.notify_one();
                 return Some((item, depth));
@@ -171,6 +216,28 @@ impl ShardQueue {
     pub fn max_depth(&self) -> usize {
         self.lock_recovered().max_depth
     }
+
+    /// Current occupancy (frames queued right now).
+    pub fn depth(&self) -> usize {
+        self.lock_recovered().q.len()
+    }
+
+    /// Frames dequeued by the worker so far (the watchdog's progress
+    /// counter).
+    pub fn popped(&self) -> u64 {
+        self.lock_recovered().popped
+    }
+
+    /// Deepest occupancy since the previous call, then resets the
+    /// window to the *current* occupancy — so transient overload peaks
+    /// between two reads are never lost the way a plain depth gauge
+    /// loses them.
+    pub fn take_high_water(&self) -> usize {
+        let mut inner = self.lock_recovered();
+        let hw = inner.high_water;
+        inner.high_water = inner.q.len();
+        hw
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +255,7 @@ mod tests {
     }
 
     fn item(client_id: u32, seq: u32) -> QueueItem {
-        (Instant::now(), frame(client_id, seq))
+        (Ticket::untraced(), frame(client_id, seq))
     }
 
     #[test]
@@ -267,6 +334,38 @@ mod tests {
         let q3 = q.clone();
         let popper = std::thread::spawn(move || q3.pop());
         assert!(popper.join().is_err(), "pop fails fast on poison");
+    }
+
+    #[test]
+    fn high_water_window_keeps_peaks_and_resets() {
+        let q = ShardQueue::new(8);
+        for seq in 0..6 {
+            q.push(item(1, seq), OverflowPolicy::Block);
+        }
+        for _ in 0..6 {
+            q.pop().expect("queued frame");
+        }
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.popped(), 6);
+        // The drained queue still reports the peak once...
+        assert_eq!(q.take_high_water(), 6);
+        // ...then the window resets to the current occupancy.
+        assert_eq!(q.take_high_water(), 0);
+        q.push(item(1, 6), OverflowPolicy::Block);
+        assert_eq!(q.take_high_water(), 1);
+        // All-time max_depth is unaffected by window reads.
+        assert_eq!(q.max_depth(), 6);
+    }
+
+    #[test]
+    fn enqueue_stage_is_stamped_on_traced_items() {
+        let q = ShardQueue::new(4);
+        q.push((Ticket::traced(), frame(1, 0)), OverflowPolicy::Block);
+        q.close();
+        let ((ticket, _), _) = q.pop().expect("queued frame");
+        let trace = ticket.trace.expect("traced ticket");
+        assert!(trace.is_marked(Stage::Enqueue));
+        assert!(!trace.is_marked(Stage::Dequeue), "worker marks dequeue");
     }
 
     #[test]

@@ -93,6 +93,9 @@ pub struct RecorderStats {
     pub dropped: u64,
     /// Deepest channel occupancy observed.
     pub max_depth: u64,
+    /// Records the recorder thread has handed to the backend — the
+    /// stall watchdog's progress counter for the recorder.
+    pub drained: u64,
 }
 
 enum Msg {
@@ -118,6 +121,7 @@ struct Channel {
     rows: AtomicU64,
     dropped: AtomicU64,
     max_depth: AtomicU64,
+    drained: AtomicU64,
 }
 
 impl Channel {
@@ -132,6 +136,7 @@ impl Channel {
             rows: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             max_depth: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
         }
     }
 
@@ -170,6 +175,7 @@ impl Channel {
         loop {
             if let Some(msg) = inner.q.pop_front() {
                 drop(inner);
+                self.drained.fetch_add(1, Ordering::Relaxed);
                 self.not_full.notify_one();
                 return Some(msg);
             }
@@ -254,14 +260,23 @@ impl RecorderHandle {
         ok
     }
 
-    /// A point-in-time snapshot of the run's counters.
+    /// A point-in-time snapshot of the run's counters (lock-free; never
+    /// contends with the hot path).
     pub fn stats(&self) -> RecorderStats {
         RecorderStats {
             frames: self.chan.frames.load(Ordering::Relaxed),
             rows: self.chan.rows.load(Ordering::Relaxed),
             dropped: self.chan.dropped.load(Ordering::Relaxed),
             max_depth: self.chan.max_depth.load(Ordering::Relaxed),
+            drained: self.chan.drained.load(Ordering::Relaxed),
         }
+    }
+
+    /// Current channel occupancy — the recorder backlog gauge. Takes
+    /// the channel lock, so it belongs on monitoring paths, not the
+    /// frame path.
+    pub fn depth(&self) -> usize {
+        self.chan.lock_recovered().q.len()
     }
 }
 

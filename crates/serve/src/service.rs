@@ -29,12 +29,13 @@ use mobisense_core::pipeline::{PipelineConfig, PipelineSession};
 use mobisense_core::policy::MobilityPolicy;
 use mobisense_mobility::{Direction, MobilityMode};
 use mobisense_telemetry::metrics::{Histogram, SPAN_NS_BUCKETS};
-use mobisense_telemetry::{Event, NoopSink, Sink};
+use mobisense_telemetry::{Event, NoopSink, Registry, Sampler, Sink, Stage, StageHistograms};
 use mobisense_util::units::Nanos;
 
 use crate::fleet::{mix64, shard_of, ClientStream, EncodedFleet};
-use crate::queue::{OverflowPolicy, ShardQueue};
-use crate::recording::RecorderHandle;
+use crate::ops::{OpsMonitor, OpsOutcome, SnapshotPolicy, StallFlag};
+use crate::queue::{OverflowPolicy, ShardQueue, Ticket};
+use crate::recording::{RecorderHandle, RecorderStats};
 
 /// Queue-depth histogram bucket bounds (frames).
 pub const DEPTH_BUCKETS: &[f64] = &[
@@ -56,6 +57,16 @@ pub struct ServeConfig {
     /// noise); the per-client seed derives from it and the client id,
     /// never from the shard, so re-sharding cannot change a session.
     pub session_seed: u64,
+    /// Stage-trace sampling: every Nth submitted frame (per producer)
+    /// carries a [`mobisense_telemetry::StageTrace`] that stamps each
+    /// pipeline stage, feeding the per-stage histograms in
+    /// [`ServeReport::stages`]. `0` disables tracing entirely; traces
+    /// never influence decisions, only telemetry.
+    pub stage_sampling: u32,
+    /// When set, a background ops monitor snapshots queue / recorder
+    /// health at this cadence and flags stalled sources
+    /// ([`ServeReport::snapshots`] / [`ServeReport::stalls`]).
+    pub snapshot: Option<SnapshotPolicy>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +77,8 @@ impl Default for ServeConfig {
             overflow: OverflowPolicy::Block,
             pipeline: PipelineConfig::default(),
             session_seed: 0x5345_5256, // "SERV"
+            stage_sampling: 0,
+            snapshot: None,
         }
     }
 }
@@ -129,8 +142,22 @@ pub struct ServeReport {
     pub latency_ns: Histogram,
     /// Queue depth (frames) sampled at every worker pop.
     pub depth: Histogram,
+    /// Per-stage latency histograms merged across shards (empty unless
+    /// [`ServeConfig::stage_sampling`] > 0).
+    pub stages: StageHistograms,
+    /// Per-shard stage histograms, index = shard (empty vec when
+    /// tracing is off).
+    pub per_stage_shard: Vec<StageHistograms>,
     /// Per-shard accounting, index = shard.
     pub per_shard: Vec<ShardSummary>,
+    /// Serialized ops snapshots, one JSONL block per monitor tick
+    /// (empty unless [`ServeConfig::snapshot`] is set).
+    pub snapshots: Vec<String>,
+    /// Stalls the ops watchdog flagged during the run.
+    pub stalls: Vec<StallFlag>,
+    /// Recording-channel counters at the end of the run, when a flight
+    /// recorder was attached.
+    pub recorder: Option<RecorderStats>,
     /// Wall-clock duration of the whole run.
     pub wall: std::time::Duration,
 }
@@ -148,6 +175,38 @@ impl ServeReport {
         } else {
             self.shed as f64 / self.frames_in as f64
         }
+    }
+
+    /// Assembles the report into a metrics [`Registry`] — the same
+    /// shape the live ops monitor snapshots, so a finished run can be
+    /// serialized with [`mobisense_telemetry::Snapshot`] too.
+    pub fn registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        reg.counter("serve.frames_in").add(self.frames_in);
+        reg.counter("serve.frames_processed")
+            .add(self.frames_processed);
+        reg.counter("serve.shed").add(self.shed);
+        reg.counter("serve.decisions").add(self.decisions);
+        reg.gauge("serve.shards").set(self.per_shard.len() as f64);
+        reg.gauge("serve.wall_ns").set(self.wall.as_nanos() as f64);
+        if self.latency_ns.count() > 0 {
+            reg.histogram("serve.latency_ns", SPAN_NS_BUCKETS)
+                .merge(&self.latency_ns);
+        }
+        if self.depth.count() > 0 {
+            reg.histogram("serve.depth", DEPTH_BUCKETS)
+                .merge(&self.depth);
+        }
+        self.stages.fill_registry(&mut reg);
+        if let Some(stats) = &self.recorder {
+            reg.counter("serve.recorder.frames").add(stats.frames);
+            reg.counter("serve.recorder.rows").add(stats.rows);
+            reg.counter("serve.recorder.dropped").add(stats.dropped);
+            reg.counter("serve.recorder.drained").add(stats.drained);
+            reg.gauge("serve.recorder.max_depth")
+                .set(stats.max_depth as f64);
+        }
+        reg
     }
 }
 
@@ -174,6 +233,7 @@ struct WorkerResult {
     last_at: Nanos,
     latency_ns: Histogram,
     depth: Histogram,
+    stages: StageHistograms,
 }
 
 fn run_worker(queue: &ShardQueue, cfg: &ServeConfig) -> WorkerResult {
@@ -187,9 +247,13 @@ fn run_worker(queue: &ShardQueue, cfg: &ServeConfig) -> WorkerResult {
         last_at: 0,
         latency_ns: Histogram::with_buckets(SPAN_NS_BUCKETS),
         depth: Histogram::with_buckets(DEPTH_BUCKETS),
+        stages: StageHistograms::new(),
     };
     let warmup = cfg.pipeline.warmup;
-    while let Some(((ingested, frame), depth)) = queue.pop() {
+    while let Some(((mut ticket, frame), depth)) = queue.pop() {
+        if let Some(trace) = ticket.trace.as_mut() {
+            trace.mark(Stage::Dequeue);
+        }
         out.depth.observe(depth as f64);
         out.frames += 1;
         out.last_at = out.last_at.max(frame.at);
@@ -208,8 +272,10 @@ fn run_worker(queue: &ShardQueue, cfg: &ServeConfig) -> WorkerResult {
             frame.distance_m,
             &mut NoopSink,
         );
+        if let Some(trace) = ticket.trace.as_mut() {
+            trace.mark(Stage::Classify);
+        }
         if let Some(c) = decided {
-            out.latency_ns.observe(ingested.elapsed().as_nanos() as f64);
             if frame.at >= warmup && state.last_emitted != Some(c) {
                 state.last_emitted = Some(c);
                 out.decisions.push(ServeDecision {
@@ -220,6 +286,22 @@ fn run_worker(queue: &ShardQueue, cfg: &ServeConfig) -> WorkerResult {
                     policy: MobilityPolicy::for_classification(c),
                 });
             }
+        }
+        if let Some(trace) = ticket.trace.as_mut() {
+            // One clock read stamps the `Decide` span and, when the
+            // classifier emitted, the end-to-end decision latency — the
+            // traced path pays no read the untraced path doesn't.
+            // lint: determinism -- wall-clock latency telemetry only, never decisions
+            let now = Instant::now();
+            trace.mark_at(Stage::Decide, now);
+            out.stages.observe_trace(trace);
+            if decided.is_some() {
+                out.latency_ns
+                    .observe(now.saturating_duration_since(ticket.ingested).as_nanos() as f64);
+            }
+        } else if decided.is_some() {
+            out.latency_ns
+                .observe(ticket.ingested.elapsed().as_nanos() as f64);
         }
     }
     out
@@ -239,19 +321,31 @@ fn run_producer(
     clients: &[&ClientStream],
     overflow: OverflowPolicy,
     recorder: Option<&RecorderHandle>,
+    stage_sampling: u32,
 ) -> u64 {
     let max_frames = clients.iter().map(|s| s.n_frames).max().unwrap_or(0);
     let mut submitted = 0u64;
+    let mut sampler = Sampler::every(stage_sampling);
     for i in 0..max_frames {
         for stream in clients {
             if i >= stream.n_frames {
                 continue;
             }
+            // The ingest wall-clock stamp (inside the ticket) feeds
+            // latency telemetry only, never decisions; a sampled ticket
+            // additionally carries a stage trace started at `Ingest`.
+            let mut ticket = if sampler.sample() {
+                Ticket::traced()
+            } else {
+                Ticket::untraced()
+            };
             if let Some(rec) = recorder {
                 rec.record_frame(stream.frame(i));
+                if let Some(trace) = ticket.trace.as_mut() {
+                    trace.mark(Stage::Record);
+                }
             }
-            // lint: determinism -- ingest stamp feeds latency telemetry only, never decisions
-            queue.push((Instant::now(), stream.obs(i)), overflow);
+            queue.push((ticket, stream.obs(i)), overflow);
             submitted += 1;
         }
     }
@@ -303,10 +397,11 @@ pub fn serve_streams_recorded<S: Sink + ?Sized>(
     recorder: &RecorderHandle,
     sink: &mut S,
 ) -> (Vec<ServeDecision>, ServeReport) {
-    let (decisions, report) = serve_streams_inner(cfg, streams, Some(recorder), sink);
+    let (decisions, mut report) = serve_streams_inner(cfg, streams, Some(recorder), sink);
     for line in decision_log_csv(&decisions).lines() {
         recorder.record_row(line);
     }
+    report.recorder = Some(recorder.stats());
     if sink.enabled() {
         let stats = recorder.stats();
         let at = report
@@ -343,6 +438,13 @@ fn serve_streams_inner<S: Sink + ?Sized>(
         by_shard[shard_of(stream.client_id, cfg.n_shards)].push(stream);
     }
 
+    // The ops monitor observes the run from outside the frame path; it
+    // is spawned before the workers and stopped (with one final tick)
+    // after they drain, so its snapshots bracket the whole run.
+    let monitor = cfg.snapshot.map(|policy| {
+        OpsMonitor::spawn(queues.clone(), recorder.cloned(), policy).expect("ops monitor spawn")
+    });
+
     let mut frames_in = 0u64;
     let mut results: Vec<WorkerResult> = Vec::with_capacity(cfg.n_shards);
     std::thread::scope(|scope| {
@@ -359,7 +461,9 @@ fn serve_streams_inner<S: Sink + ?Sized>(
             .map(|(q, clients)| {
                 let q = Arc::clone(q);
                 let clients: &[&ClientStream] = clients;
-                scope.spawn(move || run_producer(&q, clients, cfg.overflow, recorder))
+                scope.spawn(move || {
+                    run_producer(&q, clients, cfg.overflow, recorder, cfg.stage_sampling)
+                })
             })
             .collect();
         for p in producers {
@@ -369,6 +473,7 @@ fn serve_streams_inner<S: Sink + ?Sized>(
             results.push(w.join().expect("worker panicked"));
         }
     });
+    let ops: OpsOutcome = monitor.map(OpsMonitor::stop).unwrap_or_default();
 
     let mut decisions: Vec<ServeDecision> = Vec::new();
     let mut report = ServeReport {
@@ -379,7 +484,12 @@ fn serve_streams_inner<S: Sink + ?Sized>(
         per_mode: [0; 4],
         latency_ns: Histogram::with_buckets(SPAN_NS_BUCKETS),
         depth: Histogram::with_buckets(DEPTH_BUCKETS),
+        stages: StageHistograms::new(),
+        per_stage_shard: Vec::new(),
         per_shard: Vec::with_capacity(cfg.n_shards),
+        snapshots: ops.snapshots,
+        stalls: ops.stalls,
+        recorder: recorder.map(RecorderHandle::stats),
         wall: started.elapsed(),
     };
     for (shard, (result, queue)) in results.iter().zip(&queues).enumerate() {
@@ -387,6 +497,10 @@ fn serve_streams_inner<S: Sink + ?Sized>(
         report.shed += queue.shed();
         report.latency_ns.merge(&result.latency_ns);
         report.depth.merge(&result.depth);
+        if cfg.stage_sampling > 0 {
+            report.stages.merge(&result.stages);
+            report.per_stage_shard.push(result.stages.clone());
+        }
         report.per_shard.push(ShardSummary {
             shard: shard as u32,
             frames: result.frames,
@@ -412,6 +526,24 @@ fn serve_streams_inner<S: Sink + ?Sized>(
                 decisions: s.decisions,
                 shed: s.shed,
                 max_depth: s.max_depth,
+            });
+        }
+        // Ops events are wall-clock phenomena with no sim timestamp;
+        // `at` is 0 by convention (documented on the variants).
+        for m in &ops.meta {
+            sink.record(Event::Snapshot {
+                at: 0,
+                seq: m.seq,
+                metrics: m.metrics,
+                bytes: m.bytes,
+            });
+        }
+        for stall in &report.stalls {
+            sink.record(Event::Stall {
+                at: 0,
+                source: stall.source.clone(),
+                intervals: stall.intervals,
+                backlog: stall.backlog,
             });
         }
         sink.span_ns("serve.run", report.wall.as_nanos() as u64);
@@ -570,6 +702,81 @@ mod tests {
             "every submitted frame is processed or shed"
         );
         assert!(report.shed_rate() <= 1.0);
+    }
+
+    #[test]
+    fn stage_tracing_changes_no_decision_and_fills_histograms() {
+        let fleet = small_fleet();
+        let plain = ServeConfig::default();
+        let traced = ServeConfig {
+            stage_sampling: 4,
+            ..ServeConfig::default()
+        };
+        let (d_plain, r_plain) = serve_fleet(&plain, &fleet, &mut NoopSink);
+        let (d_traced, r_traced) = serve_fleet(&traced, &fleet, &mut NoopSink);
+        // Tracing is telemetry-only: the decision log stays byte-identical.
+        assert_eq!(
+            decision_log_csv(&d_plain),
+            decision_log_csv(&d_traced),
+            "tracing must not perturb decisions"
+        );
+        assert_eq!(r_plain.stages.traces(), 0);
+        let expected = fleet.total_frames() / 4;
+        let traces = r_traced.stages.traces();
+        // Each producer samples every 4th of its own submissions, so
+        // the total is within one frame per producer of the ideal.
+        assert!(
+            traces >= expected.saturating_sub(traced.n_shards as u64) && traces <= expected + 1,
+            "sampled ~1 in 4: {traces} vs {expected}"
+        );
+        assert_eq!(r_traced.per_stage_shard.len(), traced.n_shards);
+        // Every traced frame passed enqueue, dequeue, classify, decide.
+        for stage in [
+            Stage::Enqueue,
+            Stage::Dequeue,
+            Stage::Classify,
+            Stage::Decide,
+        ] {
+            assert_eq!(r_traced.stages.get(stage).count(), traces, "{stage:?}");
+        }
+        // No recorder attached, so the record stage never fired.
+        assert_eq!(r_traced.stages.get(Stage::Record).count(), 0);
+    }
+
+    #[test]
+    fn snapshot_monitor_reports_and_emits_events() {
+        let fleet = small_fleet();
+        let mut tel = mobisense_telemetry::Telemetry::new();
+        let cfg = ServeConfig {
+            stage_sampling: 8,
+            snapshot: Some(SnapshotPolicy {
+                interval: std::time::Duration::from_millis(5),
+                stall_intervals: 2,
+            }),
+            ..ServeConfig::default()
+        };
+        let (_, report) = serve_fleet(&cfg, &fleet, &mut tel);
+        // The monitor's final tick guarantees at least one snapshot
+        // even on a fast run.
+        assert!(!report.snapshots.is_empty());
+        let snaps = mobisense_telemetry::parse_snapshots(&report.snapshots.concat())
+            .expect("snapshots parse");
+        assert_eq!(snaps.len(), report.snapshots.len());
+        let snap_events = tel
+            .events()
+            .filter(|e| matches!(e, Event::Snapshot { .. }))
+            .count();
+        assert_eq!(snap_events, report.snapshots.len());
+        // A healthy drain never stalls.
+        assert!(report.stalls.is_empty(), "stalls: {:?}", report.stalls);
+        assert!(!tel.events().any(|e| matches!(e, Event::Stall { .. })));
+        // The report assembles into a registry with the stage hists.
+        let reg = report.registry();
+        assert_eq!(
+            reg.counter_value("serve.frames_processed"),
+            Some(report.frames_processed)
+        );
+        assert!(reg.histogram_snapshot("stage.total").is_some());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! store that silently lost records.
 
 use std::fs;
+use std::time::Instant;
 
 use mobisense_serve::wire::ObsFrame;
 use mobisense_telemetry::event::Event;
@@ -41,6 +42,22 @@ pub struct CompactReport {
     pub bytes_after: u64,
     /// Observation frames carried across (every one of them).
     pub frames: u64,
+    /// Records carried across (frames plus decision rows).
+    pub records: u64,
+    /// Wall-clock duration of the pass.
+    pub wall: std::time::Duration,
+}
+
+impl CompactReport {
+    /// Records rewritten per wall-clock second.
+    pub fn records_per_sec(&self) -> f64 {
+        self.records as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Input MiB processed per wall-clock second.
+    pub fn mib_per_sec(&self) -> f64 {
+        (self.bytes_before as f64 / (1 << 20) as f64) / self.wall.as_secs_f64().max(1e-9)
+    }
 }
 
 /// Compacts the store at `cfg.dir` toward `cfg.target_segment_bytes`
@@ -57,6 +74,7 @@ fn compact_inner<S: Sink + ?Sized>(
     cfg: &StoreConfig,
     sink: &mut S,
 ) -> Result<CompactReport, StoreError> {
+    let started = Instant::now();
     let reader = TraceReader::open(&cfg.dir)?;
     let segments_before = reader.segments().len();
     let bytes_before: u64 = reader.segments().iter().map(|m| m.bytes).sum();
@@ -116,11 +134,13 @@ fn compact_inner<S: Sink + ?Sized>(
         fs::remove_file(&meta.path)?;
     }
     let mut bytes_after = 0u64;
+    let mut max_at = 0;
     for (id, tmp) in tmp_paths.iter().enumerate() {
         let final_path = cfg.dir.join(sealed_name(id as u64));
         fs::rename(tmp, &final_path)?;
         let (bytes, index) = &outputs[id];
         bytes_after += bytes.len() as u64;
+        max_at = max_at.max(index.max_at);
         sink.record(Event::StoreSegment {
             at: index.max_at,
             segment: id as u64,
@@ -137,13 +157,35 @@ fn compact_inner<S: Sink + ?Sized>(
         crate::writer::sync_dir(&cfg.dir)?;
     }
 
-    Ok(CompactReport {
+    let report = CompactReport {
         segments_before,
         segments_after: outputs.len(),
         bytes_before,
         bytes_after,
         frames,
-    })
+        records: records.len() as u64,
+        wall: started.elapsed(),
+    };
+    // Progress telemetry: cumulative counters plus throughput gauges,
+    // so an ops snapshot of a long-running maintainer shows how fast
+    // compaction is moving, and one summary event for the trace.
+    sink.count("store.compact.records", report.records);
+    sink.count("store.compact.bytes_in", report.bytes_before);
+    sink.count("store.compact.bytes_out", report.bytes_after);
+    sink.count("store.compact.segments_in", report.segments_before as u64);
+    sink.count("store.compact.segments_out", report.segments_after as u64);
+    sink.gauge_set("store.compact.records_per_sec", report.records_per_sec());
+    sink.gauge_set("store.compact.mib_per_sec", report.mib_per_sec());
+    sink.record(Event::StoreCompaction {
+        at: max_at,
+        segments_in: report.segments_before as u64,
+        segments_out: report.segments_after as u64,
+        records: report.records,
+        bytes_in: report.bytes_before,
+        bytes_out: report.bytes_after,
+    });
+
+    Ok(report)
 }
 
 /// Appends the seal footer to an in-memory segment body.
@@ -214,6 +256,31 @@ mod tests {
                 .count(),
             1
         );
+        // The pass publishes progress telemetry: a summary event plus
+        // counters and throughput gauges in the registry.
+        assert_eq!(report.records, 44, "40 frames + 4 decision rows");
+        assert!(report.records_per_sec() > 0.0);
+        assert!(report.mib_per_sec() > 0.0);
+        let compactions: Vec<_> = sink
+            .events()
+            .filter(|e| e.kind() == "store_compaction")
+            .collect();
+        assert_eq!(compactions.len(), 1);
+        if let Event::StoreCompaction {
+            records, bytes_out, ..
+        } = compactions[0]
+        {
+            assert_eq!(*records, 44);
+            assert_eq!(*bytes_out, report.bytes_after);
+        }
+        assert_eq!(
+            sink.registry.counter_value("store.compact.records"),
+            Some(44)
+        );
+        assert!(sink
+            .registry
+            .gauge_value("store.compact.mib_per_sec")
+            .is_some_and(|v| v > 0.0));
 
         let r = TraceReader::open(&dir).expect("reopen");
         assert_eq!(r.segments().len(), 1);

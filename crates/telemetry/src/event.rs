@@ -144,6 +144,50 @@ pub enum Event {
         /// Bytes freed on disk.
         bytes: u64,
     },
+    /// The serving layer's stall watchdog saw a shard or recorder make
+    /// no progress across consecutive snapshot intervals while work was
+    /// pending (`mobisense-serve`). `at` is 0: stalls are wall-clock
+    /// phenomena observed outside the simulation clock.
+    Stall {
+        /// Sim time (always 0; see above).
+        at: Nanos,
+        /// The stalled source, e.g. `"shard-3"` or `"recorder"`.
+        source: String,
+        /// Consecutive no-progress snapshot intervals observed.
+        intervals: u64,
+        /// Items pending at the stalled source when flagged.
+        backlog: u64,
+    },
+    /// The serving layer's ops monitor captured one live registry
+    /// snapshot (`telemetry::snapshot` JSONL block). `at` is 0 for the
+    /// same reason as [`Event::Stall`].
+    Snapshot {
+        /// Sim time (always 0; see above).
+        at: Nanos,
+        /// The snapshot's sequence number within the run.
+        seq: u64,
+        /// Metrics the snapshot carried.
+        metrics: u64,
+        /// Serialized size of the JSONL block, bytes.
+        bytes: u64,
+    },
+    /// The trace store finished one compaction pass
+    /// (`mobisense-store`).
+    StoreCompaction {
+        /// Sim time of the newest frame carried into the compacted
+        /// output (0 when nothing survived).
+        at: Nanos,
+        /// Sealed segments consumed.
+        segments_in: u64,
+        /// Sealed segments written.
+        segments_out: u64,
+        /// Records (frames and rows) carried across.
+        records: u64,
+        /// Input bytes read.
+        bytes_in: u64,
+        /// Output bytes written.
+        bytes_out: u64,
+    },
 }
 
 impl Event {
@@ -161,7 +205,10 @@ impl Event {
             | Event::StoreSegment { at, .. }
             | Event::StoreRecovery { at, .. }
             | Event::ServeRecorder { at, .. }
-            | Event::StoreRetention { at, .. } => at,
+            | Event::StoreRetention { at, .. }
+            | Event::Stall { at, .. }
+            | Event::Snapshot { at, .. }
+            | Event::StoreCompaction { at, .. } => at,
         }
     }
 
@@ -181,6 +228,9 @@ impl Event {
             Event::StoreRecovery { .. } => "store_recovery",
             Event::ServeRecorder { .. } => "serve_recorder",
             Event::StoreRetention { .. } => "store_retention",
+            Event::Stall { .. } => "stall",
+            Event::Snapshot { .. } => "snapshot",
+            Event::StoreCompaction { .. } => "store_compaction",
         }
     }
 }

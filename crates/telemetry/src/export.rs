@@ -139,6 +139,43 @@ pub fn event_to_json(event: &Event) -> String {
             field_u64(&mut s, "frames", frames);
             field_u64(&mut s, "bytes", bytes);
         }
+        Event::Stall {
+            at,
+            ref source,
+            intervals,
+            backlog,
+        } => {
+            field_u64(&mut s, "at", at);
+            let _ = write!(s, ",\"source\":{}", json_string(source));
+            field_u64(&mut s, "intervals", intervals);
+            field_u64(&mut s, "backlog", backlog);
+        }
+        Event::Snapshot {
+            at,
+            seq,
+            metrics,
+            bytes,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "seq", seq);
+            field_u64(&mut s, "metrics", metrics);
+            field_u64(&mut s, "bytes", bytes);
+        }
+        Event::StoreCompaction {
+            at,
+            segments_in,
+            segments_out,
+            records,
+            bytes_in,
+            bytes_out,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "segments_in", segments_in);
+            field_u64(&mut s, "segments_out", segments_out);
+            field_u64(&mut s, "records", records);
+            field_u64(&mut s, "bytes_in", bytes_in);
+            field_u64(&mut s, "bytes_out", bytes_out);
+        }
     }
     s.push('}');
     s
@@ -246,6 +283,26 @@ pub fn parse_event(line: &str) -> Result<Event, String> {
             frames: get_u64(&fields, "frames")?,
             bytes: get_u64(&fields, "bytes")?,
         }),
+        "stall" => Ok(Event::Stall {
+            at,
+            source: get_string(&fields, "source")?,
+            intervals: get_u64(&fields, "intervals")?,
+            backlog: get_u64(&fields, "backlog")?,
+        }),
+        "snapshot" => Ok(Event::Snapshot {
+            at,
+            seq: get_u64(&fields, "seq")?,
+            metrics: get_u64(&fields, "metrics")?,
+            bytes: get_u64(&fields, "bytes")?,
+        }),
+        "store_compaction" => Ok(Event::StoreCompaction {
+            at,
+            segments_in: get_u64(&fields, "segments_in")?,
+            segments_out: get_u64(&fields, "segments_out")?,
+            records: get_u64(&fields, "records")?,
+            bytes_in: get_u64(&fields, "bytes_in")?,
+            bytes_out: get_u64(&fields, "bytes_out")?,
+        }),
         other => Err(format!("unknown event type {other:?}")),
     }
 }
@@ -293,13 +350,13 @@ pub fn registry_to_csv(registry: &Registry) -> String {
 
 /// Formats a finite `f64` so that parsing the text yields the same
 /// bits (Rust's `Display` is shortest-round-trip).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     debug_assert!(v.is_finite(), "telemetry floats must be finite");
     format!("{v}")
 }
 
 /// Quotes and escapes a string for JSON.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -321,7 +378,7 @@ fn json_string(s: &str) -> String {
 
 /// A value in a flat (non-nested) JSON object.
 #[derive(Clone, Debug, PartialEq)]
-enum Val {
+pub(crate) enum Val {
     Null,
     Str(String),
     /// Raw numeric token, converted on demand so `u64` fields never
@@ -329,7 +386,7 @@ enum Val {
     Num(String),
 }
 
-fn get_u64(fields: &BTreeMap<String, Val>, key: &str) -> Result<u64, String> {
+pub(crate) fn get_u64(fields: &BTreeMap<String, Val>, key: &str) -> Result<u64, String> {
     match fields.get(key) {
         Some(Val::Num(n)) => n
             .parse::<u64>()
@@ -338,7 +395,7 @@ fn get_u64(fields: &BTreeMap<String, Val>, key: &str) -> Result<u64, String> {
     }
 }
 
-fn get_f64(fields: &BTreeMap<String, Val>, key: &str) -> Result<f64, String> {
+pub(crate) fn get_f64(fields: &BTreeMap<String, Val>, key: &str) -> Result<f64, String> {
     match fields.get(key) {
         Some(Val::Num(n)) => n
             .parse::<f64>()
@@ -347,7 +404,7 @@ fn get_f64(fields: &BTreeMap<String, Val>, key: &str) -> Result<f64, String> {
     }
 }
 
-fn get_string(fields: &BTreeMap<String, Val>, key: &str) -> Result<String, String> {
+pub(crate) fn get_string(fields: &BTreeMap<String, Val>, key: &str) -> Result<String, String> {
     match fields.get(key) {
         Some(Val::Str(s)) => Ok(s.clone()),
         _ => Err(format!("missing string field {key:?}")),
@@ -355,8 +412,9 @@ fn get_string(fields: &BTreeMap<String, Val>, key: &str) -> Result<String, Strin
 }
 
 /// Parses one flat JSON object (`{"k":v,...}` with string, number and
-/// null values — no nesting, which is all the event encoding uses).
-fn parse_flat_object(line: &str) -> Result<BTreeMap<String, Val>, String> {
+/// null values — no nesting, which is all the event and snapshot
+/// encodings use).
+pub(crate) fn parse_flat_object(line: &str) -> Result<BTreeMap<String, Val>, String> {
     let mut p = Parser {
         chars: line.trim().chars().collect(),
         pos: 0,
@@ -558,6 +616,26 @@ mod tests {
                 segment: 2,
                 frames: 8192,
                 bytes: 2_097_152,
+            },
+            Event::Stall {
+                at: 0,
+                source: "shard-3".into(),
+                intervals: 2,
+                backlog: 64,
+            },
+            Event::Snapshot {
+                at: 0,
+                seq: 9,
+                metrics: 23,
+                bytes: 2_311,
+            },
+            Event::StoreCompaction {
+                at: 1200,
+                segments_in: 6,
+                segments_out: 2,
+                records: 24_576,
+                bytes_in: 6_291_456,
+                bytes_out: 5_242_880,
             },
         ]
     }

@@ -16,7 +16,11 @@
 //! * span-style wall-clock timing of hot paths via [`timed`], recorded
 //!   into registry histograms;
 //! * [`export`] — hand-rolled JSON-lines and CSV writers/parsers (no
-//!   serde) so benches and integration tests can dump and diff runs.
+//!   serde) so benches and integration tests can dump and diff runs;
+//! * [`stage`] — sampled per-frame stage tracing for the serving path
+//!   ([`StageTrace`] stamps, [`StageHistograms`] per-stage quantiles);
+//! * [`snapshot`] — versioned JSONL snapshots of a full registry for
+//!   live ops observation ([`Snapshot`] / [`parse_snapshots`]).
 //!
 //! ## Design rules
 //!
@@ -35,10 +39,14 @@ pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod sink;
+pub mod snapshot;
+pub mod stage;
 
 pub use event::{Event, EventTrace};
 pub use metrics::{Counter, Gauge, Histogram, P2Quantile, Registry};
 pub use sink::{timed, NoopSink, Sink};
+pub use snapshot::{parse_snapshots, HistogramSummary, Snapshot, SNAPSHOT_VERSION};
+pub use stage::{Sampler, Stage, StageHistograms, StageTrace, N_STAGES, STAGE_HIST_NAMES};
 
 use mobisense_util::units::Nanos;
 
@@ -106,6 +114,14 @@ impl Sink for Telemetry {
         self.registry
             .histogram(name, metrics::SPAN_NS_BUCKETS)
             .observe(wall_ns as f64);
+    }
+
+    fn count(&mut self, name: &'static str, n: u64) {
+        self.registry.counter(name).add(n);
+    }
+
+    fn gauge_set(&mut self, name: &'static str, value: f64) {
+        self.registry.gauge(name).set(value);
     }
 }
 

@@ -26,6 +26,17 @@ pub trait Sink {
 
     /// Records a wall-clock span measurement for the scope `name`.
     fn span_ns(&mut self, name: &'static str, wall_ns: u64);
+
+    /// Adds `n` to the counter `name`. Default no-op; registry-backed
+    /// sinks accumulate, so instrumented code can publish progress
+    /// counters (e.g. compaction bytes) without knowing the sink type.
+    #[inline]
+    fn count(&mut self, _name: &'static str, _n: u64) {}
+
+    /// Sets the gauge `name` to `value` (last-value-wins). Default
+    /// no-op, like [`Sink::count`].
+    #[inline]
+    fn gauge_set(&mut self, _name: &'static str, _value: f64) {}
 }
 
 /// The do-nothing sink: telemetry-off runs thread this through and pay
@@ -60,6 +71,16 @@ impl<S: Sink + ?Sized> Sink for &mut S {
     #[inline(always)]
     fn span_ns(&mut self, name: &'static str, wall_ns: u64) {
         (**self).span_ns(name, wall_ns)
+    }
+
+    #[inline(always)]
+    fn count(&mut self, name: &'static str, n: u64) {
+        (**self).count(name, n)
+    }
+
+    #[inline(always)]
+    fn gauge_set(&mut self, name: &'static str, value: f64) {
+        (**self).gauge_set(name, value)
     }
 }
 

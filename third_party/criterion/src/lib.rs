@@ -41,11 +41,27 @@ impl BatchSize {
     }
 }
 
+/// One finished benchmark's timing summary, kept by the harness so
+/// callers can persist results (upstream criterion writes these to its
+/// own baseline files; the vendored shim just hands them back).
+#[derive(Clone, Debug)]
+pub struct BenchSummary {
+    /// The benchmark id passed to [`Criterion::bench_function`].
+    pub id: String,
+    /// Fastest sample, ns per iteration.
+    pub min_ns: f64,
+    /// Median sample, ns per iteration.
+    pub median_ns: f64,
+    /// Mean over all samples, ns per iteration.
+    pub mean_ns: f64,
+}
+
 /// The benchmark harness: times closures and prints one summary line
 /// per benchmark.
 pub struct Criterion {
     sample_size: usize,
     warm_up_time: Duration,
+    summaries: Vec<BenchSummary>,
 }
 
 impl Default for Criterion {
@@ -53,6 +69,7 @@ impl Default for Criterion {
         Criterion {
             sample_size: 100,
             warm_up_time: Duration::from_millis(300),
+            summaries: Vec::new(),
         }
     }
 }
@@ -82,8 +99,15 @@ impl Criterion {
             warm_up_time: self.warm_up_time,
         };
         f(&mut bencher);
-        bencher.report(id);
+        if let Some(summary) = bencher.report(id) {
+            self.summaries.push(summary);
+        }
         self
+    }
+
+    /// Summaries of every benchmark run so far, in execution order.
+    pub fn summaries(&self) -> &[BenchSummary] {
+        &self.summaries
     }
 }
 
@@ -142,10 +166,10 @@ impl Bencher {
         }
     }
 
-    fn report(&self, id: &str) {
+    fn report(&self, id: &str) -> Option<BenchSummary> {
         if self.samples_ns.is_empty() {
             println!("{id}: no samples recorded");
-            return;
+            return None;
         }
         let mut sorted = self.samples_ns.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
@@ -159,6 +183,12 @@ impl Bencher {
             fmt_ns(mean),
             sorted.len()
         );
+        Some(BenchSummary {
+            id: id.to_owned(),
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        })
     }
 }
 
@@ -212,6 +242,11 @@ mod tests {
             .sample_size(3)
             .warm_up_time(Duration::from_millis(1));
         c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let s = c.summaries();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].id, "noop");
+        assert!(s[0].min_ns <= s[0].median_ns);
+        assert!(s[0].mean_ns > 0.0);
     }
 
     #[test]

@@ -141,6 +141,26 @@ fn sample_for(variant: &str) -> Event {
             frames: 256,
             bytes: 32_768,
         },
+        "Stall" => Event::Stall {
+            at: 0,
+            source: "shard-2".to_string(),
+            intervals: 3,
+            backlog: 512,
+        },
+        "Snapshot" => Event::Snapshot {
+            at: 0,
+            seq: 4,
+            metrics: 23,
+            bytes: 2_048,
+        },
+        "StoreCompaction" => Event::StoreCompaction {
+            at: 13_000,
+            segments_in: 6,
+            segments_out: 2,
+            records: 4_096,
+            bytes_in: 1_048_576,
+            bytes_out: 524_288,
+        },
         other => panic!(
             "Event::{other} has no JSONL round-trip sample — a new \
              variant was added to telemetry::Event; extend sample_for \
@@ -158,7 +178,7 @@ fn every_event_variant_round_trips_through_jsonl() {
     let source = std::fs::read_to_string(&event_rs).expect("read event.rs");
     let variants = event_variants(&source);
     assert!(
-        variants.len() >= 12,
+        variants.len() >= 15,
         "Event inventory shrank unexpectedly: {variants:?}"
     );
     for variant in &variants {
