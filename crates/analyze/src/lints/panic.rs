@@ -1,9 +1,11 @@
 //! Panic-discipline lint: hot paths return typed errors, they do not
 //! panic.
 //!
-//! The serve frame path (`queue`, `recording`, `wire`) and the store
-//! append path (`writer`, `segment`, `crc`) run on every served frame;
-//! a panic there takes down the worker or poisons the writer. Inside
+//! The serve frame path (`queue`, `recording`, `wire`), the store
+//! append path (`writer`, `segment`, `crc`), and the socket edge's
+//! decode/reactor path (`edge::conn`, `edge::reactor`) run on every
+//! served frame; a panic there takes down the worker, poisons the
+//! writer, or kills the reactor thread with live sockets open. Inside
 //! those files the lint forbids `.unwrap()`, `.expect(`, `panic!`,
 //! `unreachable!`, `todo!`, `unimplemented!`, and slice indexing
 //! (`buf[i]`-style) in non-test code. `assert!`/`debug_assert!` are
@@ -26,6 +28,8 @@ const TARGET_FILES: &[&str] = &[
     "crates/store/src/writer.rs",
     "crates/store/src/segment.rs",
     "crates/store/src/crc.rs",
+    "crates/edge/src/conn.rs",
+    "crates/edge/src/reactor.rs",
 ];
 
 /// Forbidden call tokens. `.unwrap()` is matched with its parens so
@@ -43,7 +47,7 @@ const FORBIDDEN_CALLS: &[&str] = &[
 /// Keywords that legally precede `[` (array/slice type or pattern
 /// contexts the index heuristic must not flag).
 const KEYWORDS_BEFORE_BRACKET: &[&str] = &[
-    "return", "break", "in", "if", "else", "match", "mut", "dyn", "as",
+    "return", "break", "in", "if", "else", "match", "mut", "dyn", "as", "let",
 ];
 
 /// The panic-discipline lint.
@@ -55,7 +59,7 @@ impl Lint for PanicDiscipline {
     }
 
     fn invariant(&self) -> &'static str {
-        "serve frame paths and store append paths (queue, recording, wire, writer, segment, crc) never unwrap/expect/panic!/slice-index outside tests; fallible decode returns typed errors"
+        "serve frame paths, store append paths, and edge socket paths (queue, recording, wire, writer, segment, crc, edge conn/reactor) never unwrap/expect/panic!/slice-index outside tests; fallible decode returns typed errors"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
@@ -236,6 +240,7 @@ fn f(a: &[u8], b: [u8; 4]) -> Vec<u8> {
     vec![1, 2]
 }
 fn g<'a>(s: &'a [u8]) -> &'a [u8] { s }
+fn h(p: [u8; 2]) -> u8 { let [a, b] = p; a + b }
 ";
         let lines = index_expression_lines(code);
         assert!(lines.contains(&2), "a[0] is an index: {lines:?}");
@@ -247,6 +252,7 @@ fn g<'a>(s: &'a [u8]) -> &'a [u8] { s }
         assert!(!lines.contains(&1), "&[u8] param type is not");
         assert!(!lines.contains(&6), "vec![..] macro bang is not");
         assert!(!lines.contains(&8), "&'a [u8] lifetime slice type is not");
+        assert!(!lines.contains(&9), "let [a, b] slice pattern is not");
     }
 
     #[test]

@@ -217,7 +217,14 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport) -> Result<Vec<Regr
             .metrics
             .get(name)
             .ok_or_else(|| format!("metric {name} missing from current run"))?;
-        let denom = base.value.abs().max(1e-12);
+        // Relative to the larger magnitude of the two, not the
+        // baseline alone: a (near-)zero baseline would otherwise turn
+        // any nonzero measurement into an unboundedly large percentage
+        // (e.g. an overhead metric that happened to measure 0.0 in the
+        // baseline run would fail every later run). This caps the
+        // worsening at 100% for same-sign values while `tol_pct: 0`
+        // still demands exact-or-better.
+        let denom = base.value.abs().max(cur.value.abs()).max(1e-12);
         let change_pct = if base.higher_is_better {
             (base.value - cur.value) / denom * 100.0
         } else {
@@ -492,6 +499,24 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].metric, "frames_per_sec");
         assert!((regs[0].change_pct - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_with_loose_tolerance_is_not_an_infinite_regression() {
+        let mut base = sample();
+        base.push("overhead_pct", 0.0, false, 10_000.0);
+        let mut cur = sample();
+        cur.push("overhead_pct", 0.5, false, 10_000.0);
+        // 0 -> 0.5 reads as 100% of the larger magnitude, well inside
+        // the loose tolerance; the old baseline-relative denominator
+        // called this a ~5e13% regression.
+        assert!(compare(&base, &cur).expect("comparable").is_empty());
+        // A zero tolerance on a zero baseline still demands
+        // exact-or-better.
+        let mut strict = sample();
+        strict.push("overhead_pct", 0.0, false, 0.0);
+        let regs = compare(&strict, &cur).expect("comparable");
+        assert!(regs.iter().any(|r| r.metric == "overhead_pct"));
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Property tests for the incremental frame assembler: decoding is
+//! **chunk-boundary-invariant**. However the kernel fragments a byte
+//! stream across reads — 1-byte trickles, random splits, or one big
+//! buffer — the assembler emits exactly the same frames, the same raw
+//! wire bytes, and the same loss counters, on clean streams and through
+//! the lossy resynchronization path alike.
+
+use mobisense_edge::FrameAssembler;
+use mobisense_serve::wire::{decode_stream, decode_stream_lossy, ObsFrame};
+use proptest::prelude::*;
+use proptest::strategy::StrategyExt;
+
+fn frame_strategy() -> impl Strategy<Value = ObsFrame> {
+    (
+        ((0u32..1000, 0u32..u32::MAX), 0u64..u64::MAX),
+        (
+            -1e9..1e9f64,
+            prop::collection::vec((-1e30..1e30f64).prop_map(|v| v as f32), 1..64),
+        ),
+    )
+        .prop_map(|(((client_id, seq), at), (distance_m, digest))| ObsFrame {
+            client_id,
+            seq,
+            at,
+            distance_m,
+            digest,
+        })
+}
+
+/// Emitted (frame, raw wire bytes) pairs plus the assembler's final
+/// (frames, resyncs, skipped, pending) counters.
+type FeedResult = (Vec<(ObsFrame, Vec<u8>)>, u64, u64, u64, usize);
+
+/// Feed `bytes` split at the given fractional cut points; collect every
+/// emitted (frame, raw bytes) pair plus the final counters.
+fn feed_split(bytes: &[u8], cuts: &[f64]) -> FeedResult {
+    let mut points: Vec<usize> = cuts
+        .iter()
+        .map(|f| (*f * bytes.len() as f64) as usize)
+        .collect();
+    points.push(0);
+    points.push(bytes.len());
+    points.sort_unstable();
+    let mut asm = FrameAssembler::new();
+    let mut out = Vec::new();
+    for pair in points.windows(2) {
+        let chunk = &bytes[pair[0]..pair[1]];
+        asm.feed(chunk, &mut |f, raw| out.push((f, raw.to_vec())));
+    }
+    (
+        out,
+        asm.frames(),
+        asm.resyncs(),
+        asm.skipped(),
+        asm.pending(),
+    )
+}
+
+/// Feed one byte at a time.
+fn feed_trickle(bytes: &[u8]) -> FeedResult {
+    let mut asm = FrameAssembler::new();
+    let mut out = Vec::new();
+    for b in bytes {
+        asm.feed(std::slice::from_ref(b), &mut |f, raw| {
+            out.push((f, raw.to_vec()));
+        });
+    }
+    (
+        out,
+        asm.frames(),
+        asm.resyncs(),
+        asm.skipped(),
+        asm.pending(),
+    )
+}
+
+proptest! {
+    /// Clean streams: any split yields exactly `decode_stream`'s
+    /// frames, each with its verbatim wire encoding.
+    #[test]
+    fn clean_stream_any_split_matches_decode_stream(
+        frames in prop::collection::vec(frame_strategy(), 1..8),
+        cuts in prop::collection::vec(0.0..1.0f64, 0..12),
+    ) {
+        let mut bytes = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut bytes);
+        }
+        let reference = decode_stream(&bytes).expect("clean stream decodes");
+        let (got, n, resyncs, skipped, pending) = feed_split(&bytes, &cuts);
+        prop_assert_eq!(got.len(), reference.len());
+        for ((g, raw), want) in got.iter().zip(&reference) {
+            prop_assert_eq!(g, want);
+            prop_assert_eq!(raw, &want.encode());
+        }
+        prop_assert_eq!(n, frames.len() as u64);
+        prop_assert_eq!(resyncs, 0);
+        prop_assert_eq!(skipped, 0);
+        prop_assert_eq!(pending, 0);
+    }
+
+    /// Corrupted streams: whole-buffer feed and arbitrary-split feed
+    /// agree exactly — frames, raw bytes, and loss counters — so the
+    /// lossy resync path is chunk-boundary-invariant too.
+    #[test]
+    fn corrupt_stream_split_matches_whole_buffer(
+        frames in prop::collection::vec(frame_strategy(), 1..6),
+        garbage in prop::collection::vec(0usize..256, 1..40),
+        gap_after in 0usize..6,
+        cuts in prop::collection::vec(0.0..1.0f64, 0..12),
+    ) {
+        // Splice a garbage run between two frames (or at the ends).
+        let gap_at = gap_after.min(frames.len());
+        let mut bytes = Vec::new();
+        for f in &frames[..gap_at] {
+            f.encode_into(&mut bytes);
+        }
+        bytes.extend(garbage.iter().map(|b| *b as u8));
+        for f in &frames[gap_at..] {
+            f.encode_into(&mut bytes);
+        }
+
+        let (whole, wn, wr, ws, wp) = feed_split(&bytes, &[]);
+        let (split, sn, sr, ss, sp) = feed_split(&bytes, &cuts);
+        let (trickle, tn, tr, ts, tp) = feed_trickle(&bytes);
+        prop_assert_eq!(&split, &whole);
+        prop_assert_eq!(&trickle, &whole);
+        prop_assert_eq!((sn, sr, ss, sp), (wn, wr, ws, wp));
+        prop_assert_eq!((tn, tr, ts, tp), (wn, wr, ws, wp));
+    }
+
+    /// The assembler's good prefix agrees with `decode_stream_lossy`'s
+    /// salvage: everything before the first corruption is emitted
+    /// identically, and the frames after resync are a subset decoded at
+    /// true frame boundaries (prefix frames first, in order).
+    #[test]
+    fn good_prefix_matches_lossy_salvage(
+        frames in prop::collection::vec(frame_strategy(), 1..6),
+        garbage in prop::collection::vec(1usize..256, 1..24),
+        gap_after in 0usize..6,
+    ) {
+        let gap_at = gap_after.min(frames.len());
+        let mut bytes = Vec::new();
+        for f in &frames[..gap_at] {
+            f.encode_into(&mut bytes);
+        }
+        bytes.extend(garbage.iter().map(|b| *b as u8));
+        for f in &frames[gap_at..] {
+            f.encode_into(&mut bytes);
+        }
+
+        let (salvage, _, _) = decode_stream_lossy(&bytes);
+        let (got, _, _, _, _) = feed_split(&bytes, &[]);
+        // The lossy salvage stops at the first error; the assembler
+        // carries on past it, so salvage must be a prefix of what the
+        // assembler recovered.
+        prop_assert!(got.len() >= salvage.len());
+        for ((g, _), want) in got.iter().zip(&salvage) {
+            prop_assert_eq!(g, want);
+        }
+    }
+}

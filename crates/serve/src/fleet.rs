@@ -17,21 +17,11 @@ use mobisense_util::units::{Nanos, MILLISECOND, SECOND};
 
 use crate::wire::ObsFrame;
 
-/// SplitMix64 finaliser: the deterministic per-client hash behind
-/// scenario assignment, seed derivation and shard routing.
-pub fn mix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-/// Routes a client to a shard: stable hash of the client id, reduced
-/// modulo the shard count.
-pub fn shard_of(client_id: u32, n_shards: usize) -> usize {
-    assert!(n_shards > 0, "need at least one shard");
-    (mix64(client_id as u64 ^ 0x7368_6172) % n_shards as u64) as usize
-}
+// The client hash and shard mapping moved to [`crate::routing`] (one
+// shared copy for fleet, service and the socket edge); re-exported here
+// because fleet generation is where most callers historically found
+// them.
+pub use crate::routing::{mix64, shard_of};
 
 /// Parameters of a synthetic fleet.
 #[derive(Clone, Debug)]

@@ -42,17 +42,21 @@ pub mod fleet;
 pub mod ops;
 pub mod queue;
 pub mod recording;
+pub mod routing;
 pub mod service;
 pub mod wire;
 
-pub use fleet::{shard_of, ClientStream, EncodedFleet, FleetConfig};
-pub use ops::{OpsMonitor, OpsOutcome, SnapshotMeta, SnapshotPolicy, StallDetector, StallFlag};
+pub use fleet::{ClientStream, EncodedFleet, FleetConfig};
+pub use ops::{
+    OpsMonitor, OpsOutcome, OpsSource, SnapshotMeta, SnapshotPolicy, StallDetector, StallFlag,
+};
 pub use queue::{OverflowPolicy, ShardQueue, Ticket};
 pub use recording::{
     RecordBackend, RecordPolicy, Recorder, RecorderHandle, RecorderStats, RecordingConfig,
 };
+pub use routing::{mix64, shard_of};
 pub use service::{
-    decision_log_csv, serve_fleet, serve_streams, serve_streams_recorded, ServeConfig,
-    ServeDecision, ServeReport, ShardSummary,
+    decision_log_csv, emit_report_events, serve_fleet, serve_streams, serve_streams_recorded,
+    ServeConfig, ServeDecision, ServeReport, ShardEngine, ShardSummary,
 };
 pub use wire::{decode_stream, decode_stream_lossy, FrameMeta, ObsFrame, WireError};

@@ -133,6 +133,22 @@ impl StallDetector {
     }
 }
 
+/// An additional monitored source beyond the shard queues and the
+/// recorder. The socket edge registers its reactor through this so
+/// connection/byte/frame counters and accept-queue / read-buffer
+/// gauges ride the same snapshot blocks — and the same stall watchdog
+/// — as everything else.
+pub trait OpsSource: Send {
+    /// Stable source name for stall flags (e.g. `"edge"`).
+    fn name(&self) -> String;
+
+    /// Fills this source's counters and gauges into the tick's registry
+    /// and returns the `(progress, backlog)` sample the watchdog
+    /// consumes: a frozen progress counter with a non-zero backlog
+    /// across consecutive ticks flags the source stalled.
+    fn observe(&self, reg: &mut Registry) -> (u64, u64);
+}
+
 /// A running ops monitor thread. Create with [`OpsMonitor::spawn`],
 /// collect with [`OpsMonitor::stop`] (which takes one final snapshot
 /// before returning).
@@ -149,11 +165,25 @@ impl OpsMonitor {
         recorder: Option<RecorderHandle>,
         policy: SnapshotPolicy,
     ) -> std::io::Result<OpsMonitor> {
+        Self::spawn_with_sources(queues, recorder, Vec::new(), policy)
+    }
+
+    /// [`OpsMonitor::spawn`] with extra monitored sources appended
+    /// after the shards and recorder (watchdog sample order: shards,
+    /// recorder, then `sources` in the given order).
+    pub fn spawn_with_sources(
+        queues: Vec<Arc<ShardQueue>>,
+        recorder: Option<RecorderHandle>,
+        sources: Vec<Box<dyn OpsSource>>,
+        policy: SnapshotPolicy,
+    ) -> std::io::Result<OpsMonitor> {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let thread_stop = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("serve-ops".into())
-            .spawn(move || run_monitor(&queues, recorder.as_ref(), policy, &thread_stop))?;
+            .spawn(move || {
+                run_monitor(&queues, recorder.as_ref(), &sources, policy, &thread_stop)
+            })?;
         Ok(OpsMonitor { thread, stop })
     }
 
@@ -172,11 +202,12 @@ impl OpsMonitor {
 fn run_monitor(
     queues: &[Arc<ShardQueue>],
     recorder: Option<&RecorderHandle>,
+    sources: &[Box<dyn OpsSource>],
     policy: SnapshotPolicy,
     stop: &(Mutex<bool>, Condvar),
 ) -> OpsOutcome {
     let origin = Instant::now();
-    let n_sources = queues.len() + usize::from(recorder.is_some());
+    let n_sources = queues.len() + usize::from(recorder.is_some()) + sources.len();
     let mut detector = StallDetector::new(n_sources, policy.stall_intervals.max(1) as u64);
     let mut out = OpsOutcome::default();
     let (lock, cv) = stop;
@@ -189,7 +220,10 @@ fn run_monitor(
         drop(guard);
 
         out.ticks += 1;
-        let (registry, progress) = observe_sources(queues, recorder);
+        let (mut registry, mut progress) = observe_sources(queues, recorder);
+        for src in sources {
+            progress.push(src.observe(&mut registry));
+        }
         let snap = Snapshot::capture(out.ticks, origin.elapsed().as_nanos() as u64, &registry);
         let text = snap.to_jsonl();
         out.meta.push(SnapshotMeta {
@@ -198,11 +232,14 @@ fn run_monitor(
             bytes: text.len() as u64,
         });
         out.snapshots.push(text);
+        let builtin = queues.len() + usize::from(recorder.is_some());
         for (idx, intervals, backlog) in detector.observe(&progress) {
             let source = if idx < queues.len() {
                 format!("shard-{idx}")
-            } else {
+            } else if idx < builtin {
                 "recorder".to_string()
+            } else {
+                sources[idx - builtin].name()
             };
             out.stalls.push(StallFlag {
                 source,
@@ -218,7 +255,8 @@ fn run_monitor(
 
 /// Reads every source's health into a fresh registry and the
 /// per-source `(progress, backlog)` samples the watchdog consumes
-/// (shards first, recorder last).
+/// (shards first, recorder last; extra [`OpsSource`]s are appended by
+/// the monitor loop).
 fn observe_sources(
     queues: &[Arc<ShardQueue>],
     recorder: Option<&RecorderHandle>,

@@ -1,0 +1,53 @@
+//! The one shared client→shard mapping.
+//!
+//! Every layer that places a client somewhere — fleet generation
+//! assigning scenarios, the service routing frames to workers, the
+//! socket edge routing decoded frames off a connection — must agree on
+//! the same hash, or a frame ingested over the network would reach a
+//! different session map than the same frame replayed in-process and
+//! the determinism contract would silently break. So the hash and the
+//! shard reduction live here, alone, and everything else imports them;
+//! there is deliberately nowhere sensible to write a second copy.
+
+/// SplitMix64 finaliser: the deterministic per-client hash behind
+/// scenario assignment, seed derivation and shard routing.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Routes a client to a shard: stable hash of the client id, reduced
+/// modulo the shard count.
+pub fn shard_of(client_id: u32, n_shards: usize) -> usize {
+    assert!(n_shards > 0, "need at least one shard");
+    (mix64(client_id as u64 ^ 0x7368_6172) % n_shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_a_bijective_scramble() {
+        // Distinct inputs keep distinct outputs (spot check) and the
+        // known SplitMix64 constants stay untouched.
+        let mut seen = std::collections::BTreeSet::new();
+        for x in 0..1000u64 {
+            assert!(seen.insert(mix64(x)), "collision at {x}");
+        }
+        assert_ne!(mix64(0), 0);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for n in [1usize, 2, 3, 8, 32] {
+            for id in 0..512u32 {
+                let s = shard_of(id, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(id, n), "stable");
+            }
+        }
+    }
+}

@@ -32,10 +32,12 @@ use mobisense_telemetry::metrics::{Histogram, SPAN_NS_BUCKETS};
 use mobisense_telemetry::{Event, NoopSink, Registry, Sampler, Sink, Stage, StageHistograms};
 use mobisense_util::units::Nanos;
 
-use crate::fleet::{mix64, shard_of, ClientStream, EncodedFleet};
-use crate::ops::{OpsMonitor, OpsOutcome, SnapshotPolicy, StallFlag};
+use crate::fleet::{ClientStream, EncodedFleet};
+use crate::ops::{OpsMonitor, OpsOutcome, SnapshotMeta, SnapshotPolicy, StallFlag};
 use crate::queue::{OverflowPolicy, ShardQueue, Ticket};
 use crate::recording::{RecorderHandle, RecorderStats};
+use crate::routing::{mix64, shard_of};
+use crate::wire::ObsFrame;
 
 /// Queue-depth histogram bucket bounds (frames).
 pub const DEPTH_BUCKETS: &[f64] = &[
@@ -353,6 +355,176 @@ fn run_producer(
     submitted
 }
 
+/// The decode-side half of a serving run, shared by every frontend:
+/// per-shard bounded queues plus one owned worker thread each.
+///
+/// [`serve_streams`]' in-process producers and `mobisense-edge`'s
+/// socket reactor both feed the same engine through
+/// [`ShardEngine::submit`] (or by pushing to [`ShardEngine::queues`]
+/// directly), so a frame ingested over a socket runs through exactly
+/// the worker, session map and decision path a replayed frame does —
+/// which is what makes a socket-fed decision log comparable
+/// byte-for-byte to the golden in-process log.
+pub struct ShardEngine {
+    queues: Vec<Arc<ShardQueue>>,
+    workers: Vec<std::thread::JoinHandle<WorkerResult>>,
+    overflow: OverflowPolicy,
+    stage_sampling: u32,
+    started: Instant,
+}
+
+impl ShardEngine {
+    /// Spawns `cfg.n_shards` queues and worker threads. Errs only when
+    /// the OS refuses a thread.
+    pub fn spawn(cfg: &ServeConfig) -> std::io::Result<ShardEngine> {
+        assert!(cfg.n_shards > 0, "need at least one shard");
+        // lint: determinism -- run wall clock feeds the serve report only, never decisions
+        let started = Instant::now();
+        let queues: Vec<Arc<ShardQueue>> = (0..cfg.n_shards)
+            .map(|_| Arc::new(ShardQueue::new(cfg.queue_capacity)))
+            .collect();
+        let workers = queues
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                let q = Arc::clone(q);
+                let cfg = cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("shard-worker-{i}"))
+                    .spawn(move || run_worker(&q, &cfg))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(ShardEngine {
+            queues,
+            workers,
+            overflow: cfg.overflow,
+            stage_sampling: cfg.stage_sampling,
+            started,
+        })
+    }
+
+    /// The engine's shard count.
+    pub fn n_shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The per-shard queues, index = shard (for frontends that pump
+    /// whole per-shard batches, like the in-process producers).
+    pub fn queues(&self) -> &[Arc<ShardQueue>] {
+        &self.queues
+    }
+
+    /// Routes one decoded frame to its shard's queue under the engine's
+    /// overflow policy. Returns the number of frames shed to make room
+    /// (always 0 under [`OverflowPolicy::Block`]).
+    pub fn submit(&self, ticket: Ticket, frame: ObsFrame) -> u64 {
+        let shard = shard_of(frame.client_id, self.queues.len());
+        self.queues[shard].push((ticket, frame), self.overflow)
+    }
+
+    /// Closes every queue, joins the workers and assembles the run's
+    /// merged decision log (sorted by `(client_id, seq)`) and report.
+    /// `frames_in` is the frontend's count of submitted frames (shed
+    /// frames included); the caller fills the report fields only it
+    /// knows (snapshots, stalls, recorder counters).
+    pub fn finish(self, frames_in: u64) -> (Vec<ServeDecision>, ServeReport) {
+        for q in &self.queues {
+            q.close();
+        }
+        let results: Vec<WorkerResult> = self
+            .workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect();
+        let mut decisions: Vec<ServeDecision> = Vec::new();
+        let mut report = ServeReport {
+            frames_in,
+            frames_processed: 0,
+            shed: 0,
+            decisions: 0,
+            per_mode: [0; 4],
+            latency_ns: Histogram::with_buckets(SPAN_NS_BUCKETS),
+            depth: Histogram::with_buckets(DEPTH_BUCKETS),
+            stages: StageHistograms::new(),
+            per_stage_shard: Vec::new(),
+            per_shard: Vec::with_capacity(self.queues.len()),
+            snapshots: Vec::new(),
+            stalls: Vec::new(),
+            recorder: None,
+            wall: self.started.elapsed(),
+        };
+        for (shard, (result, queue)) in results.iter().zip(&self.queues).enumerate() {
+            report.frames_processed += result.frames;
+            report.shed += queue.shed();
+            report.latency_ns.merge(&result.latency_ns);
+            report.depth.merge(&result.depth);
+            if self.stage_sampling > 0 {
+                report.stages.merge(&result.stages);
+                report.per_stage_shard.push(result.stages.clone());
+            }
+            report.per_shard.push(ShardSummary {
+                shard: shard as u32,
+                frames: result.frames,
+                decisions: result.decisions.len() as u64,
+                shed: queue.shed(),
+                max_depth: queue.max_depth() as u64,
+                last_at: result.last_at,
+            });
+            decisions.extend_from_slice(&result.decisions);
+        }
+        decisions.sort_by_key(|d| (d.client_id, d.seq));
+        report.decisions = decisions.len() as u64;
+        for d in &decisions {
+            report.per_mode[mode_index(d.classification.mode)] += 1;
+        }
+        (decisions, report)
+    }
+}
+
+/// Emits the standard end-of-run telemetry for a serve report: one
+/// [`Event::ServeShard`] per shard, one [`Event::Snapshot`] per ops
+/// tick, one [`Event::Stall`] per watchdog flag, and the `serve.run`
+/// wall-clock span. Shared by the in-process service and the socket
+/// edge so both run shapes trace identically.
+pub fn emit_report_events<S: Sink + ?Sized>(
+    report: &ServeReport,
+    ops_meta: &[SnapshotMeta],
+    sink: &mut S,
+) {
+    if !sink.enabled() {
+        return;
+    }
+    for s in &report.per_shard {
+        sink.record(Event::ServeShard {
+            at: s.last_at,
+            shard: s.shard,
+            frames: s.frames,
+            decisions: s.decisions,
+            shed: s.shed,
+            max_depth: s.max_depth,
+        });
+    }
+    // Ops events are wall-clock phenomena with no sim timestamp;
+    // `at` is 0 by convention (documented on the variants).
+    for m in ops_meta {
+        sink.record(Event::Snapshot {
+            at: 0,
+            seq: m.seq,
+            metrics: m.metrics,
+            bytes: m.bytes,
+        });
+    }
+    for stall in &report.stalls {
+        sink.record(Event::Stall {
+            at: 0,
+            source: stall.source.clone(),
+            intervals: stall.intervals,
+            backlog: stall.backlog,
+        });
+    }
+    sink.span_ns("serve.run", report.wall.as_nanos() as u64);
+}
+
 /// Serves a whole fleet: spawns one producer and one worker per shard,
 /// waits for every stream to drain, and returns the merged decision log
 /// (sorted by client id, then sequence) plus the run report.
@@ -427,12 +599,7 @@ fn serve_streams_inner<S: Sink + ?Sized>(
     recorder: Option<&RecorderHandle>,
     sink: &mut S,
 ) -> (Vec<ServeDecision>, ServeReport) {
-    assert!(cfg.n_shards > 0, "need at least one shard");
-    // lint: determinism -- run wall clock feeds the serve report only, never decisions
-    let started = Instant::now();
-    let queues: Vec<Arc<ShardQueue>> = (0..cfg.n_shards)
-        .map(|_| Arc::new(ShardQueue::new(cfg.queue_capacity)))
-        .collect();
+    let engine = ShardEngine::spawn(cfg).expect("shard workers spawn");
     let mut by_shard: Vec<Vec<&ClientStream>> = vec![Vec::new(); cfg.n_shards];
     for stream in streams {
         by_shard[shard_of(stream.client_id, cfg.n_shards)].push(stream);
@@ -442,20 +609,14 @@ fn serve_streams_inner<S: Sink + ?Sized>(
     // is spawned before the workers and stopped (with one final tick)
     // after they drain, so its snapshots bracket the whole run.
     let monitor = cfg.snapshot.map(|policy| {
-        OpsMonitor::spawn(queues.clone(), recorder.cloned(), policy).expect("ops monitor spawn")
+        OpsMonitor::spawn(engine.queues().to_vec(), recorder.cloned(), policy)
+            .expect("ops monitor spawn")
     });
 
     let mut frames_in = 0u64;
-    let mut results: Vec<WorkerResult> = Vec::with_capacity(cfg.n_shards);
     std::thread::scope(|scope| {
-        let workers: Vec<_> = queues
-            .iter()
-            .map(|q| {
-                let q = Arc::clone(q);
-                scope.spawn(move || run_worker(&q, cfg))
-            })
-            .collect();
-        let producers: Vec<_> = queues
+        let producers: Vec<_> = engine
+            .queues()
             .iter()
             .zip(&by_shard)
             .map(|(q, clients)| {
@@ -469,85 +630,14 @@ fn serve_streams_inner<S: Sink + ?Sized>(
         for p in producers {
             frames_in += p.join().expect("producer panicked");
         }
-        for w in workers {
-            results.push(w.join().expect("worker panicked"));
-        }
     });
+    let (decisions, mut report) = engine.finish(frames_in);
     let ops: OpsOutcome = monitor.map(OpsMonitor::stop).unwrap_or_default();
+    report.snapshots = ops.snapshots;
+    report.stalls = ops.stalls;
+    report.recorder = recorder.map(RecorderHandle::stats);
 
-    let mut decisions: Vec<ServeDecision> = Vec::new();
-    let mut report = ServeReport {
-        frames_in,
-        frames_processed: 0,
-        shed: 0,
-        decisions: 0,
-        per_mode: [0; 4],
-        latency_ns: Histogram::with_buckets(SPAN_NS_BUCKETS),
-        depth: Histogram::with_buckets(DEPTH_BUCKETS),
-        stages: StageHistograms::new(),
-        per_stage_shard: Vec::new(),
-        per_shard: Vec::with_capacity(cfg.n_shards),
-        snapshots: ops.snapshots,
-        stalls: ops.stalls,
-        recorder: recorder.map(RecorderHandle::stats),
-        wall: started.elapsed(),
-    };
-    for (shard, (result, queue)) in results.iter().zip(&queues).enumerate() {
-        report.frames_processed += result.frames;
-        report.shed += queue.shed();
-        report.latency_ns.merge(&result.latency_ns);
-        report.depth.merge(&result.depth);
-        if cfg.stage_sampling > 0 {
-            report.stages.merge(&result.stages);
-            report.per_stage_shard.push(result.stages.clone());
-        }
-        report.per_shard.push(ShardSummary {
-            shard: shard as u32,
-            frames: result.frames,
-            decisions: result.decisions.len() as u64,
-            shed: queue.shed(),
-            max_depth: queue.max_depth() as u64,
-            last_at: result.last_at,
-        });
-        decisions.extend_from_slice(&result.decisions);
-    }
-    decisions.sort_by_key(|d| (d.client_id, d.seq));
-    report.decisions = decisions.len() as u64;
-    for d in &decisions {
-        report.per_mode[mode_index(d.classification.mode)] += 1;
-    }
-
-    if sink.enabled() {
-        for s in &report.per_shard {
-            sink.record(Event::ServeShard {
-                at: s.last_at,
-                shard: s.shard,
-                frames: s.frames,
-                decisions: s.decisions,
-                shed: s.shed,
-                max_depth: s.max_depth,
-            });
-        }
-        // Ops events are wall-clock phenomena with no sim timestamp;
-        // `at` is 0 by convention (documented on the variants).
-        for m in &ops.meta {
-            sink.record(Event::Snapshot {
-                at: 0,
-                seq: m.seq,
-                metrics: m.metrics,
-                bytes: m.bytes,
-            });
-        }
-        for stall in &report.stalls {
-            sink.record(Event::Stall {
-                at: 0,
-                source: stall.source.clone(),
-                intervals: stall.intervals,
-                backlog: stall.backlog,
-            });
-        }
-        sink.span_ns("serve.run", report.wall.as_nanos() as u64);
-    }
+    emit_report_events(&report, &ops.meta, sink);
     (decisions, report)
 }
 

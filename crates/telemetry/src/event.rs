@@ -171,6 +171,47 @@ pub enum Event {
         /// Serialized size of the JSONL block, bytes.
         bytes: u64,
     },
+    /// One socket connection's lifecycle accounting from the network
+    /// edge (`mobisense-edge`), emitted when the connection closes.
+    EdgeConn {
+        /// Sim time of the last frame decoded on the connection (0 when
+        /// it closed before delivering a whole frame).
+        at: Nanos,
+        /// Reactor-assigned connection id (accept order, starting
+        /// at 0).
+        conn: u64,
+        /// Whole frames decoded and accepted off this connection.
+        frames: u64,
+        /// Payload bytes read from the socket.
+        bytes: u64,
+        /// Resync scans the framing layer ran over corrupt input.
+        resyncs: u64,
+        /// How the connection ended: `"eof"` (clean close),
+        /// `"reset"` (I/O error), `"rejected"` (over the connection
+        /// limit) or `"oversize"` (a frame exceeded the read-buffer
+        /// cap).
+        outcome: String,
+    },
+    /// End-of-run accounting of the socket ingestion frontend
+    /// (`mobisense-edge`).
+    EdgeServe {
+        /// Sim time of the newest frame the edge accepted (0 when no
+        /// frame ever decoded).
+        at: Nanos,
+        /// Connections accepted over the run.
+        conns: u64,
+        /// Connections rejected (accept-limit overflow).
+        rejected_conns: u64,
+        /// Frames decoded and submitted to the shard queues.
+        frames: u64,
+        /// Frames the edge itself rejected before submission
+        /// (post-kill arrivals on a condemned connection).
+        rejected_frames: u64,
+        /// Total payload bytes read off all sockets.
+        bytes: u64,
+        /// UDP datagrams received.
+        datagrams: u64,
+    },
     /// The trace store finished one compaction pass
     /// (`mobisense-store`).
     StoreCompaction {
@@ -208,6 +249,8 @@ impl Event {
             | Event::StoreRetention { at, .. }
             | Event::Stall { at, .. }
             | Event::Snapshot { at, .. }
+            | Event::EdgeConn { at, .. }
+            | Event::EdgeServe { at, .. }
             | Event::StoreCompaction { at, .. } => at,
         }
     }
@@ -230,6 +273,8 @@ impl Event {
             Event::StoreRetention { .. } => "store_retention",
             Event::Stall { .. } => "stall",
             Event::Snapshot { .. } => "snapshot",
+            Event::EdgeConn { .. } => "edge_conn",
+            Event::EdgeServe { .. } => "edge_serve",
             Event::StoreCompaction { .. } => "store_compaction",
         }
     }

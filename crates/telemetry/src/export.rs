@@ -161,6 +161,38 @@ pub fn event_to_json(event: &Event) -> String {
             field_u64(&mut s, "metrics", metrics);
             field_u64(&mut s, "bytes", bytes);
         }
+        Event::EdgeConn {
+            at,
+            conn,
+            frames,
+            bytes,
+            resyncs,
+            ref outcome,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "conn", conn);
+            field_u64(&mut s, "frames", frames);
+            field_u64(&mut s, "bytes", bytes);
+            field_u64(&mut s, "resyncs", resyncs);
+            let _ = write!(s, ",\"outcome\":{}", json_string(outcome));
+        }
+        Event::EdgeServe {
+            at,
+            conns,
+            rejected_conns,
+            frames,
+            rejected_frames,
+            bytes,
+            datagrams,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "conns", conns);
+            field_u64(&mut s, "rejected_conns", rejected_conns);
+            field_u64(&mut s, "frames", frames);
+            field_u64(&mut s, "rejected_frames", rejected_frames);
+            field_u64(&mut s, "bytes", bytes);
+            field_u64(&mut s, "datagrams", datagrams);
+        }
         Event::StoreCompaction {
             at,
             segments_in,
@@ -294,6 +326,23 @@ pub fn parse_event(line: &str) -> Result<Event, String> {
             seq: get_u64(&fields, "seq")?,
             metrics: get_u64(&fields, "metrics")?,
             bytes: get_u64(&fields, "bytes")?,
+        }),
+        "edge_conn" => Ok(Event::EdgeConn {
+            at,
+            conn: get_u64(&fields, "conn")?,
+            frames: get_u64(&fields, "frames")?,
+            bytes: get_u64(&fields, "bytes")?,
+            resyncs: get_u64(&fields, "resyncs")?,
+            outcome: get_string(&fields, "outcome")?,
+        }),
+        "edge_serve" => Ok(Event::EdgeServe {
+            at,
+            conns: get_u64(&fields, "conns")?,
+            rejected_conns: get_u64(&fields, "rejected_conns")?,
+            frames: get_u64(&fields, "frames")?,
+            rejected_frames: get_u64(&fields, "rejected_frames")?,
+            bytes: get_u64(&fields, "bytes")?,
+            datagrams: get_u64(&fields, "datagrams")?,
         }),
         "store_compaction" => Ok(Event::StoreCompaction {
             at,
@@ -628,6 +677,23 @@ mod tests {
                 seq: 9,
                 metrics: 23,
                 bytes: 2_311,
+            },
+            Event::EdgeConn {
+                at: 1150,
+                conn: 17,
+                frames: 501,
+                bytes: 118_236,
+                resyncs: 1,
+                outcome: "eof".into(),
+            },
+            Event::EdgeServe {
+                at: 1160,
+                conns: 10_000,
+                rejected_conns: 3,
+                frames: 240_000,
+                rejected_frames: 12,
+                bytes: 56_640_000,
+                datagrams: 128,
             },
             Event::StoreCompaction {
                 at: 1200,

@@ -161,6 +161,23 @@ fn sample_for(variant: &str) -> Event {
             bytes_in: 1_048_576,
             bytes_out: 524_288,
         },
+        "EdgeConn" => Event::EdgeConn {
+            at: 14_000,
+            conn: 17,
+            frames: 120,
+            bytes: 7_440,
+            resyncs: 1,
+            outcome: "eof".to_string(),
+        },
+        "EdgeServe" => Event::EdgeServe {
+            at: 15_000,
+            conns: 10_240,
+            rejected_conns: 3,
+            frames: 40_960,
+            rejected_frames: 12,
+            bytes: 2_539_520,
+            datagrams: 64,
+        },
         other => panic!(
             "Event::{other} has no JSONL round-trip sample — a new \
              variant was added to telemetry::Event; extend sample_for \
