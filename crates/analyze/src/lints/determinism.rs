@@ -6,10 +6,12 @@
 //! `Instant::now` differ between runs; `HashMap`/`HashSet` iterate in
 //! per-process-seed order. Any of them in a decision or replay path is
 //! a latent replay divergence. Files covered: `core::pipeline`,
-//! `serve::service`, `store::replay`, and the socket edge's frame
-//! path (`edge::conn`, `edge::reactor`) — recorded socket sessions
-//! must replay byte-identically, so the decode/submit path may not
-//! consult wall clocks or seed-ordered containers either.
+//! `serve::service`, `session::hibernate` (victim selection must
+//! replay identically, so it runs on the sim clock), `store::replay`,
+//! and the socket edge's frame path (`edge::conn`, `edge::reactor`) —
+//! recorded socket sessions must replay byte-identically, so the
+//! decode/submit path may not consult wall clocks or seed-ordered
+//! containers either.
 //!
 //! Waiver tag: `determinism` — for sites where the value provably
 //! never feeds a decision (e.g. wall clock stamped into latency
@@ -22,6 +24,7 @@ use crate::{Finding, Lint, Workspace};
 const TARGET_FILES: &[&str] = &[
     "crates/core/src/pipeline.rs",
     "crates/serve/src/service.rs",
+    "crates/session/src/hibernate.rs",
     "crates/store/src/replay.rs",
     "crates/edge/src/conn.rs",
     "crates/edge/src/reactor.rs",
@@ -56,7 +59,7 @@ impl Lint for Determinism {
     }
 
     fn invariant(&self) -> &'static str {
-        "decision/replay paths (core pipeline, serve service, store replay, edge conn/reactor) never read wall clocks or iterate seed-ordered containers (SystemTime::now, Instant::now, HashMap, HashSet)"
+        "decision/replay paths (core pipeline, serve service, session hibernate, store replay, edge conn/reactor) never read wall clocks or iterate seed-ordered containers (SystemTime::now, Instant::now, HashMap, HashSet)"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

@@ -1,11 +1,14 @@
 //! Panic-discipline lint: hot paths return typed errors, they do not
 //! panic.
 //!
-//! The serve frame path (`queue`, `recording`, `wire`), the store
-//! append path (`writer`, `segment`, `crc`), and the socket edge's
-//! decode/reactor path (`edge::conn`, `edge::reactor`) run on every
-//! served frame; a panic there takes down the worker, poisons the
-//! writer, or kills the reactor thread with live sockets open. Inside
+//! The serve frame path (`queue`, `recording`, `wire`), the session
+//! hibernation path (`session::codec`, `session::hibernate` — a
+//! fault-in runs while the client's frame waits), the store append
+//! path (`writer`, `segment`, `crc`), the shared CRC (`util::crc`),
+//! and the socket edge's decode/reactor path (`edge::conn`,
+//! `edge::reactor`) run on every served frame; a panic there takes
+//! down the worker, poisons the writer, or kills the reactor thread
+//! with live sockets open. Inside
 //! those files the lint forbids `.unwrap()`, `.expect(`, `panic!`,
 //! `unreachable!`, `todo!`, `unimplemented!`, and slice indexing
 //! (`buf[i]`-style) in non-test code. `assert!`/`debug_assert!` are
@@ -25,9 +28,12 @@ const TARGET_FILES: &[&str] = &[
     "crates/serve/src/queue.rs",
     "crates/serve/src/recording.rs",
     "crates/serve/src/wire.rs",
+    "crates/session/src/codec.rs",
+    "crates/session/src/hibernate.rs",
     "crates/store/src/writer.rs",
     "crates/store/src/segment.rs",
     "crates/store/src/crc.rs",
+    "crates/util/src/crc.rs",
     "crates/edge/src/conn.rs",
     "crates/edge/src/reactor.rs",
 ];
@@ -59,7 +65,7 @@ impl Lint for PanicDiscipline {
     }
 
     fn invariant(&self) -> &'static str {
-        "serve frame paths, store append paths, and edge socket paths (queue, recording, wire, writer, segment, crc, edge conn/reactor) never unwrap/expect/panic!/slice-index outside tests; fallible decode returns typed errors"
+        "serve frame paths, session hibernation paths, store append paths, and edge socket paths (queue, recording, wire, session codec/hibernate, writer, segment, crc, edge conn/reactor) never unwrap/expect/panic!/slice-index outside tests; fallible decode returns typed errors"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

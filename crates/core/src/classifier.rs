@@ -5,7 +5,7 @@ use mobisense_phy::csi::Csi;
 use mobisense_telemetry::{Event, NoopSink, Sink};
 use mobisense_util::units::{Nanos, MILLISECOND};
 
-use crate::similarity::SimilarityTracker;
+use crate::similarity::{SimilarityState, SimilarityTracker};
 use crate::trend::{Trend, TrendConfig, TrendDetector};
 
 /// Thresholds and periods of the classification pipeline.
@@ -80,6 +80,25 @@ impl std::fmt::Display for Classification {
             None => write!(f, "{}", self.mode),
         }
     }
+}
+
+/// Serializable dynamic state of a [`MobilityClassifier`], produced by
+/// [`MobilityClassifier::export_state`]. Plain data: the session
+/// snapshot codec owns the byte-level encoding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassifierState {
+    /// Similarity tracker state.
+    pub similarity: SimilarityState,
+    /// ToF trend window contents, oldest-first.
+    pub trend_samples: Vec<f64>,
+    /// Whether demand-driven ToF measurement is running.
+    pub tof_active: bool,
+    /// Latest classification, if any.
+    pub current: Option<Classification>,
+    /// Number of decisions made so far.
+    pub decisions: u64,
+    /// Last time a ToF trend fired, with its direction.
+    pub last_trend: Option<(Nanos, Direction)>,
 }
 
 /// AP-side mobility classifier: consumes CSI snapshots from ordinary
@@ -241,6 +260,45 @@ impl MobilityClassifier {
         if self.tof_active {
             self.trend.push(median_cycles);
         }
+    }
+
+    /// Exports the classifier's complete dynamic state for session
+    /// hibernation. Round-trips through [`from_state`](Self::from_state):
+    /// a restored classifier makes bit-identical decisions from the saved
+    /// point on.
+    pub fn export_state(&self) -> ClassifierState {
+        ClassifierState {
+            similarity: self.similarity.export_state(),
+            trend_samples: self.trend.samples(),
+            tof_active: self.tof_active,
+            current: self.current,
+            decisions: self.decisions,
+            last_trend: self.last_trend,
+        }
+    }
+
+    /// Reconstructs a classifier from [`export_state`](Self::export_state)
+    /// output under the given configuration. Panics only on the same
+    /// configuration invariant as [`new`](Self::new).
+    pub fn from_state(cfg: ClassifierConfig, state: ClassifierState) -> Self {
+        let mut cl = MobilityClassifier::new(cfg);
+        cl.similarity = SimilarityTracker::from_state(
+            cl.cfg.csi_sampling_period,
+            cl.cfg.similarity_window,
+            state.similarity,
+        );
+        cl.trend = TrendDetector::from_state(cl.cfg.trend, &state.trend_samples);
+        cl.tof_active = state.tof_active;
+        cl.current = state.current;
+        cl.decisions = state.decisions;
+        cl.last_trend = state.last_trend;
+        cl
+    }
+
+    /// Approximate resident heap bytes of the classifier's buffers, for
+    /// the serving layer's hot-working-set gauges.
+    pub fn approx_bytes(&self) -> usize {
+        self.similarity.approx_bytes() + 8 * self.cfg.trend.window
     }
 
     /// Resets all state, e.g. after the client roams to another AP.

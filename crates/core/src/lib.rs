@@ -43,6 +43,8 @@ pub mod scenario;
 pub mod similarity;
 pub mod trend;
 
-pub use classifier::{Classification, ClassifierConfig, MobilityClassifier};
+pub use classifier::{Classification, ClassifierConfig, ClassifierState, MobilityClassifier};
+pub use pipeline::{PipelineConfig, PipelineSession, SessionState};
 pub use policy::MobilityPolicy;
 pub use scenario::{Scenario, ScenarioKind};
+pub use similarity::SimilarityState;

@@ -8,12 +8,12 @@
 
 use mobisense_mobility::{GroundTruth, MobilityMode};
 use mobisense_phy::csi::Csi;
-use mobisense_phy::tof::{TofConfig, TofSampler};
+use mobisense_phy::tof::{TofConfig, TofSampler, TofSamplerState};
 use mobisense_telemetry::{timed, Event, NoopSink, Sink};
 use mobisense_util::units::{Nanos, MILLISECOND, SECOND};
 use mobisense_util::DetRng;
 
-use crate::classifier::{Classification, ClassifierConfig, MobilityClassifier};
+use crate::classifier::{Classification, ClassifierConfig, ClassifierState, MobilityClassifier};
 use crate::scenario::Scenario;
 
 /// Configuration of a classification run.
@@ -154,6 +154,35 @@ impl PipelineSession {
         self.classifier.on_frame_profile_with(at, profile, sink)
     }
 
+    /// Exports the session's complete dynamic state (classifier +
+    /// ToF sampler, configs excluded — those travel separately) for
+    /// hibernation or shard migration. The invariant the serving layer's
+    /// golden-replay tests pin: `PipelineSession::restore(cfg,
+    /// s.snapshot())` continues the decision stream bit-identically to
+    /// `s` itself — hibernate→restore ≡ never-hibernated.
+    pub fn snapshot(&self) -> SessionState {
+        SessionState {
+            classifier: self.classifier.export_state(),
+            tof: self.tof.export_state(),
+        }
+    }
+
+    /// Reconstructs a session from [`snapshot`](Self::snapshot) output
+    /// under the given configuration.
+    pub fn restore(cfg: PipelineConfig, state: SessionState) -> Self {
+        PipelineSession {
+            classifier: MobilityClassifier::from_state(cfg.classifier.clone(), state.classifier),
+            tof: TofSampler::from_state(cfg.tof.clone(), state.tof),
+            cfg,
+        }
+    }
+
+    /// Approximate resident heap bytes of the session's buffers, for the
+    /// serving layer's hot-working-set gauges and the hibernation bench.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.classifier.approx_bytes() + self.tof.approx_bytes()
+    }
+
     fn poll_tof<S: Sink + ?Sized>(&mut self, at: Nanos, distance_m: f64, sink: &mut S) {
         if let Some(m) = self.tof.poll(at, distance_m) {
             if sink.enabled() {
@@ -165,6 +194,19 @@ impl PipelineSession {
             self.classifier.on_tof_median(m.cycles);
         }
     }
+}
+
+/// Serializable dynamic state of a [`PipelineSession`], produced by
+/// [`PipelineSession::snapshot`]. Plain data — the `mobisense-session`
+/// crate owns the versioned byte-level encoding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionState {
+    /// Classifier state (similarity window, trend window, Figure-5
+    /// machine registers, decision counter).
+    pub classifier: ClassifierState,
+    /// ToF sampler state (noise-stream position, schedule anchors,
+    /// in-flight batch, bounded history).
+    pub tof: TofSamplerState,
 }
 
 /// Runs the full pipeline over `duration` and returns every
@@ -554,6 +596,84 @@ mod tests {
         let b = drive_session(&mut fresh, ScenarioKind::Micro, 9, 15 * SECOND);
         assert!(!a.is_empty());
         assert_eq!(a, b, "recycled session must match a fresh one");
+    }
+
+    /// Continues a session mid-scenario from time `from` to `to`.
+    fn continue_session(
+        session: &mut PipelineSession,
+        sc: &mut Scenario,
+        from: Nanos,
+        to: Nanos,
+    ) -> Vec<(Nanos, Classification)> {
+        let step = session.config().step;
+        let mut out = Vec::new();
+        let mut t = from;
+        while t <= to {
+            let obs = sc.observe(t);
+            if let Some(c) = session.observe(t, &obs.csi, obs.distance_m) {
+                out.push((t, c));
+            }
+            t += step;
+        }
+        out
+    }
+
+    #[test]
+    fn snapshot_restore_matches_uninterrupted_session() {
+        // The hibernation invariant at the core layer: snapshot a session
+        // mid-stream (at an awkward instant, between ToF medians and
+        // mid-similarity-period), restore it into a brand-new session,
+        // and both must continue with bit-identical decisions.
+        for kind in [
+            ScenarioKind::Static,
+            ScenarioKind::Micro,
+            ScenarioKind::MacroAway,
+        ] {
+            let cfg = PipelineConfig::default();
+            let mut original = PipelineSession::new(cfg.clone(), 17);
+            let mut sc_a = Scenario::new(kind, 17);
+            let mut sc_b = Scenario::new(kind, 17);
+            // 9.13 s: not a multiple of any pipeline period.
+            let cut = 9 * SECOND + 130 * MILLISECOND;
+            let head = continue_session(&mut original, &mut sc_a, 0, cut);
+            {
+                // Advance the twin scenario identically.
+                let mut twin = PipelineSession::new(cfg.clone(), 17);
+                let twin_head = continue_session(&mut twin, &mut sc_b, 0, cut);
+                assert_eq!(head, twin_head);
+            }
+            let state = original.snapshot();
+            let mut restored = PipelineSession::restore(cfg, state.clone());
+            // The snapshot is lossless: re-snapshotting reproduces it.
+            assert_eq!(restored.snapshot(), state);
+            let next = cut + original.config().step;
+            let tail_a = continue_session(&mut original, &mut sc_a, next, 25 * SECOND);
+            let tail_b = continue_session(&mut restored, &mut sc_b, next, 25 * SECOND);
+            assert!(!tail_a.is_empty());
+            assert_eq!(tail_a, tail_b, "{kind:?}: restored session diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_of_fresh_session_restores_fresh() {
+        let cfg = PipelineConfig::default();
+        let fresh = PipelineSession::new(cfg.clone(), 23);
+        let mut restored = PipelineSession::restore(cfg.clone(), fresh.snapshot());
+        let mut reference = PipelineSession::new(cfg, 23);
+        let a = drive_session(&mut restored, ScenarioKind::MacroAway, 23, 12 * SECOND);
+        let b = drive_session(&mut reference, ScenarioKind::MacroAway, 23, 12 * SECOND);
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn approx_bytes_is_positive_and_grows_with_activity() {
+        let cfg = PipelineConfig::default();
+        let mut s = PipelineSession::new(cfg, 31);
+        let idle = s.approx_bytes();
+        assert!(idle > 0);
+        drive_session(&mut s, ScenarioKind::MacroAway, 31, 10 * SECOND);
+        assert!(s.approx_bytes() > idle, "active session holds buffers");
     }
 
     #[test]

@@ -19,6 +19,23 @@ const PROFILE_SMOOTHING_WINDOW: Nanos = 50 * mobisense_util::units::MILLISECOND;
 /// Cap on how many profiles the smoothing window may hold.
 const PROFILE_SMOOTHING_MAX: usize = 4;
 
+/// Serializable dynamic state of a [`SimilarityTracker`], produced by
+/// [`SimilarityTracker::export_state`]. Plain data: the session snapshot
+/// codec owns the byte-level encoding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimilarityState {
+    /// Timestamped profiles of the noise-averaging window, oldest-first.
+    pub recent: Vec<(Nanos, Vec<f64>)>,
+    /// The previous period's reference profile, if seeded.
+    pub last_profile: Option<Vec<f64>>,
+    /// Next sampling deadline, if seeded.
+    pub next_sample_at: Option<Nanos>,
+    /// Most recent raw similarity value.
+    pub last_similarity: Option<f64>,
+    /// Contents of the smoothing moving average, oldest-first.
+    pub avg: Vec<f64>,
+}
+
 /// Tracks CSI similarity over time at a fixed sampling period.
 #[derive(Clone, Debug)]
 pub struct SimilarityTracker {
@@ -127,6 +144,50 @@ impl SimilarityTracker {
     /// Current smoothed similarity (moving average).
     pub fn smoothed(&self) -> Option<f64> {
         self.avg.current()
+    }
+
+    /// Exports the tracker's complete dynamic state for session
+    /// hibernation. Round-trips through [`from_state`](Self::from_state):
+    /// a restored tracker produces bit-identical similarity samples from
+    /// the saved point on.
+    pub fn export_state(&self) -> SimilarityState {
+        SimilarityState {
+            recent: self.recent.iter().cloned().collect(),
+            last_profile: self.last_profile.clone(),
+            next_sample_at: self.next_sample_at,
+            last_similarity: self.last_similarity,
+            avg: self.avg.values(),
+        }
+    }
+
+    /// Reconstructs a tracker from [`export_state`](Self::export_state)
+    /// output. `period` and `window` come from configuration, exactly as
+    /// in [`new`](Self::new); excess smoothing profiles or average
+    /// samples (from a state saved under larger caps) are trimmed
+    /// oldest-first.
+    pub fn from_state(period: Nanos, window: usize, state: SimilarityState) -> Self {
+        let mut tracker = SimilarityTracker::new(period, window);
+        let mut recent: VecDeque<(Nanos, Vec<f64>)> = state.recent.into_iter().collect();
+        while recent.len() > PROFILE_SMOOTHING_MAX {
+            recent.pop_front();
+        }
+        tracker.recent = recent;
+        for v in state.avg {
+            tracker.avg.push(v);
+        }
+        tracker.last_profile = state.last_profile;
+        tracker.next_sample_at = state.next_sample_at;
+        tracker.last_similarity = state.last_similarity;
+        tracker
+    }
+
+    /// Approximate resident heap bytes of the tracker's buffers, for the
+    /// serving layer's hot-working-set gauges. Deliberately coarse
+    /// (length-based, not capacity-based).
+    pub fn approx_bytes(&self) -> usize {
+        let profiles: usize = self.recent.iter().map(|(_, p)| 16 + 8 * p.len()).sum();
+        let last = self.last_profile.as_ref().map_or(0, |p| 8 * p.len());
+        profiles + last + 8 * self.avg.len()
     }
 
     /// Forgets all state (e.g. after a roam to a different AP, where the

@@ -124,6 +124,22 @@ impl TrendDetector {
     pub fn reset(&mut self) {
         self.window.clear();
     }
+
+    /// The window's contents oldest-first, for session snapshots.
+    pub fn samples(&self) -> Vec<f64> {
+        self.window.as_vec()
+    }
+
+    /// Reconstructs a detector holding `samples` (oldest-first). Excess
+    /// samples beyond the configured window are trimmed oldest-first, so
+    /// a state saved under a larger window restores safely.
+    pub fn from_state(cfg: TrendConfig, samples: &[f64]) -> Self {
+        let mut d = TrendDetector::new(cfg);
+        for &x in samples {
+            d.window.push(x);
+        }
+        d
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 //! filter before trend detection.
 
 use mobisense_util::filter::BatchMedian;
+use mobisense_util::rng::DetRngState;
 use mobisense_util::units::{Nanos, SPEED_OF_LIGHT};
 use mobisense_util::DetRng;
 
@@ -36,6 +37,12 @@ pub struct TofConfig {
     pub sampling_period: Nanos,
     /// Median aggregation period (the paper aggregates each second).
     pub aggregation_period: Nanos,
+    /// Maximum filtered (median-per-period) samples retained in
+    /// [`TofSampler::history`]. The classifier only ever consumes each
+    /// median through its trend window, so per-session memory needs to
+    /// be O(window), not O(session lifetime); the default comfortably
+    /// covers the trend detector's horizon plus diagnostic slack.
+    pub history_cap: usize,
 }
 
 impl Default for TofConfig {
@@ -48,6 +55,7 @@ impl Default for TofConfig {
             bias_cycles: 7.0,
             sampling_period: 20 * mobisense_util::units::MILLISECOND,
             aggregation_period: mobisense_util::units::SECOND,
+            history_cap: 32,
         }
     }
 }
@@ -139,6 +147,12 @@ impl TofSampler {
             self.period_end += self.cfg.aggregation_period;
             if let Some(median) = self.batch.drain() {
                 let m = TofMeasurement { at, cycles: median };
+                if self.history.len() >= self.cfg.history_cap.max(1) {
+                    // Bounded history: drop the oldest filtered sample.
+                    // O(cap) per aggregation period (once a second), and
+                    // cap is small, so the shift is in the noise.
+                    self.history.remove(0);
+                }
                 self.history.push(m);
                 return Some(m);
             }
@@ -172,6 +186,67 @@ impl TofSampler {
         self.history.clear();
         self.batch = BatchMedian::new();
     }
+
+    /// Approximate resident heap bytes of the sampler's buffers, for the
+    /// serving layer's hot-working-set gauges.
+    pub fn approx_bytes(&self) -> usize {
+        8 * self.batch.len() + std::mem::size_of::<TofMeasurement>() * self.history.len()
+    }
+
+    /// Exports the sampler's complete dynamic state (noise-stream
+    /// position, schedule anchors, the in-flight batch, and the bounded
+    /// filtered history) for session hibernation. Round-trips through
+    /// [`from_state`](Self::from_state): the restored sampler produces a
+    /// bit-identical measurement stream from the saved point on.
+    pub fn export_state(&self) -> TofSamplerState {
+        TofSamplerState {
+            rng: self.rng.export_state(),
+            next_sample_at: self.next_sample_at,
+            period_end: self.period_end,
+            batch: self.batch.samples().to_vec(),
+            history: self.history.clone(),
+        }
+    }
+
+    /// Reconstructs a sampler from [`export_state`](Self::export_state)
+    /// output. History beyond `cfg.history_cap` is trimmed oldest-first,
+    /// so a state saved under a larger cap restores safely.
+    pub fn from_state(cfg: TofConfig, state: TofSamplerState) -> Self {
+        let mut batch = BatchMedian::new();
+        for &x in &state.batch {
+            batch.push(x);
+        }
+        let mut history = state.history;
+        let cap = cfg.history_cap.max(1);
+        if history.len() > cap {
+            history.drain(..history.len() - cap);
+        }
+        TofSampler {
+            cfg,
+            rng: DetRng::from_state(&state.rng),
+            next_sample_at: state.next_sample_at,
+            batch,
+            period_end: state.period_end,
+            history,
+        }
+    }
+}
+
+/// Serializable dynamic state of a [`TofSampler`], produced by
+/// [`TofSampler::export_state`]. Plain data: the session snapshot codec
+/// owns the byte-level encoding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TofSamplerState {
+    /// Position of the measurement-noise stream.
+    pub rng: DetRngState,
+    /// Next raw-sample time on the 20 ms schedule.
+    pub next_sample_at: Nanos,
+    /// End of the current aggregation period.
+    pub period_end: Nanos,
+    /// Raw samples of the in-flight aggregation batch, oldest-first.
+    pub batch: Vec<f64>,
+    /// Bounded filtered history, oldest-first.
+    pub history: Vec<TofMeasurement>,
 }
 
 #[cfg(test)]
@@ -280,6 +355,81 @@ mod tests {
         assert!(!s.history().is_empty());
         s.reset_history();
         assert!(s.history().is_empty());
+    }
+
+    #[test]
+    fn history_is_bounded_at_config_cap() {
+        let cfg = TofConfig {
+            history_cap: 5,
+            ..TofConfig::default()
+        };
+        let mut s = TofSampler::new(cfg, 0, DetRng::seed_from_u64(8));
+        let mut medians = Vec::new();
+        let mut t = 0;
+        while medians.len() < 20 {
+            t += 20 * MILLISECOND;
+            if let Some(m) = s.poll(t, 10.0) {
+                medians.push(m);
+            }
+        }
+        assert_eq!(s.history().len(), 5);
+        // The retained suffix is the newest five medians, in order.
+        assert_eq!(s.history(), &medians[medians.len() - 5..]);
+    }
+
+    #[test]
+    fn history_cap_does_not_change_the_measurement_stream() {
+        // The cap only trims retained diagnostics; the medians returned
+        // from poll (what the classifier consumes) must be identical.
+        let tight = TofConfig {
+            history_cap: 2,
+            ..TofConfig::default()
+        };
+        let mut a = TofSampler::new(tight, 0, DetRng::seed_from_u64(9));
+        let mut b = TofSampler::new(TofConfig::default(), 0, DetRng::seed_from_u64(9));
+        let mut t = 0;
+        for _ in 0..1500 {
+            t += 20 * MILLISECOND;
+            let d = 10.0 + (t as f64 / 1e9).sin();
+            assert_eq!(a.poll(t, d), b.poll(t, d));
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_mid_period() {
+        let mut a = sampler(10);
+        let mut t = 0;
+        // Stop mid-aggregation-period so the batch is non-empty.
+        for _ in 0..130 {
+            t += 20 * MILLISECOND;
+            a.poll(t, 12.0);
+        }
+        let state = a.export_state();
+        let mut b = TofSampler::from_state(a.config().clone(), state.clone());
+        assert_eq!(a.export_state(), b.export_state());
+        for _ in 0..500 {
+            t += 20 * MILLISECOND;
+            let d = 12.0 - (t as f64 / 1e9) * 0.5;
+            assert_eq!(a.poll(t, d), b.poll(t, d));
+        }
+        assert_eq!(a.history(), b.history());
+    }
+
+    #[test]
+    fn from_state_trims_oversized_history() {
+        let mut a = sampler(11);
+        let mut t = 0;
+        for _ in 0..600 {
+            t += 20 * MILLISECOND;
+            a.poll(t, 9.0);
+        }
+        let state = a.export_state();
+        let tight = TofConfig {
+            history_cap: 3,
+            ..TofConfig::default()
+        };
+        let b = TofSampler::from_state(tight, state.clone());
+        assert_eq!(b.history(), &state.history[state.history.len() - 3..]);
     }
 
     #[test]

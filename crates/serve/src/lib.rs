@@ -25,7 +25,12 @@
 //! * [`ops`] — live operational monitoring: a background ticker
 //!   snapshotting queue / recorder health as versioned JSONL
 //!   ([`mobisense_telemetry::snapshot`]) and a stall watchdog flagging
-//!   sources that stop making progress while work is pending.
+//!   sources that stop making progress while work is pending;
+//! * [`sessions`] — session-residency telemetry: per-shard gauge
+//!   blocks (hot / hibernated / resident bytes) the workers publish
+//!   and the ops monitor rides, backing `mobisense-session`'s
+//!   hibernation of idle sessions and live shard rebalancing
+//!   ([`ShardEngine::migrate`](service::ShardEngine::migrate)).
 //!
 //! The headline property is the **determinism contract**: under
 //! blocking backpressure the merged decision log, sorted by
@@ -44,19 +49,22 @@ pub mod queue;
 pub mod recording;
 pub mod routing;
 pub mod service;
+pub mod sessions;
 pub mod wire;
 
 pub use fleet::{ClientStream, EncodedFleet, FleetConfig};
 pub use ops::{
     OpsMonitor, OpsOutcome, OpsSource, SnapshotMeta, SnapshotPolicy, StallDetector, StallFlag,
 };
-pub use queue::{OverflowPolicy, ShardQueue, Ticket};
+pub use queue::{MigrateParcel, OverflowPolicy, ShardQueue, Ticket, WorkItem};
 pub use recording::{
     RecordBackend, RecordPolicy, Recorder, RecorderHandle, RecorderStats, RecordingConfig,
 };
 pub use routing::{mix64, shard_of};
 pub use service::{
     decision_log_csv, emit_report_events, serve_fleet, serve_streams, serve_streams_recorded,
-    ServeConfig, ServeDecision, ServeReport, ShardEngine, ShardSummary,
+    BoxedPager, ServeConfig, ServeDecision, ServeReport, SessionsSummary, ShardEngine,
+    ShardSummary,
 };
+pub use sessions::{SessionGauges, SessionOpsSource};
 pub use wire::{decode_stream, decode_stream_lossy, FrameMeta, ObsFrame, WireError};

@@ -297,7 +297,7 @@ fn observe_sources(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::queue::{OverflowPolicy, Ticket};
+    use crate::queue::{OverflowPolicy, Ticket, WorkItem};
     use crate::wire::ObsFrame;
     use mobisense_telemetry::parse_snapshots;
 
@@ -342,7 +342,10 @@ mod tests {
         // counter stays frozen, so the watchdog must fire.
         let q = Arc::new(ShardQueue::new(8));
         for seq in 0..5 {
-            q.push((Ticket::untraced(), frame(1, seq)), OverflowPolicy::Block);
+            q.push(
+                WorkItem::frame(Ticket::untraced(), frame(1, seq)),
+                OverflowPolicy::Block,
+            );
         }
         let policy = SnapshotPolicy {
             interval: Duration::from_millis(2),
@@ -375,7 +378,10 @@ mod tests {
     fn high_water_gauge_sees_transient_peaks() {
         let q = Arc::new(ShardQueue::new(16));
         for seq in 0..10 {
-            q.push((Ticket::untraced(), frame(1, seq)), OverflowPolicy::Block);
+            q.push(
+                WorkItem::frame(Ticket::untraced(), frame(1, seq)),
+                OverflowPolicy::Block,
+            );
         }
         // Drain fully: instantaneous depth is 0, but the high-water
         // mark since the last read must still show the peak.

@@ -15,10 +15,12 @@
 // lock-order: serve.shard-queue < serve.recorder-channel
 
 use std::collections::VecDeque;
+use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use mobisense_telemetry::{Stage, StageTrace};
+use mobisense_util::units::Nanos;
 
 use crate::wire::ObsFrame;
 
@@ -70,8 +72,64 @@ impl Ticket {
     }
 }
 
-/// One enqueued frame plus its [`Ticket`].
-pub type QueueItem = (Ticket, ObsFrame);
+/// A migrating client's session in transit between two shard workers:
+/// the encoded [`SessionSnapshot`] bytes (codec-sealed, so transfer
+/// corruption is detected at adoption) plus the bookkeeping the target
+/// needs to resume exactly where the source stopped.
+///
+/// [`SessionSnapshot`]: mobisense_session::SessionSnapshot
+#[derive(Clone, Debug)]
+pub struct MigrateParcel {
+    /// The migrating client.
+    pub client_id: u32,
+    /// Encoded snapshot bytes, or `None` when the source worker had no
+    /// live or hibernated session for the client (the target starts a
+    /// fresh session on the client's next frame, exactly as the source
+    /// would have).
+    pub bytes: Option<Vec<u8>>,
+    /// The client's last sim-clock activity at the source (0 when
+    /// unknown), so the target's hibernation LRU resumes accurately.
+    pub last_at: Nanos,
+}
+
+/// One unit of work on a shard queue: the overwhelmingly common decoded
+/// observation frame, or a rare control item steering a live session
+/// migration. Control items ride the same FIFO as frames so their
+/// ordering relative to the frame stream is exact — a `Migrate` marker
+/// drains every frame enqueued before it, and an `Adopt` precedes every
+/// frame routed to the target after the move.
+#[derive(Debug)]
+pub enum WorkItem {
+    /// One decoded observation frame with its [`Ticket`].
+    Frame(Ticket, ObsFrame),
+    /// Drain marker: the worker snapshots (or pages in) `client_id`'s
+    /// session, forgets it, and sends the parcel back through `reply`.
+    Migrate {
+        /// The client to extract.
+        client_id: u32,
+        /// Where the source worker sends the drained parcel.
+        reply: mpsc::Sender<MigrateParcel>,
+    },
+    /// Adoption: the worker restores the parcel's session into its own
+    /// client map before processing any frame behind this item.
+    Adopt(Box<MigrateParcel>),
+}
+
+impl WorkItem {
+    /// Wraps a ticketed frame (the shape every frontend submits).
+    pub fn frame(ticket: Ticket, frame: ObsFrame) -> Self {
+        WorkItem::Frame(ticket, frame)
+    }
+
+    /// Whether this is an observation frame (control items are exempt
+    /// from capacity accounting and shedding).
+    pub fn is_frame(&self) -> bool {
+        matches!(self, WorkItem::Frame(..))
+    }
+}
+
+/// One enqueued work item.
+pub type QueueItem = WorkItem;
 
 #[derive(Debug, Default)]
 struct Inner {
@@ -135,26 +193,35 @@ impl ShardQueue {
         // lint: poison-loud -- frame path: a poisoned FIFO cannot be trusted, fail the run
         let mut inner = self.inner.lock().expect("queue poisoned");
         let mut shed_now = 0u64;
-        match policy {
-            OverflowPolicy::Block => {
+        match (&item, policy) {
+            // Control items never wait and never shed: a `Migrate`
+            // marker that blocked behind its own shard's backlog while
+            // the submit frontend waits on the reply would deadlock the
+            // engine, and shedding one would silently lose a session.
+            // They are rare (one per migration), so the transient
+            // one-over-capacity occupancy is harmless.
+            (WorkItem::Migrate { .. } | WorkItem::Adopt(_), _) => {}
+            (WorkItem::Frame(..), OverflowPolicy::Block) => {
                 while inner.q.len() >= self.capacity && !inner.closed {
                     // lint: poison-loud -- frame path fails fast on poison
                     inner = self.not_full.wait(inner).expect("queue poisoned");
                 }
             }
-            OverflowPolicy::ShedOldestPerClient => {
+            (WorkItem::Frame(_, new), OverflowPolicy::ShedOldestPerClient) => {
                 if inner.q.len() >= self.capacity {
-                    let client = item.1.client_id;
-                    match inner.q.iter().position(|(_, f)| f.client_id == client) {
-                        Some(i) => {
-                            inner.q.remove(i);
-                        }
-                        None => {
-                            inner.q.pop_front();
-                        }
+                    let client = new.client_id;
+                    // Only frames are sheddable; control items must
+                    // survive overload, so the eviction scan skips them.
+                    let same_client = inner.q.iter().position(
+                        |it| matches!(it, WorkItem::Frame(_, f) if f.client_id == client),
+                    );
+                    let victim =
+                        same_client.or_else(|| inner.q.iter().position(WorkItem::is_frame));
+                    if let Some(i) = victim {
+                        inner.q.remove(i);
+                        shed_now = 1;
+                        inner.shed += 1;
                     }
-                    shed_now = 1;
-                    inner.shed += 1;
                 }
             }
         }
@@ -163,8 +230,10 @@ impl ShardQueue {
         }
         // Stamped after any backpressure wait, immediately before
         // insertion, so the dequeue delta is pure queue residency.
-        if let Some(trace) = item.0.trace.as_mut() {
-            trace.mark(Stage::Enqueue);
+        if let WorkItem::Frame(ticket, _) = &mut item {
+            if let Some(trace) = ticket.trace.as_mut() {
+                trace.mark(Stage::Enqueue);
+            }
         }
         inner.q.push_back(item);
         inner.max_depth = inner.max_depth.max(inner.q.len());
@@ -172,6 +241,26 @@ impl ShardQueue {
         drop(inner);
         self.not_empty.notify_one();
         shed_now
+    }
+
+    /// Enqueues a control item ([`WorkItem::Migrate`] /
+    /// [`WorkItem::Adopt`]), bypassing capacity accounting entirely —
+    /// equivalent to `push` but named so call sites read as what they
+    /// are. Returns `true` if the item was enqueued, `false` if the
+    /// queue was already closed (the engine treats that as "shard gone",
+    /// not an error).
+    pub fn push_control(&self, item: QueueItem) -> bool {
+        // lint: poison-loud -- control path: a poisoned FIFO cannot be trusted, fail the run
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return false;
+        }
+        inner.q.push_back(item);
+        inner.max_depth = inner.max_depth.max(inner.q.len());
+        inner.high_water = inner.high_water.max(inner.q.len());
+        drop(inner);
+        self.not_empty.notify_one();
+        true
     }
 
     /// Dequeues the oldest frame, blocking while the queue is open and
@@ -255,7 +344,19 @@ mod tests {
     }
 
     fn item(client_id: u32, seq: u32) -> QueueItem {
-        (Ticket::untraced(), frame(client_id, seq))
+        WorkItem::frame(Ticket::untraced(), frame(client_id, seq))
+    }
+
+    /// Drains the queue, asserting every item is a frame.
+    fn drain_frames(q: &ShardQueue) -> Vec<(u32, u32)> {
+        let mut got = Vec::new();
+        while let Some((it, _)) = q.pop() {
+            match it {
+                WorkItem::Frame(_, f) => got.push((f.client_id, f.seq)),
+                other => panic!("expected frame, got {other:?}"),
+            }
+        }
+        got
     }
 
     #[test]
@@ -265,10 +366,7 @@ mod tests {
             q.push(item(1, seq), OverflowPolicy::Block);
         }
         q.close();
-        let mut seqs = Vec::new();
-        while let Some(((_, f), _)) = q.pop() {
-            seqs.push(f.seq);
-        }
+        let seqs: Vec<u32> = drain_frames(&q).into_iter().map(|(_, s)| s).collect();
         assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
     }
 
@@ -281,11 +379,7 @@ mod tests {
         // Full; pushing client 1 again evicts its seq 0, not client 2.
         assert_eq!(q.push(item(1, 2), OverflowPolicy::ShedOldestPerClient), 1);
         q.close();
-        let mut got = Vec::new();
-        while let Some(((_, f), _)) = q.pop() {
-            got.push((f.client_id, f.seq));
-        }
-        assert_eq!(got, vec![(2, 0), (1, 1), (1, 2)]);
+        assert_eq!(drain_frames(&q), vec![(2, 0), (1, 1), (1, 2)]);
         assert_eq!(q.shed(), 1);
     }
 
@@ -297,11 +391,48 @@ mod tests {
         // Client 3 has nothing queued: the global oldest (1, 0) goes.
         q.push(item(3, 0), OverflowPolicy::ShedOldestPerClient);
         q.close();
-        let mut got = Vec::new();
-        while let Some(((_, f), _)) = q.pop() {
-            got.push(f.client_id);
+        let clients: Vec<u32> = drain_frames(&q).into_iter().map(|(c, _)| c).collect();
+        assert_eq!(clients, vec![2, 3]);
+    }
+
+    #[test]
+    fn control_items_bypass_capacity_and_survive_shedding() {
+        let q = ShardQueue::new(2);
+        q.push(item(1, 0), OverflowPolicy::ShedOldestPerClient);
+        // A control item enqueues even at capacity, without shedding.
+        q.push(item(2, 0), OverflowPolicy::ShedOldestPerClient);
+        let (tx, _rx) = mpsc::channel();
+        assert!(q.push_control(WorkItem::Migrate {
+            client_id: 9,
+            reply: tx,
+        }));
+        assert_eq!(q.depth(), 3, "control item rode over capacity");
+        assert_eq!(q.shed(), 0);
+        // A frame push at capacity sheds a *frame*, never the marker —
+        // client 3 has nothing queued, so the global-oldest frame goes.
+        q.push(item(3, 0), OverflowPolicy::ShedOldestPerClient);
+        q.close();
+        let mut kinds = Vec::new();
+        while let Some((it, _)) = q.pop() {
+            kinds.push(match it {
+                WorkItem::Frame(_, f) => format!("frame:{}", f.client_id),
+                WorkItem::Migrate { client_id, .. } => format!("migrate:{client_id}"),
+                WorkItem::Adopt(p) => format!("adopt:{}", p.client_id),
+            });
         }
-        assert_eq!(got, vec![2, 3]);
+        assert_eq!(kinds, vec!["frame:2", "migrate:9", "frame:3"]);
+        assert_eq!(q.shed(), 1);
+    }
+
+    #[test]
+    fn push_control_to_closed_queue_reports_shard_gone() {
+        let q = ShardQueue::new(2);
+        q.close();
+        assert!(!q.push_control(WorkItem::Adopt(Box::new(MigrateParcel {
+            client_id: 1,
+            bytes: None,
+            last_at: 0,
+        }))));
     }
 
     #[test]
@@ -360,9 +491,15 @@ mod tests {
     #[test]
     fn enqueue_stage_is_stamped_on_traced_items() {
         let q = ShardQueue::new(4);
-        q.push((Ticket::traced(), frame(1, 0)), OverflowPolicy::Block);
+        q.push(
+            WorkItem::frame(Ticket::traced(), frame(1, 0)),
+            OverflowPolicy::Block,
+        );
         q.close();
-        let ((ticket, _), _) = q.pop().expect("queued frame");
+        let (it, _) = q.pop().expect("queued frame");
+        let WorkItem::Frame(ticket, _) = it else {
+            panic!("expected frame");
+        };
         let trace = ticket.trace.expect("traced ticket");
         assert!(trace.is_marked(Stage::Enqueue));
         assert!(!trace.is_marked(Stage::Dequeue), "worker marks dequeue");
@@ -378,10 +515,16 @@ mod tests {
         });
         std::thread::sleep(std::time::Duration::from_millis(10));
         // The producer is parked; draining one slot lets it through.
-        let ((_, f), depth) = q.pop().expect("first frame");
+        let (it, depth) = q.pop().expect("first frame");
+        let WorkItem::Frame(_, f) = it else {
+            panic!("expected frame");
+        };
         assert_eq!((f.seq, depth), (0, 1));
         h.join().expect("producer finished");
-        let ((_, f), _) = q.pop().expect("second frame");
+        let (it, _) = q.pop().expect("second frame");
+        let WorkItem::Frame(_, f) = it else {
+            panic!("expected frame");
+        };
         assert_eq!(f.seq, 1);
         assert_eq!(q.shed(), 0);
         assert_eq!(q.max_depth(), 1);

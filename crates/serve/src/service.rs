@@ -21,23 +21,32 @@
 //! scaling costs no cross-shard synchronisation.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use mobisense_core::classifier::Classification;
 use mobisense_core::pipeline::{PipelineConfig, PipelineSession};
 use mobisense_core::policy::MobilityPolicy;
 use mobisense_mobility::{Direction, MobilityMode};
+use mobisense_session::{
+    HibernationConfig, HibernationManager, MemoryPager, RetirePolicy, SessionSnapshot,
+    SnapshotPager,
+};
 use mobisense_telemetry::metrics::{Histogram, SPAN_NS_BUCKETS};
 use mobisense_telemetry::{Event, NoopSink, Registry, Sampler, Sink, Stage, StageHistograms};
 use mobisense_util::units::Nanos;
 
 use crate::fleet::{ClientStream, EncodedFleet};
 use crate::ops::{OpsMonitor, OpsOutcome, SnapshotMeta, SnapshotPolicy, StallFlag};
-use crate::queue::{OverflowPolicy, ShardQueue, Ticket};
+use crate::queue::{MigrateParcel, OverflowPolicy, ShardQueue, Ticket, WorkItem};
 use crate::recording::{RecorderHandle, RecorderStats};
 use crate::routing::{mix64, shard_of};
+use crate::sessions::{SessionGauges, SessionOpsSource};
 use crate::wire::ObsFrame;
+
+/// A worker's snapshot storage backend, one per shard.
+pub type BoxedPager = Box<dyn SnapshotPager + Send>;
 
 /// Queue-depth histogram bucket bounds (frames).
 pub const DEPTH_BUCKETS: &[f64] = &[
@@ -69,6 +78,22 @@ pub struct ServeConfig {
     /// health at this cadence and flags stalled sources
     /// ([`ServeReport::snapshots`] / [`ServeReport::stalls`]).
     pub snapshot: Option<SnapshotPolicy>,
+    /// Session residency policy: when idle (or hot-set-overflow)
+    /// sessions are hibernated into the shard's pager — or, under
+    /// [`RetirePolicy::Evict`], dropped outright. The default disables
+    /// both triggers: sessions stay resident forever, exactly the
+    /// pre-hibernation behaviour. Retirement uses the **sim clock**
+    /// (frame timestamps), so victim selection is deterministic and the
+    /// decision log stays byte-identical with hibernation on or off.
+    pub hibernation: HibernationConfig,
+    /// When `true`, workers record one [`Event::SessionHibernate`] /
+    /// [`Event::SessionRestore`] per lifecycle transition into
+    /// [`ServeReport::session_events`] (replayed to the sink at end of
+    /// run). Off by default: a 100k-client fleet cycling its working
+    /// set generates far more lifecycle events than anyone wants to
+    /// buffer; the aggregate counters in [`ServeReport::sessions`] and
+    /// the live `serve.sessions.*` gauges are always on.
+    pub session_events: bool,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +106,8 @@ impl Default for ServeConfig {
             session_seed: 0x5345_5256, // "SERV"
             stage_sampling: 0,
             snapshot: None,
+            hibernation: HibernationConfig::default(),
+            session_events: false,
         }
     }
 }
@@ -160,8 +187,36 @@ pub struct ServeReport {
     /// Recording-channel counters at the end of the run, when a flight
     /// recorder was attached.
     pub recorder: Option<RecorderStats>,
+    /// Session lifecycle totals (hibernate / restore / evict / migrate)
+    /// summed across shards.
+    pub sessions: SessionsSummary,
+    /// Wall-clock latency (ns) of every session fault-in: the price a
+    /// hibernated client pays on its first frame back.
+    pub fault_in_ns: Histogram,
+    /// Per-occurrence session lifecycle events, in shard order then
+    /// migrations (empty unless [`ServeConfig::session_events`] is set;
+    /// migrations are always included). Replayed to the sink by
+    /// [`emit_report_events`].
+    pub session_events: Vec<Event>,
     /// Wall-clock duration of the whole run.
     pub wall: std::time::Duration,
+}
+
+/// Session lifecycle totals for one run, summed across shards.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionsSummary {
+    /// Sessions paged out over the run.
+    pub hibernated: u64,
+    /// Sessions faulted back in over the run.
+    pub restored: u64,
+    /// Sessions dropped without a snapshot over the run.
+    pub evicted: u64,
+    /// Live migrations completed over the run.
+    pub migrations: u64,
+    /// Sessions still resident when the run finished.
+    pub hot_final: u64,
+    /// Sessions still paged out when the run finished.
+    pub hibernated_final: u64,
 }
 
 impl ServeReport {
@@ -200,6 +255,22 @@ impl ServeReport {
                 .merge(&self.depth);
         }
         self.stages.fill_registry(&mut reg);
+        reg.counter("serve.sessions.hibernates")
+            .add(self.sessions.hibernated);
+        reg.counter("serve.sessions.restores")
+            .add(self.sessions.restored);
+        reg.counter("serve.sessions.evictions")
+            .add(self.sessions.evicted);
+        reg.counter("serve.sessions.migrations")
+            .add(self.sessions.migrations);
+        reg.gauge("serve.sessions.hot")
+            .set(self.sessions.hot_final as f64);
+        reg.gauge("serve.sessions.hibernated")
+            .set(self.sessions.hibernated_final as f64);
+        if self.fault_in_ns.count() > 0 {
+            reg.histogram("serve.sessions.fault_in_ns", SPAN_NS_BUCKETS)
+                .merge(&self.fault_in_ns);
+        }
         if let Some(stats) = &self.recorder {
             reg.counter("serve.recorder.frames").add(stats.frames);
             reg.counter("serve.recorder.rows").add(stats.rows);
@@ -227,6 +298,13 @@ struct ClientState {
     /// Last classification emitted post-warm-up (warm-up decisions never
     /// update this, so the first settled state is always reported).
     last_emitted: Option<Classification>,
+    /// Latest frame timestamp this session consumed (sim clock) — what
+    /// a migration parcel carries so the target's LRU stays accurate.
+    last_at: Nanos,
+    /// Bytes currently charged to the resident-bytes gauge for this
+    /// session (re-measured after every frame; sessions grow while
+    /// their ToF history fills).
+    bytes: usize,
 }
 
 struct WorkerResult {
@@ -236,13 +314,222 @@ struct WorkerResult {
     latency_ns: Histogram,
     depth: Histogram,
     stages: StageHistograms,
+    sessions: SessionsSummary,
+    fault_in_ns: Histogram,
+    session_events: Vec<Event>,
 }
 
-fn run_worker(queue: &ShardQueue, cfg: &ServeConfig) -> WorkerResult {
+/// One shard worker's session-residency bookkeeping, split from the
+/// frame loop so the lifecycle arms ([`WorkItem::Migrate`] /
+/// [`WorkItem::Adopt`] / victim retirement) share one implementation.
+struct WorkerSessions<'a> {
+    cfg: &'a ServeConfig,
+    shard: u32,
+    map: BTreeMap<u32, ClientState>,
+    manager: HibernationManager,
+    pager: BoxedPager,
+    gauges: Arc<SessionGauges>,
+    resident_bytes: u64,
+}
+
+impl WorkerSessions<'_> {
+    /// Faults the client's session back in if it is hibernated,
+    /// recording the fault-in latency; no-op for hot or unknown
+    /// clients. A failed fault-in (missing or corrupt page) panics the
+    /// worker: serving a fresh session where a hibernated one exists
+    /// would silently diverge the decision log, and the workspace's
+    /// poison philosophy is that corrupt state fails the run loudly.
+    fn fault_in_if_hibernated(&mut self, client: u32, at: Nanos, out: &mut WorkerResult) {
+        if !self.manager.is_hibernated(client) {
+            return;
+        }
+        // lint: determinism -- fault-in wall latency is telemetry only, never decisions
+        let t0 = Instant::now();
+        let snap = self
+            .manager
+            .fault_in(client, self.pager.as_mut())
+            .expect("session fault-in failed: paged state unusable, refusing to diverge")
+            .expect("hibernated client has a snapshot by manager invariant");
+        let wait_ns = t0.elapsed().as_nanos() as u64;
+        let state = ClientState {
+            session: PipelineSession::restore(self.cfg.pipeline.clone(), snap.state),
+            last_emitted: snap.last_emitted,
+            last_at: at,
+            bytes: 0,
+        };
+        self.map.insert(client, state);
+        out.fault_in_ns.observe(wait_ns as f64);
+        self.gauges
+            .fault_in_ns
+            .fetch_add(wait_ns, Ordering::Relaxed);
+        if self.cfg.session_events {
+            out.session_events.push(Event::SessionRestore {
+                at,
+                client_id: client,
+                shard: self.shard,
+                wait_ns,
+            });
+        }
+    }
+
+    /// Retires every victim the manager selects at sim time `now`:
+    /// snapshot-and-page-out under [`RetirePolicy::Hibernate`], drop
+    /// under [`RetirePolicy::Evict`]. Runs after every processed frame;
+    /// cheap when nobody is due (one ordered-set probe).
+    fn retire_victims(&mut self, now: Nanos, out: &mut WorkerResult) {
+        if !self.cfg.hibernation.enabled() {
+            return;
+        }
+        for victim in self.manager.victims(now) {
+            let state = self
+                .map
+                .remove(&victim)
+                .expect("victim selection tracks exactly the resident sessions");
+            self.resident_bytes -= state.bytes as u64;
+            match self.cfg.hibernation.policy {
+                RetirePolicy::Hibernate => {
+                    let snap = SessionSnapshot {
+                        client_id: victim,
+                        last_emitted: state.last_emitted,
+                        state: state.session.snapshot(),
+                    };
+                    let bytes = self
+                        .manager
+                        .hibernate(&snap, self.pager.as_mut())
+                        .expect("session page-out failed: cannot retire without losing state")
+                        as u64;
+                    if self.cfg.session_events {
+                        out.session_events.push(Event::SessionHibernate {
+                            at: now,
+                            client_id: victim,
+                            shard: self.shard,
+                            bytes,
+                        });
+                    }
+                }
+                RetirePolicy::Evict => self.manager.evict(victim),
+            }
+        }
+    }
+
+    /// Extracts the client's full session as a [`MigrateParcel`] —
+    /// resident, hibernated, or never-seen — and forgets it locally.
+    fn extract_parcel(&mut self, client: u32) -> MigrateParcel {
+        if let Some(state) = self.map.remove(&client) {
+            self.resident_bytes -= state.bytes as u64;
+            let snap = SessionSnapshot {
+                client_id: client,
+                last_emitted: state.last_emitted,
+                state: state.session.snapshot(),
+            };
+            let bytes = snap
+                .encode()
+                .expect("migrating session failed to encode: state unusable");
+            self.manager.forget(client);
+            MigrateParcel {
+                client_id: client,
+                bytes: Some(bytes),
+                last_at: state.last_at,
+            }
+        } else if self.manager.is_hibernated(client) {
+            // The page transfers as-is: the target decodes (and so
+            // CRC-checks) it at adoption.
+            let bytes = self
+                .pager
+                .page_in(client)
+                .expect("migrating session failed to page in")
+                .expect("hibernated client has a snapshot by manager invariant");
+            self.manager.forget(client);
+            MigrateParcel {
+                client_id: client,
+                bytes: Some(bytes),
+                last_at: 0,
+            }
+        } else {
+            MigrateParcel {
+                client_id: client,
+                bytes: None,
+                last_at: 0,
+            }
+        }
+    }
+
+    /// Restores a migrated session into this worker's client map.
+    fn adopt(&mut self, parcel: MigrateParcel) {
+        let MigrateParcel {
+            client_id,
+            bytes,
+            last_at,
+        } = parcel;
+        let Some(bytes) = bytes else {
+            return; // source had nothing: fresh session on next frame
+        };
+        let snap = SessionSnapshot::decode(&bytes)
+            .expect("adopted session parcel failed to decode: transfer corrupted");
+        assert_eq!(snap.client_id, client_id, "parcel/snapshot client mismatch");
+        let session = PipelineSession::restore(self.cfg.pipeline.clone(), snap.state);
+        let bytes_resident = session.approx_bytes();
+        self.resident_bytes += bytes_resident as u64;
+        let prev = self.map.insert(
+            client_id,
+            ClientState {
+                session,
+                last_emitted: snap.last_emitted,
+                last_at,
+                bytes: bytes_resident,
+            },
+        );
+        assert!(
+            prev.is_none(),
+            "adopted client {client_id} already resident"
+        );
+        self.manager.touch(client_id, last_at);
+    }
+
+    /// Publishes the current residency picture to the shared gauges
+    /// (absolute stores; this worker is the only writer).
+    fn publish_gauges(&self) {
+        let stats = self.manager.stats();
+        self.gauges
+            .hot
+            .store(self.map.len() as u64, Ordering::Relaxed);
+        self.gauges
+            .hibernated
+            .store(self.manager.hibernated_count() as u64, Ordering::Relaxed);
+        self.gauges
+            .resident_bytes
+            .store(self.resident_bytes, Ordering::Relaxed);
+        self.gauges
+            .hibernates
+            .store(stats.hibernated, Ordering::Relaxed);
+        self.gauges
+            .restores
+            .store(stats.restored, Ordering::Relaxed);
+        self.gauges
+            .evictions
+            .store(stats.evicted, Ordering::Relaxed);
+    }
+}
+
+fn run_worker(
+    queue: &ShardQueue,
+    cfg: &ServeConfig,
+    shard: u32,
+    gauges: Arc<SessionGauges>,
+    pager: BoxedPager,
+) -> WorkerResult {
     // BTreeMap, not HashMap: per-client state is only keyed lookups
     // today, but the determinism contract bans seed-ordered iteration
     // from ever sneaking into this file.
-    let mut sessions: BTreeMap<u32, ClientState> = BTreeMap::new();
+    let mut ws = WorkerSessions {
+        cfg,
+        shard,
+        map: BTreeMap::new(),
+        manager: HibernationManager::new(cfg.hibernation.clone()),
+        pager,
+        gauges,
+        resident_bytes: 0,
+    };
     let mut out = WorkerResult {
         decisions: Vec::new(),
         frames: 0,
@@ -250,16 +537,37 @@ fn run_worker(queue: &ShardQueue, cfg: &ServeConfig) -> WorkerResult {
         latency_ns: Histogram::with_buckets(SPAN_NS_BUCKETS),
         depth: Histogram::with_buckets(DEPTH_BUCKETS),
         stages: StageHistograms::new(),
+        sessions: SessionsSummary::default(),
+        fault_in_ns: Histogram::with_buckets(SPAN_NS_BUCKETS),
+        session_events: Vec::new(),
     };
     let warmup = cfg.pipeline.warmup;
-    while let Some(((mut ticket, frame), depth)) = queue.pop() {
+    while let Some((item, depth)) = queue.pop() {
+        let (mut ticket, frame) = match item {
+            WorkItem::Frame(ticket, frame) => (ticket, frame),
+            WorkItem::Migrate { client_id, reply } => {
+                let parcel = ws.extract_parcel(client_id);
+                // A dropped receiver means the engine is already
+                // finishing; the parcel has nowhere to go.
+                let _ = reply.send(parcel);
+                ws.publish_gauges();
+                continue;
+            }
+            WorkItem::Adopt(parcel) => {
+                ws.adopt(*parcel);
+                ws.publish_gauges();
+                continue;
+            }
+        };
         if let Some(trace) = ticket.trace.as_mut() {
             trace.mark(Stage::Dequeue);
         }
         out.depth.observe(depth as f64);
         out.frames += 1;
         out.last_at = out.last_at.max(frame.at);
-        let state = sessions
+        ws.fault_in_if_hibernated(frame.client_id, frame.at, &mut out);
+        let state = ws
+            .map
             .entry(frame.client_id)
             .or_insert_with(|| ClientState {
                 session: PipelineSession::new(
@@ -267,6 +575,8 @@ fn run_worker(queue: &ShardQueue, cfg: &ServeConfig) -> WorkerResult {
                     cfg.session_seed_for(frame.client_id),
                 ),
                 last_emitted: None,
+                last_at: 0,
+                bytes: 0,
             });
         let decided = state.session.observe_profile_with(
             frame.at,
@@ -289,6 +599,13 @@ fn run_worker(queue: &ShardQueue, cfg: &ServeConfig) -> WorkerResult {
                 });
             }
         }
+        state.last_at = frame.at;
+        // Re-measure the session's footprint (O(1): sizes, not walks)
+        // and keep the running resident-bytes ledger exact.
+        let now_bytes = state.session.approx_bytes();
+        ws.resident_bytes = ws.resident_bytes - state.bytes as u64 + now_bytes as u64;
+        state.bytes = now_bytes;
+        ws.manager.touch(frame.client_id, frame.at);
         if let Some(trace) = ticket.trace.as_mut() {
             // One clock read stamps the `Decide` span and, when the
             // classifier emitted, the end-to-end decision latency — the
@@ -305,7 +622,17 @@ fn run_worker(queue: &ShardQueue, cfg: &ServeConfig) -> WorkerResult {
             out.latency_ns
                 .observe(ticket.ingested.elapsed().as_nanos() as f64);
         }
+        // Retirement runs on the sim clock of the frame just served, so
+        // victim choice replays identically run over run.
+        ws.retire_victims(frame.at, &mut out);
+        ws.publish_gauges();
     }
+    let stats = ws.manager.stats();
+    out.sessions.hibernated = stats.hibernated;
+    out.sessions.restored = stats.restored;
+    out.sessions.evicted = stats.evicted;
+    out.sessions.hot_final = ws.map.len() as u64;
+    out.sessions.hibernated_final = ws.manager.hibernated_count() as u64;
     out
 }
 
@@ -347,7 +674,7 @@ fn run_producer(
                     trace.mark(Stage::Record);
                 }
             }
-            queue.push((ticket, stream.obs(i)), overflow);
+            queue.push(WorkItem::frame(ticket, stream.obs(i)), overflow);
             submitted += 1;
         }
     }
@@ -371,27 +698,56 @@ pub struct ShardEngine {
     overflow: OverflowPolicy,
     stage_sampling: u32,
     started: Instant,
+    /// Per-client shard overrides installed by [`migrate`]
+    /// (`Self::migrate`); clients not present route by [`shard_of`].
+    /// Read on every submit, written once per migration.
+    routes: RwLock<BTreeMap<u32, usize>>,
+    /// Per-shard session-residency gauges, written by each worker.
+    session_gauges: Vec<Arc<SessionGauges>>,
+    migrations: AtomicU64,
+    /// One [`Event::SessionMigrate`] per completed migration, replayed
+    /// into the report at [`finish`](Self::finish).
+    migrate_log: Mutex<Vec<Event>>,
 }
 
 impl ShardEngine {
-    /// Spawns `cfg.n_shards` queues and worker threads. Errs only when
-    /// the OS refuses a thread.
+    /// Spawns `cfg.n_shards` queues and worker threads with in-memory
+    /// snapshot pagers. Errs only when the OS refuses a thread.
     pub fn spawn(cfg: &ServeConfig) -> std::io::Result<ShardEngine> {
+        let pagers = (0..cfg.n_shards)
+            .map(|_| Box::new(MemoryPager::new()) as BoxedPager)
+            .collect();
+        Self::spawn_with_pagers(cfg, pagers)
+    }
+
+    /// [`ShardEngine::spawn`] with one caller-supplied
+    /// [`SnapshotPager`] per shard — how the trace store's disk-backed
+    /// pager slots in. `pagers.len()` must equal `cfg.n_shards`.
+    pub fn spawn_with_pagers(
+        cfg: &ServeConfig,
+        pagers: Vec<BoxedPager>,
+    ) -> std::io::Result<ShardEngine> {
         assert!(cfg.n_shards > 0, "need at least one shard");
+        assert_eq!(pagers.len(), cfg.n_shards, "one pager per shard");
         // lint: determinism -- run wall clock feeds the serve report only, never decisions
         let started = Instant::now();
         let queues: Vec<Arc<ShardQueue>> = (0..cfg.n_shards)
             .map(|_| Arc::new(ShardQueue::new(cfg.queue_capacity)))
             .collect();
+        let session_gauges: Vec<Arc<SessionGauges>> = (0..cfg.n_shards)
+            .map(|_| Arc::new(SessionGauges::new()))
+            .collect();
         let workers = queues
             .iter()
+            .zip(pagers)
             .enumerate()
-            .map(|(i, q)| {
+            .map(|(i, (q, pager))| {
                 let q = Arc::clone(q);
                 let cfg = cfg.clone();
+                let gauges = Arc::clone(&session_gauges[i]);
                 std::thread::Builder::new()
                     .name(format!("shard-worker-{i}"))
-                    .spawn(move || run_worker(&q, &cfg))
+                    .spawn(move || run_worker(&q, &cfg, i as u32, gauges, pager))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
         Ok(ShardEngine {
@@ -400,6 +756,10 @@ impl ShardEngine {
             overflow: cfg.overflow,
             stage_sampling: cfg.stage_sampling,
             started,
+            routes: RwLock::new(BTreeMap::new()),
+            session_gauges,
+            migrations: AtomicU64::new(0),
+            migrate_log: Mutex::new(Vec::new()),
         })
     }
 
@@ -410,16 +770,96 @@ impl ShardEngine {
 
     /// The per-shard queues, index = shard (for frontends that pump
     /// whole per-shard batches, like the in-process producers).
+    ///
+    /// Note: pushing here directly bypasses any [`migrate`]
+    /// (`Self::migrate`) route overrides — batch frontends that never
+    /// migrate may do so; anything else should go through
+    /// [`submit`](Self::submit).
     pub fn queues(&self) -> &[Arc<ShardQueue>] {
         &self.queues
+    }
+
+    /// The per-shard session-residency gauges (hot / hibernated /
+    /// resident bytes / lifecycle counters), index = shard. Wrap them
+    /// in a [`SessionOpsSource`] to ride the ops snapshot stream.
+    pub fn session_gauges(&self) -> &[Arc<SessionGauges>] {
+        &self.session_gauges
+    }
+
+    /// The shard a client's frames currently route to: the hash route,
+    /// unless a migration moved it.
+    pub fn route_of(&self, client_id: u32) -> usize {
+        let routes = self.routes.read().unwrap_or_else(|e| e.into_inner());
+        routes
+            .get(&client_id)
+            .copied()
+            .unwrap_or_else(|| shard_of(client_id, self.queues.len()))
     }
 
     /// Routes one decoded frame to its shard's queue under the engine's
     /// overflow policy. Returns the number of frames shed to make room
     /// (always 0 under [`OverflowPolicy::Block`]).
     pub fn submit(&self, ticket: Ticket, frame: ObsFrame) -> u64 {
-        let shard = shard_of(frame.client_id, self.queues.len());
-        self.queues[shard].push((ticket, frame), self.overflow)
+        let shard = self.route_of(frame.client_id);
+        self.queues[shard].push(WorkItem::frame(ticket, frame), self.overflow)
+    }
+
+    /// Live-migrates one client's session to `to_shard`:
+    /// drain → snapshot → transfer → resume. A [`WorkItem::Migrate`]
+    /// marker FIFO-drains every frame already queued for the client at
+    /// its current shard, the extracted parcel crosses over, a
+    /// [`WorkItem::Adopt`] lands ahead of anything the new shard will
+    /// receive for it, and the route flips — so the session consumes
+    /// exactly the same frame sequence it would have unmigrated, and
+    /// the decision log cannot diverge.
+    ///
+    /// Must be called from the thread that also calls
+    /// [`submit`](Self::submit) (the single-submitter contract): the
+    /// call blocks until the source worker hands the session over, and
+    /// no frame for the client may be submitted while it is in flight.
+    ///
+    /// Returns the transferred snapshot size in bytes (0 when the
+    /// client had no session anywhere, or was already on `to_shard`).
+    pub fn migrate(&self, client_id: u32, to_shard: usize) -> std::io::Result<usize> {
+        assert!(to_shard < self.queues.len(), "target shard out of range");
+        let from_shard = self.route_of(client_id);
+        if from_shard == to_shard {
+            return Ok(0);
+        }
+        let (tx, rx) = mpsc::channel();
+        if !self.queues[from_shard].push_control(WorkItem::Migrate {
+            client_id,
+            reply: tx,
+        }) {
+            return Err(std::io::Error::other(format!(
+                "source shard {from_shard} already closed"
+            )));
+        }
+        let parcel = rx.recv().map_err(|_| {
+            std::io::Error::other(format!(
+                "source shard {from_shard} worker gone before handing over client {client_id}"
+            ))
+        })?;
+        let bytes = parcel.bytes.as_ref().map_or(0, Vec::len);
+        let last_at = parcel.last_at;
+        if !self.queues[to_shard].push_control(WorkItem::Adopt(Box::new(parcel))) {
+            return Err(std::io::Error::other(format!(
+                "target shard {to_shard} already closed"
+            )));
+        }
+        let mut routes = self.routes.write().unwrap_or_else(|e| e.into_inner());
+        routes.insert(client_id, to_shard);
+        drop(routes);
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+        let mut log = self.migrate_log.lock().unwrap_or_else(|e| e.into_inner());
+        log.push(Event::SessionMigrate {
+            at: last_at,
+            client_id,
+            from_shard: from_shard as u32,
+            to_shard: to_shard as u32,
+            bytes: bytes as u64,
+        });
+        Ok(bytes)
     }
 
     /// Closes every queue, joins the workers and assembles the run's
@@ -451,6 +891,12 @@ impl ShardEngine {
             snapshots: Vec::new(),
             stalls: Vec::new(),
             recorder: None,
+            sessions: SessionsSummary {
+                migrations: self.migrations.load(Ordering::Relaxed),
+                ..SessionsSummary::default()
+            },
+            fault_in_ns: Histogram::with_buckets(SPAN_NS_BUCKETS),
+            session_events: Vec::new(),
             wall: self.started.elapsed(),
         };
         for (shard, (result, queue)) in results.iter().zip(&self.queues).enumerate() {
@@ -458,6 +904,15 @@ impl ShardEngine {
             report.shed += queue.shed();
             report.latency_ns.merge(&result.latency_ns);
             report.depth.merge(&result.depth);
+            report.sessions.hibernated += result.sessions.hibernated;
+            report.sessions.restored += result.sessions.restored;
+            report.sessions.evicted += result.sessions.evicted;
+            report.sessions.hot_final += result.sessions.hot_final;
+            report.sessions.hibernated_final += result.sessions.hibernated_final;
+            report.fault_in_ns.merge(&result.fault_in_ns);
+            report
+                .session_events
+                .extend(result.session_events.iter().cloned());
             if self.stage_sampling > 0 {
                 report.stages.merge(&result.stages);
                 report.per_stage_shard.push(result.stages.clone());
@@ -472,6 +927,12 @@ impl ShardEngine {
             });
             decisions.extend_from_slice(&result.decisions);
         }
+        let migrate_events = self
+            .migrate_log
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        report.session_events.extend(migrate_events);
         decisions.sort_by_key(|d| (d.client_id, d.seq));
         report.decisions = decisions.len() as u64;
         for d in &decisions {
@@ -521,6 +982,12 @@ pub fn emit_report_events<S: Sink + ?Sized>(
             intervals: stall.intervals,
             backlog: stall.backlog,
         });
+    }
+    // Session lifecycle events were buffered per worker during the run
+    // (workers own no sink); replay them now, in shard order then
+    // migrations.
+    for event in &report.session_events {
+        sink.record(event.clone());
     }
     sink.span_ns("serve.run", report.wall.as_nanos() as u64);
 }
@@ -609,8 +1076,14 @@ fn serve_streams_inner<S: Sink + ?Sized>(
     // is spawned before the workers and stopped (with one final tick)
     // after they drain, so its snapshots bracket the whole run.
     let monitor = cfg.snapshot.map(|policy| {
-        OpsMonitor::spawn(engine.queues().to_vec(), recorder.cloned(), policy)
-            .expect("ops monitor spawn")
+        let sessions = SessionOpsSource::new(engine.session_gauges().to_vec());
+        OpsMonitor::spawn_with_sources(
+            engine.queues().to_vec(),
+            recorder.cloned(),
+            vec![Box::new(sessions)],
+            policy,
+        )
+        .expect("ops monitor spawn")
     });
 
     let mut frames_in = 0u64;
@@ -867,6 +1340,141 @@ mod tests {
             Some(report.frames_processed)
         );
         assert!(reg.histogram_snapshot("stage.total").is_some());
+    }
+
+    #[test]
+    fn hibernation_is_invisible_in_the_decision_log() {
+        let fleet = small_fleet();
+        let base = ServeConfig::default();
+        // An aggressively small idle threshold + hot-set cap: with the
+        // time-major pump every client thrashes through hibernate /
+        // fault-in constantly, the worst case for the invariant.
+        let hib = ServeConfig {
+            hibernation: HibernationConfig {
+                idle_after: Some(25 * MILLISECOND),
+                max_hot: Some(2),
+                policy: RetirePolicy::Hibernate,
+            },
+            session_events: true,
+            ..ServeConfig::default()
+        };
+        let (d_base, r_base) = serve_fleet(&base, &fleet, &mut NoopSink);
+        let (d_hib, r_hib) = serve_fleet(&hib, &fleet, &mut NoopSink);
+        assert_eq!(
+            decision_log_csv(&d_base),
+            decision_log_csv(&d_hib),
+            "hibernate → restore must be invisible in the decision log"
+        );
+        // Hibernation off: no lifecycle transitions, all 8 resident.
+        assert_eq!(
+            r_base.sessions,
+            SessionsSummary {
+                hot_final: 8,
+                ..SessionsSummary::default()
+            }
+        );
+        assert!(r_hib.sessions.hibernated > 0, "{:?}", r_hib.sessions);
+        assert!(r_hib.sessions.restored > 0);
+        assert_eq!(r_hib.sessions.evicted, 0);
+        assert_eq!(r_hib.fault_in_ns.count(), r_hib.sessions.restored);
+        assert_eq!(
+            r_hib
+                .session_events
+                .iter()
+                .filter(|e| matches!(e, Event::SessionHibernate { .. }))
+                .count() as u64,
+            r_hib.sessions.hibernated
+        );
+        assert_eq!(
+            r_hib
+                .session_events
+                .iter()
+                .filter(|e| matches!(e, Event::SessionRestore { .. }))
+                .count() as u64,
+            r_hib.sessions.restored
+        );
+        // Every client ends the run either resident or paged out.
+        assert_eq!(
+            r_hib.sessions.hot_final + r_hib.sessions.hibernated_final,
+            8
+        );
+        // The registry carries the lifecycle counters.
+        let reg = r_hib.registry();
+        assert_eq!(
+            reg.counter_value("serve.sessions.hibernates"),
+            Some(r_hib.sessions.hibernated)
+        );
+        assert!(reg
+            .histogram_snapshot("serve.sessions.fault_in_ns")
+            .is_some());
+    }
+
+    #[test]
+    fn idle_eviction_hook_drops_sessions_without_snapshots() {
+        let fleet = small_fleet();
+        let cfg = ServeConfig {
+            hibernation: HibernationConfig {
+                idle_after: Some(25 * MILLISECOND),
+                max_hot: None,
+                policy: RetirePolicy::Evict,
+            },
+            ..ServeConfig::default()
+        };
+        let (_, report) = serve_fleet(&cfg, &fleet, &mut NoopSink);
+        assert!(report.sessions.evicted > 0);
+        assert_eq!(report.sessions.hibernated, 0);
+        assert_eq!(report.sessions.restored, 0);
+        assert_eq!(report.sessions.hibernated_final, 0);
+    }
+
+    #[test]
+    fn live_migration_preserves_decisions_and_conserves_frames() {
+        let fleet = small_fleet();
+        let (golden, _) = serve_fleet(&ServeConfig::default(), &fleet, &mut NoopSink);
+
+        // A manual single-submitter frontend (the contract migrate()
+        // requires), moving one client to the other shard mid-stream.
+        let cfg = ServeConfig::default();
+        let engine = ShardEngine::spawn(&cfg).expect("engine spawns");
+        let max_frames = fleet.streams.iter().map(|s| s.n_frames).max().unwrap_or(0);
+        let mut frames = Vec::new();
+        for i in 0..max_frames {
+            for s in &fleet.streams {
+                if i < s.n_frames {
+                    frames.push(s.obs(i));
+                }
+            }
+        }
+        let victim = fleet.streams[0].client_id;
+        let mid = frames.len() / 2;
+        let mut submitted = 0u64;
+        for (k, frame) in frames.into_iter().enumerate() {
+            if k == mid {
+                let from = engine.route_of(victim);
+                let to = (from + 1) % engine.n_shards();
+                let bytes = engine.migrate(victim, to).expect("migration completes");
+                assert!(bytes > 0, "mid-run session has state to move");
+                assert_eq!(engine.route_of(victim), to);
+                // Migrating to the current shard is a free no-op.
+                assert_eq!(engine.migrate(victim, to).expect("no-op"), 0);
+            }
+            engine.submit(Ticket::untraced(), frame);
+            submitted += 1;
+        }
+        let (decisions, report) = engine.finish(submitted);
+        assert_eq!(
+            decision_log_csv(&decisions),
+            decision_log_csv(&golden),
+            "migration must be invisible in the decision log"
+        );
+        assert_eq!(report.sessions.migrations, 1);
+        assert_eq!(report.frames_in, report.frames_processed + report.shed);
+        assert!(report
+            .session_events
+            .iter()
+            .any(|e| matches!(e, Event::SessionMigrate { .. })));
+        let reg = report.registry();
+        assert_eq!(reg.counter_value("serve.sessions.migrations"), Some(1));
     }
 
     #[test]

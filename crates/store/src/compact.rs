@@ -42,7 +42,8 @@ pub struct CompactReport {
     pub bytes_after: u64,
     /// Observation frames carried across (every one of them).
     pub frames: u64,
-    /// Records carried across (frames plus decision rows).
+    /// Records carried across (frames, decision rows and session
+    /// snapshots alike — compaction is kind-agnostic).
     pub records: u64,
     /// Wall-clock duration of the pass.
     pub wall: std::time::Duration,

@@ -30,6 +30,11 @@
 //! * [`tail`] — live tailing: a polling cursor with verified-prefix
 //!   reads over the unsealed `.open` segment, surviving writer
 //!   rotation and retention GC;
+//! * [`pager`] — [`StorePager`]: the trace store as the durable
+//!   backing for `mobisense-session` hibernation — paged-out session
+//!   snapshots become checksummed records, survive crashes, and fault
+//!   back in from an in-memory latest-per-client map rebuilt from
+//!   disk on recovery;
 //! * [`retention`] — bounded stores: size/age budgets enforced at
 //!   every seal, refusing to drop segments inside a configured
 //!   per-client replay window.
@@ -48,6 +53,7 @@
 
 pub mod compact;
 pub mod crc;
+pub mod pager;
 pub mod reader;
 pub mod recording;
 pub mod replay;
@@ -58,6 +64,7 @@ pub mod writer;
 
 pub use compact::{compact, CompactReport};
 pub use crc::{crc32, Crc32};
+pub use pager::StorePager;
 pub use reader::{Recovery, SegmentMeta, TraceReader};
 pub use recording::{spawn_flight_recorder, FlightRecorder};
 pub use replay::{record_fleet, replay_client, replay_fleet, RecordSummary, ReplayReport};
@@ -101,6 +108,15 @@ pub enum StoreError {
         /// The segment holding the record.
         segment_id: u64,
     },
+    /// A session-snapshot record's payload is not a well-formed
+    /// `mobisense_session` snapshot.
+    BadSnapshot {
+        /// The segment holding the record (the writer's current
+        /// segment when appending).
+        segment_id: u64,
+        /// The codec-level reason.
+        error: mobisense_session::SnapshotError,
+    },
     /// An appended record's payload exceeds the format's 24-bit length
     /// budget ([`segment`] frames lengths as `u32` capped well below).
     RecordTooLarge {
@@ -129,6 +145,9 @@ impl std::fmt::Display for StoreError {
             StoreError::BadUtf8 { segment_id } => {
                 write!(f, "segment {segment_id}: decision row is not UTF-8")
             }
+            StoreError::BadSnapshot { segment_id, error } => {
+                write!(f, "segment {segment_id}: bad session snapshot: {error}")
+            }
             StoreError::RecordTooLarge { len } => {
                 write!(f, "record payload of {len} bytes exceeds the format limit")
             }
@@ -145,6 +164,7 @@ impl std::error::Error for StoreError {
             StoreError::Io(e) => Some(e),
             StoreError::Corrupt { error, .. } => Some(error),
             StoreError::BadFrame { error, .. } => Some(error),
+            StoreError::BadSnapshot { error, .. } => Some(error),
             _ => None,
         }
     }

@@ -21,6 +21,7 @@
 //! the sparse index cached at open time to skip segments that cannot
 //! contain the requested client without re-reading their bytes.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -56,6 +57,10 @@ pub struct Recovery {
     pub frames: Vec<ObsFrame>,
     /// Decision-log lines salvaged, in record order.
     pub decision_rows: Vec<String>,
+    /// Session snapshots salvaged as `(client_id, encoded_bytes)`, in
+    /// record order — later entries supersede earlier ones for the
+    /// same client (see [`TraceReader::latest_snapshots`]).
+    pub session_snapshots: Vec<(u32, Vec<u8>)>,
     /// Sealed segments that passed every check.
     pub sealed_segments: usize,
     /// Ids of sealed segments skipped whole because of damage.
@@ -185,11 +190,35 @@ impl TraceReader {
             match kind {
                 RecordKind::Obs => frames.push(decode_obs(segment_id, payload)?),
                 RecordKind::DecisionRow => rows.push(decode_row(segment_id, payload)?),
+                // Snapshots are not part of the frame/decision replay
+                // stream, but the strict discipline still validates
+                // them — a corrupt snapshot in a "strictly read" store
+                // would be a lie by omission.
+                RecordKind::SessionSnapshot => {
+                    decode_snapshot(segment_id, payload)?;
+                }
                 RecordKind::Seal => unreachable!("scanner never yields seal records"),
             }
             Ok(())
         })?;
         Ok((frames, rows))
+    }
+
+    /// Strict read of the newest session snapshot per client, in
+    /// client-id order. Record order is authoritative: a client
+    /// hibernated, restored and hibernated again keeps only the last
+    /// snapshot. This is what [`StorePager`](crate::pager::StorePager)
+    /// rebuilds its resident map from when reopening a sealed store.
+    pub fn latest_snapshots(&self) -> Result<BTreeMap<u32, Vec<u8>>, StoreError> {
+        let mut latest: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+        self.visit_records(|segment_id, kind, payload| {
+            if kind == RecordKind::SessionSnapshot {
+                let client = decode_snapshot(segment_id, payload)?;
+                latest.insert(client, payload.to_vec());
+            }
+            Ok(())
+        })?;
+        Ok(latest)
     }
 
     /// Strict filtered read: every frame of one client, in record
@@ -280,6 +309,7 @@ impl TraceReader {
             // committed (sealed segments are all-or-nothing).
             let mut frames = Vec::new();
             let mut rows = Vec::new();
+            let mut snapshots = Vec::new();
             let mut decodable = true;
             for record in &scan.records {
                 match record.kind {
@@ -297,6 +327,13 @@ impl TraceReader {
                             break;
                         }
                     },
+                    RecordKind::SessionSnapshot => match decode_snapshot(meta.id, record.payload) {
+                        Ok(client) => snapshots.push((client, record.payload.to_vec())),
+                        Err(_) => {
+                            decodable = false;
+                            break;
+                        }
+                    },
                     RecordKind::Seal => unreachable!("scanner never yields seal records"),
                 }
             }
@@ -305,6 +342,7 @@ impl TraceReader {
                     out.sealed_segments += 1;
                     out.frames.append(&mut frames);
                     out.decision_rows.append(&mut rows);
+                    out.session_snapshots.append(&mut snapshots);
                 } else {
                     self.note_loss(&mut out, sink, meta, 0);
                 }
@@ -321,6 +359,7 @@ impl TraceReader {
                 });
                 out.frames.append(&mut frames);
                 out.decision_rows.append(&mut rows);
+                out.session_snapshots.append(&mut snapshots);
             }
         }
         Ok(out)
@@ -368,6 +407,13 @@ fn decode_row(segment_id: u64, payload: &[u8]) -> Result<String, StoreError> {
     std::str::from_utf8(payload)
         .map(str::to_owned)
         .map_err(|_| StoreError::BadUtf8 { segment_id })
+}
+
+/// Fully validates a snapshot payload and returns its client id.
+fn decode_snapshot(segment_id: u64, payload: &[u8]) -> Result<u32, StoreError> {
+    mobisense_session::SessionSnapshot::decode(payload)
+        .map(|s| s.client_id)
+        .map_err(|error| StoreError::BadSnapshot { segment_id, error })
 }
 
 #[cfg(test)]

@@ -161,6 +161,11 @@ pub fn rebuild_streams(reader: &TraceReader) -> Result<(Vec<ClientStream>, Strin
                         .to_owned(),
                 );
             }
+            // Hibernation snapshots ride in the same store but are not
+            // part of the fleet's observation streams; the strict walk
+            // already CRC-verified them, and `TraceReader::
+            // latest_snapshots` is the read path that decodes them.
+            RecordKind::SessionSnapshot => {}
             RecordKind::Seal => unreachable!("scanner never yields seal records"),
         }
         Ok(())

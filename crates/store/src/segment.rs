@@ -63,6 +63,9 @@ pub enum RecordKind {
     DecisionRow,
     /// The sealing footer (count + body CRC + sparse index).
     Seal,
+    /// One encoded `mobisense_session` snapshot — a hibernated
+    /// client's full pipeline state paged out of the serving layer.
+    SessionSnapshot,
 }
 
 impl RecordKind {
@@ -72,6 +75,7 @@ impl RecordKind {
             RecordKind::Obs => 1,
             RecordKind::DecisionRow => 2,
             RecordKind::Seal => 3,
+            RecordKind::SessionSnapshot => 4,
         }
     }
 
@@ -81,6 +85,7 @@ impl RecordKind {
             1 => Some(RecordKind::Obs),
             2 => Some(RecordKind::DecisionRow),
             3 => Some(RecordKind::Seal),
+            4 => Some(RecordKind::SessionSnapshot),
             _ => None,
         }
     }

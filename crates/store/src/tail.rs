@@ -37,6 +37,15 @@ pub enum TailItem {
     Frame(ObsFrame),
     /// A decision-log line.
     Row(String),
+    /// A session snapshot was paged out for a client. The payload
+    /// itself stays on disk — a live dashboard cares that hibernation
+    /// happened (and how big the page was), not about the state bytes.
+    Snapshot {
+        /// The hibernated client.
+        client_id: u32,
+        /// Encoded snapshot size in bytes.
+        bytes: usize,
+    },
 }
 
 /// A polling cursor over a (possibly live) store directory.
@@ -209,6 +218,18 @@ impl TailCursor {
                         .to_owned();
                     self.rows += 1;
                     out.push(TailItem::Row(row));
+                }
+                RecordKind::SessionSnapshot => {
+                    let snap = mobisense_session::SessionSnapshot::decode(record.payload).map_err(
+                        |error| StoreError::BadSnapshot {
+                            segment_id: self.segment_id,
+                            error,
+                        },
+                    )?;
+                    out.push(TailItem::Snapshot {
+                        client_id: snap.client_id,
+                        bytes: record.payload.len(),
+                    });
                 }
                 RecordKind::Seal => unreachable!("scanner never yields seal records"),
             }

@@ -181,6 +181,11 @@ impl TraceWriter {
         self.segment_id
     }
 
+    /// The configuration this writer was created with.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
     /// Segments sealed so far (not counting the one in progress).
     pub fn sealed(&self) -> &[SegmentMeta] {
         &self.sealed
@@ -226,6 +231,20 @@ impl TraceWriter {
             return Err(StoreError::BadDecisionRow);
         }
         self.append_record(RecordKind::DecisionRow, row.as_bytes())
+    }
+
+    /// Appends one encoded session snapshot (a hibernated client's
+    /// paged-out pipeline state). The payload is validated up front —
+    /// a snapshot that would not decode is refused here rather than
+    /// discovered at fault-in time, when the client is waiting.
+    pub fn append_session_snapshot(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        mobisense_session::SessionSnapshot::decode(bytes).map_err(|error| {
+            StoreError::BadSnapshot {
+                segment_id: self.segment_id,
+                error,
+            }
+        })?;
+        self.append_record(RecordKind::SessionSnapshot, bytes)
     }
 
     /// Seals the current segment now (even below the size target) and

@@ -72,6 +72,7 @@ fn records_by_segment(dir: &std::path::Path) -> BTreeMap<u64, (Vec<ObsFrame>, Ve
                 RecordKind::DecisionRow => entry
                     .1
                     .push(String::from_utf8(payload.to_vec()).expect("utf8")),
+                RecordKind::SessionSnapshot => unreachable!("this store writes no snapshots"),
                 RecordKind::Seal => unreachable!(),
             }
             Ok(())

@@ -212,6 +212,50 @@ pub enum Event {
         /// UDP datagrams received.
         datagrams: u64,
     },
+    /// A shard worker paged an idle client's session out of the hot set
+    /// (`mobisense-serve`): the session was snapshotted into the
+    /// configured pager and its resident state dropped.
+    SessionHibernate {
+        /// Sim time of the worker tick that retired the session.
+        at: Nanos,
+        /// The hibernated client.
+        client_id: u32,
+        /// Shard whose worker paged the session out.
+        shard: u32,
+        /// Encoded snapshot size, bytes.
+        bytes: u64,
+    },
+    /// A hibernated session was faulted back in on its client's next
+    /// frame (`mobisense-serve`).
+    SessionRestore {
+        /// Sim time of the frame that triggered the fault-in.
+        at: Nanos,
+        /// The restored client.
+        client_id: u32,
+        /// Shard whose worker faulted the session in.
+        shard: u32,
+        /// Wall-clock fault-in latency (page-in + decode + restore),
+        /// nanoseconds. Telemetry only, never decisions.
+        wait_ns: u64,
+    },
+    /// A live session migrated between shard workers
+    /// (`mobisense-serve`): drained at the source, snapshotted,
+    /// transferred, and resumed at the target with zero decision-log
+    /// divergence.
+    SessionMigrate {
+        /// Sim time of the client's last activity before the move (0
+        /// when the client had no live session to move).
+        at: Nanos,
+        /// The migrated client.
+        client_id: u32,
+        /// Source shard.
+        from_shard: u32,
+        /// Target shard.
+        to_shard: u32,
+        /// Encoded snapshot size transferred, bytes (0 when the client
+        /// had no session and the target starts it fresh).
+        bytes: u64,
+    },
     /// The trace store finished one compaction pass
     /// (`mobisense-store`).
     StoreCompaction {
@@ -251,6 +295,9 @@ impl Event {
             | Event::Snapshot { at, .. }
             | Event::EdgeConn { at, .. }
             | Event::EdgeServe { at, .. }
+            | Event::SessionHibernate { at, .. }
+            | Event::SessionRestore { at, .. }
+            | Event::SessionMigrate { at, .. }
             | Event::StoreCompaction { at, .. } => at,
         }
     }
@@ -275,6 +322,9 @@ impl Event {
             Event::Snapshot { .. } => "snapshot",
             Event::EdgeConn { .. } => "edge_conn",
             Event::EdgeServe { .. } => "edge_serve",
+            Event::SessionHibernate { .. } => "session_hibernate",
+            Event::SessionRestore { .. } => "session_restore",
+            Event::SessionMigrate { .. } => "session_migrate",
             Event::StoreCompaction { .. } => "store_compaction",
         }
     }

@@ -193,6 +193,41 @@ pub fn event_to_json(event: &Event) -> String {
             field_u64(&mut s, "bytes", bytes);
             field_u64(&mut s, "datagrams", datagrams);
         }
+        Event::SessionHibernate {
+            at,
+            client_id,
+            shard,
+            bytes,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "client_id", client_id.into());
+            field_u64(&mut s, "shard", shard.into());
+            field_u64(&mut s, "bytes", bytes);
+        }
+        Event::SessionRestore {
+            at,
+            client_id,
+            shard,
+            wait_ns,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "client_id", client_id.into());
+            field_u64(&mut s, "shard", shard.into());
+            field_u64(&mut s, "wait_ns", wait_ns);
+        }
+        Event::SessionMigrate {
+            at,
+            client_id,
+            from_shard,
+            to_shard,
+            bytes,
+        } => {
+            field_u64(&mut s, "at", at);
+            field_u64(&mut s, "client_id", client_id.into());
+            field_u64(&mut s, "from_shard", from_shard.into());
+            field_u64(&mut s, "to_shard", to_shard.into());
+            field_u64(&mut s, "bytes", bytes);
+        }
         Event::StoreCompaction {
             at,
             segments_in,
@@ -343,6 +378,25 @@ pub fn parse_event(line: &str) -> Result<Event, String> {
             rejected_frames: get_u64(&fields, "rejected_frames")?,
             bytes: get_u64(&fields, "bytes")?,
             datagrams: get_u64(&fields, "datagrams")?,
+        }),
+        "session_hibernate" => Ok(Event::SessionHibernate {
+            at,
+            client_id: get_u64(&fields, "client_id")? as u32,
+            shard: get_u64(&fields, "shard")? as u32,
+            bytes: get_u64(&fields, "bytes")?,
+        }),
+        "session_restore" => Ok(Event::SessionRestore {
+            at,
+            client_id: get_u64(&fields, "client_id")? as u32,
+            shard: get_u64(&fields, "shard")? as u32,
+            wait_ns: get_u64(&fields, "wait_ns")?,
+        }),
+        "session_migrate" => Ok(Event::SessionMigrate {
+            at,
+            client_id: get_u64(&fields, "client_id")? as u32,
+            from_shard: get_u64(&fields, "from_shard")? as u32,
+            to_shard: get_u64(&fields, "to_shard")? as u32,
+            bytes: get_u64(&fields, "bytes")?,
         }),
         "store_compaction" => Ok(Event::StoreCompaction {
             at,
@@ -702,6 +756,25 @@ mod tests {
                 records: 24_576,
                 bytes_in: 6_291_456,
                 bytes_out: 5_242_880,
+            },
+            Event::SessionHibernate {
+                at: 1300,
+                client_id: 77,
+                shard: 1,
+                bytes: 431,
+            },
+            Event::SessionRestore {
+                at: 1350,
+                client_id: 77,
+                shard: 1,
+                wait_ns: 18_500,
+            },
+            Event::SessionMigrate {
+                at: 1400,
+                client_id: 78,
+                from_shard: 0,
+                to_shard: 3,
+                bytes: 512,
             },
         ]
     }

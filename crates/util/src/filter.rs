@@ -140,6 +140,13 @@ impl BatchMedian {
         self.samples.is_empty()
     }
 
+    /// The raw samples of the current batch, oldest-first. Used to
+    /// snapshot an in-flight aggregation period: replaying these
+    /// through [`push`](Self::push) reconstructs the batch exactly.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
     /// Ends the batch: returns its median (if non-empty) and clears it.
     pub fn drain(&mut self) -> Option<f64> {
         let m = crate::stats::median(&self.samples);
@@ -224,6 +231,23 @@ impl MovingAverage {
     /// Current mean without feeding, if any samples were fed.
     pub fn current(&self) -> Option<f64> {
         self.window.mean()
+    }
+
+    /// The window's contents oldest-first. Used to snapshot the
+    /// average: replaying these through [`push`](Self::push) into a
+    /// fresh instance of the same capacity reconstructs it exactly.
+    pub fn values(&self) -> Vec<f64> {
+        self.window.as_vec()
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when no samples have been fed.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
     }
 
     /// Drops all history.

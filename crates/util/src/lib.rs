@@ -15,6 +15,7 @@
 
 pub mod cdf;
 pub mod complex;
+pub mod crc;
 pub mod filter;
 pub mod linalg;
 pub mod rng;

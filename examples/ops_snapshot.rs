@@ -15,7 +15,9 @@ use std::time::Duration;
 
 use mobisense_serve::fleet::{EncodedFleet, FleetConfig};
 use mobisense_serve::service::{serve_fleet, ServeConfig};
-use mobisense_serve::{ObsFrame, OpsMonitor, OverflowPolicy, ShardQueue, SnapshotPolicy, Ticket};
+use mobisense_serve::{
+    ObsFrame, OpsMonitor, OverflowPolicy, ShardQueue, SnapshotPolicy, Ticket, WorkItem,
+};
 use mobisense_telemetry::{parse_snapshots, Event, Snapshot, Stage, Telemetry};
 use mobisense_util::units::{MILLISECOND, SECOND};
 
@@ -133,7 +135,10 @@ fn main() {
             distance_m: 3.0,
             digest: vec![0.25; 4],
         };
-        gated.push((Ticket::untraced(), frame), OverflowPolicy::Block);
+        gated.push(
+            WorkItem::frame(Ticket::untraced(), frame),
+            OverflowPolicy::Block,
+        );
     }
     let monitor = OpsMonitor::spawn(
         vec![Arc::clone(&gated)],

@@ -1,0 +1,132 @@
+//! Session hibernation: serving a fleet far larger than the hot set.
+//!
+//! Serves the same pre-encoded fleet twice — once fully resident and
+//! once with an aggressive hibernation policy that pages idle and
+//! over-cap sessions out through the versioned snapshot codec (and a
+//! live migration wave halfway through) — then proves the decision
+//! logs are byte-identical and prints what hibernation bought:
+//! resident session bytes bounded by the hot-set cap instead of the
+//! client count, at the cost of fault-in latency on cold frames.
+//!
+//! Run with: `cargo run --release --example session_hibernate`
+//! Optional args: `[n_clients] [max_hot_per_shard]` (defaults 2000, 8).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use mobisense_serve::fleet::{EncodedFleet, FleetConfig};
+use mobisense_serve::queue::Ticket;
+use mobisense_serve::service::{decision_log_csv, ServeConfig, ServeReport, ShardEngine};
+use mobisense_serve::SessionGauges;
+use mobisense_session::{HibernationConfig, RetirePolicy};
+use mobisense_util::units::{MILLISECOND, SECOND};
+
+/// Serves the fleet time-major, migrating two clients at the halfway
+/// mark, and returns the decision log plus the peak resident-bytes
+/// gauge observed along the way.
+fn run(cfg: &ServeConfig, fleet: &EncodedFleet) -> (String, ServeReport, u64) {
+    let engine = ShardEngine::spawn(cfg).expect("spawn engine");
+    let gauges: Vec<Arc<SessionGauges>> = engine.session_gauges().to_vec();
+    let resident = |gauges: &[Arc<SessionGauges>]| -> u64 {
+        gauges
+            .iter()
+            .map(|g| g.resident_bytes.load(Ordering::Relaxed))
+            .sum()
+    };
+
+    let max_frames = fleet.streams.iter().map(|s| s.n_frames).max().unwrap_or(0);
+    let mut submitted = 0u64;
+    let mut peak = 0u64;
+    for i in 0..max_frames {
+        if i == max_frames / 2 {
+            for s in fleet.streams.iter().take(2) {
+                let to = (engine.route_of(s.client_id) + 1) % engine.n_shards();
+                engine.migrate(s.client_id, to).expect("migrate");
+            }
+        }
+        for s in &fleet.streams {
+            if i < s.n_frames {
+                engine.submit(Ticket::untraced(), s.obs(i));
+                submitted += 1;
+                if submitted.is_multiple_of(1024) {
+                    peak = peak.max(resident(&gauges));
+                }
+            }
+        }
+    }
+    let (decisions, report) = engine.finish(submitted);
+    peak = peak.max(resident(&gauges));
+    (decision_log_csv(&decisions), report, peak)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_clients: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let max_hot: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    let fleet_cfg = FleetConfig {
+        n_clients,
+        duration: 20 * SECOND,
+        step: 100 * MILLISECOND,
+        base_seed: 513,
+        ..FleetConfig::default()
+    };
+    println!(
+        "generating {} clients x {} frames...",
+        n_clients,
+        fleet_cfg.frames_per_client()
+    );
+    let fleet = EncodedFleet::generate(&fleet_cfg);
+
+    let base = ServeConfig::default();
+    let hibernating = ServeConfig {
+        hibernation: HibernationConfig {
+            idle_after: Some(300 * MILLISECOND),
+            max_hot: Some(max_hot),
+            policy: RetirePolicy::Hibernate,
+        },
+        ..base.clone()
+    };
+
+    println!("serving fully resident...");
+    let (gold_csv, gold_report, gold_peak) = run(&base, &fleet);
+    println!(
+        "serving with hibernation (idle 300 ms, max {} hot per shard)...",
+        max_hot
+    );
+    let (hib_csv, hib_report, hib_peak) = run(&hibernating, &fleet);
+
+    assert_eq!(
+        gold_csv, hib_csv,
+        "hibernation/migration changed the decision log"
+    );
+    println!();
+    println!(
+        "decision log: {} decisions, byte-identical with hibernation on/off \
+         (migrations included)",
+        gold_report.decisions
+    );
+    let s = &hib_report.sessions;
+    println!(
+        "sessions: {} hibernated, {} restored, {} migrated; {} hot / {} paged out at exit",
+        s.hibernated, s.restored, s.migrations, s.hot_final, s.hibernated_final
+    );
+    println!(
+        "peak resident session bytes: {} resident-only vs {} hibernating ({:.1}%)",
+        gold_peak,
+        hib_peak,
+        100.0 * hib_peak as f64 / gold_peak.max(1) as f64
+    );
+    let q = |p: f64| hib_report.fault_in_ns.quantile(p).unwrap_or(0.0) / 1e3;
+    println!(
+        "fault-in latency: p50 {:.1} us, p99 {:.1} us over {} restores",
+        q(0.50),
+        q(0.99),
+        s.restored
+    );
+    println!(
+        "throughput: {:.0} frames/sec resident, {:.0} frames/sec hibernating",
+        gold_report.frames_per_sec(),
+        hib_report.frames_per_sec()
+    );
+}

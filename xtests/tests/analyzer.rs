@@ -169,6 +169,25 @@ fn sample_for(variant: &str) -> Event {
             resyncs: 1,
             outcome: "eof".to_string(),
         },
+        "SessionHibernate" => Event::SessionHibernate {
+            at: 16_000,
+            client_id: 42,
+            shard: 1,
+            bytes: 1_280,
+        },
+        "SessionRestore" => Event::SessionRestore {
+            at: 17_000,
+            client_id: 42,
+            shard: 1,
+            wait_ns: 35_000,
+        },
+        "SessionMigrate" => Event::SessionMigrate {
+            at: 18_000,
+            client_id: 42,
+            from_shard: 1,
+            to_shard: 3,
+            bytes: 1_280,
+        },
         "EdgeServe" => Event::EdgeServe {
             at: 15_000,
             conns: 10_240,

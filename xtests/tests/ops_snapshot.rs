@@ -12,6 +12,7 @@ use mobisense_serve::fleet::{EncodedFleet, FleetConfig};
 use mobisense_serve::service::{decision_log_csv, serve_fleet, ServeConfig};
 use mobisense_serve::{
     ObsFrame, OpsMonitor, OverflowPolicy, ShardQueue, SnapshotPolicy, StallDetector, Ticket,
+    WorkItem,
 };
 use mobisense_telemetry::{parse_snapshots, Event, NoopSink, Snapshot, Stage, Telemetry};
 use mobisense_util::units::{MILLISECOND, SECOND};
@@ -167,7 +168,10 @@ fn monitor_flags_a_deterministically_gated_shard() {
             distance_m: 2.0,
             digest: vec![0.5; 4],
         };
-        q.push((Ticket::untraced(), frame), OverflowPolicy::Block);
+        q.push(
+            WorkItem::frame(Ticket::untraced(), frame),
+            OverflowPolicy::Block,
+        );
     }
     let monitor = OpsMonitor::spawn(
         vec![Arc::clone(&q)],
