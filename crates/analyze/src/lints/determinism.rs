@@ -8,6 +8,10 @@
 //! a latent replay divergence. Files covered: `core::pipeline`,
 //! `serve::service`, `session::hibernate` (victim selection must
 //! replay identically, so it runs on the sim clock), `store::replay`,
+//! `store::compact` (a compacted store must replay byte-identically,
+//! so record rewriting may not consult clocks or unordered
+//! containers; its wall-clock throughput telemetry carries an
+//! explicit waiver),
 //! and the socket edge's frame path (`edge::conn`, `edge::reactor`) —
 //! recorded socket sessions must replay byte-identically, so the
 //! decode/submit path may not consult wall clocks or seed-ordered
@@ -26,6 +30,7 @@ const TARGET_FILES: &[&str] = &[
     "crates/serve/src/service.rs",
     "crates/session/src/hibernate.rs",
     "crates/store/src/replay.rs",
+    "crates/store/src/compact.rs",
     "crates/edge/src/conn.rs",
     "crates/edge/src/reactor.rs",
 ];
@@ -59,7 +64,7 @@ impl Lint for Determinism {
     }
 
     fn invariant(&self) -> &'static str {
-        "decision/replay paths (core pipeline, serve service, session hibernate, store replay, edge conn/reactor) never read wall clocks or iterate seed-ordered containers (SystemTime::now, Instant::now, HashMap, HashSet)"
+        "decision/replay paths (core pipeline, serve service, session hibernate, store replay/compact, edge conn/reactor) never read wall clocks or iterate seed-ordered containers (SystemTime::now, Instant::now, HashMap, HashSet)"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

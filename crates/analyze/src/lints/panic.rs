@@ -3,8 +3,10 @@
 //!
 //! The serve frame path (`queue`, `recording`, `wire`), the session
 //! hibernation path (`session::codec`, `session::hibernate` — a
-//! fault-in runs while the client's frame waits), the store append
-//! path (`writer`, `segment`, `crc`), the shared CRC (`util::crc`),
+//! fault-in runs while the client's frame waits), the store append,
+//! compaction and promotion paths (`writer`, `segment`, `crc`,
+//! `compact`, `manifest` — a panic mid-compaction strands a
+//! half-promoted store), the shared CRC (`util::crc`),
 //! and the socket edge's decode/reactor path (`edge::conn`,
 //! `edge::reactor`) run on every served frame; a panic there takes
 //! down the worker, poisons the writer, or kills the reactor thread
@@ -33,6 +35,8 @@ const TARGET_FILES: &[&str] = &[
     "crates/store/src/writer.rs",
     "crates/store/src/segment.rs",
     "crates/store/src/crc.rs",
+    "crates/store/src/compact.rs",
+    "crates/store/src/manifest.rs",
     "crates/util/src/crc.rs",
     "crates/edge/src/conn.rs",
     "crates/edge/src/reactor.rs",
@@ -65,7 +69,7 @@ impl Lint for PanicDiscipline {
     }
 
     fn invariant(&self) -> &'static str {
-        "serve frame paths, session hibernation paths, store append paths, and edge socket paths (queue, recording, wire, session codec/hibernate, writer, segment, crc, edge conn/reactor) never unwrap/expect/panic!/slice-index outside tests; fallible decode returns typed errors"
+        "serve frame paths, session hibernation paths, store append/compaction paths, and edge socket paths (queue, recording, wire, session codec/hibernate, writer, segment, crc, compact, manifest, edge conn/reactor) never unwrap/expect/panic!/slice-index outside tests; fallible decode returns typed errors"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {

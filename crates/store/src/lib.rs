@@ -53,6 +53,7 @@
 
 pub mod compact;
 pub mod crc;
+pub mod manifest;
 pub mod pager;
 pub mod reader;
 pub mod recording;
@@ -62,8 +63,9 @@ pub mod segment;
 pub mod tail;
 pub mod writer;
 
-pub use compact::{compact, CompactReport};
+pub use compact::{compact, CompactOptions, CompactReport, CrashPoint, StreamingCompactor};
 pub use crc::{crc32, Crc32};
+pub use manifest::current_generation;
 pub use pager::StorePager;
 pub use reader::{Recovery, SegmentMeta, TraceReader};
 pub use recording::{spawn_flight_recorder, FlightRecorder};
@@ -176,27 +178,55 @@ impl From<std::io::Error> for StoreError {
     }
 }
 
-/// File name of a sealed segment.
-pub(crate) fn sealed_name(id: u64) -> String {
-    format!("seg-{id:08}.seg")
+/// File name of a sealed segment in `generation`. Generation 0 keeps
+/// the legacy `seg-N.seg` form so every pre-manifest store (and its
+/// tooling) stays readable; compacted generations are tagged
+/// `gen-G-seg-N.seg` and selected via the [`manifest`].
+pub(crate) fn sealed_name(generation: u64, id: u64) -> String {
+    if generation == 0 {
+        format!("seg-{id:08}.seg")
+    } else {
+        format!("gen-{generation:08}-seg-{id:08}.seg")
+    }
 }
 
-/// File name of an in-progress (unsealed) segment.
-pub(crate) fn open_name(id: u64) -> String {
-    format!("seg-{id:08}.open")
+/// File name of an in-progress (unsealed) segment in `generation`.
+pub(crate) fn open_name(generation: u64, id: u64) -> String {
+    if generation == 0 {
+        format!("seg-{id:08}.open")
+    } else {
+        format!("gen-{generation:08}-seg-{id:08}.open")
+    }
 }
 
-/// Parses a segment file name into `(id, sealed)`.
-pub(crate) fn parse_segment_name(name: &str) -> Option<(u64, bool)> {
+/// Parses a segment file name into `(generation, id, sealed)`. The
+/// legacy ungapped form is generation 0; a `gen-00000000-` prefix is
+/// rejected so every generation has exactly one spelling.
+pub(crate) fn parse_segment_name(name: &str) -> Option<(u64, u64, bool)> {
     let (stem, sealed) = name
         .strip_suffix(".seg")
         .map(|s| (s, true))
         .or_else(|| name.strip_suffix(".open").map(|s| (s, false)))?;
+    let (generation, stem) = match stem.strip_prefix("gen-") {
+        Some(rest) => {
+            let (digits, stem) = rest.split_at_checked(8)?;
+            let stem = stem.strip_prefix('-')?;
+            if !digits.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            let generation: u64 = digits.parse().ok()?;
+            if generation == 0 {
+                return None;
+            }
+            (generation, stem)
+        }
+        None => (0, stem),
+    };
     let digits = stem.strip_prefix("seg-")?;
     if digits.len() != 8 || !digits.bytes().all(|b| b.is_ascii_digit()) {
         return None;
     }
-    digits.parse().ok().map(|id| (id, sealed))
+    digits.parse().ok().map(|id| (generation, id, sealed))
 }
 
 #[cfg(test)]
@@ -227,14 +257,45 @@ mod tests {
 
     #[test]
     fn segment_names_round_trip() {
-        assert_eq!(sealed_name(7), "seg-00000007.seg");
-        assert_eq!(open_name(42), "seg-00000042.open");
-        assert_eq!(parse_segment_name("seg-00000007.seg"), Some((7, true)));
-        assert_eq!(parse_segment_name("seg-00000042.open"), Some((42, false)));
+        assert_eq!(sealed_name(0, 7), "seg-00000007.seg");
+        assert_eq!(open_name(0, 42), "seg-00000042.open");
+        assert_eq!(parse_segment_name("seg-00000007.seg"), Some((0, 7, true)));
+        assert_eq!(
+            parse_segment_name("seg-00000042.open"),
+            Some((0, 42, false))
+        );
         assert_eq!(parse_segment_name("seg-00000042.tmp"), None);
         assert_eq!(parse_segment_name("seg-42.seg"), None);
         assert_eq!(parse_segment_name("other.seg"), None);
         assert_eq!(parse_segment_name("seg-0000004x.seg"), None);
+    }
+
+    #[test]
+    fn generation_tagged_names_round_trip() {
+        assert_eq!(sealed_name(3, 7), "gen-00000003-seg-00000007.seg");
+        assert_eq!(open_name(1, 0), "gen-00000001-seg-00000000.open");
+        for generation in [1u64, 3, 99_999_999] {
+            for id in [0u64, 7, 12345678] {
+                for sealed in [true, false] {
+                    let name = if sealed {
+                        sealed_name(generation, id)
+                    } else {
+                        open_name(generation, id)
+                    };
+                    assert_eq!(
+                        parse_segment_name(&name),
+                        Some((generation, id, sealed)),
+                        "{name}"
+                    );
+                }
+            }
+        }
+        // Generation 0 has exactly one spelling: the legacy one.
+        assert_eq!(parse_segment_name("gen-00000000-seg-00000001.seg"), None);
+        assert_eq!(parse_segment_name("gen-0000001-seg-00000001.seg"), None);
+        assert_eq!(parse_segment_name("gen-0000000x-seg-00000001.seg"), None);
+        assert_eq!(parse_segment_name("gen-00000001-seg-00000001.tmp"), None);
+        assert_eq!(parse_segment_name("gen-00000001-other.seg"), None);
     }
 
     #[test]

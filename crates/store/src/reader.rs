@@ -82,25 +82,36 @@ impl Recovery {
 /// Read-side view of a segment directory.
 pub struct TraceReader {
     dir: PathBuf,
+    generation: u64,
+    stale_files: usize,
     segments: Vec<SegmentMeta>,
 }
 
 impl TraceReader {
-    /// Lists and scans every segment file under `dir`. Scanning here
-    /// only classifies (sealed-intact vs damaged vs open tail) and
-    /// caches the sparse indexes; record payloads are re-read by the
-    /// read methods. Never fails on damaged *contents* — only on I/O.
+    /// Lists and scans every segment file of the **current
+    /// generation** under `dir` (per the store
+    /// [`manifest`](crate::manifest); other generations are compaction
+    /// leftovers awaiting GC and are never read). Scanning here only
+    /// classifies (sealed-intact vs damaged vs open tail) and caches
+    /// the sparse indexes; record payloads are re-read by the read
+    /// methods. Never fails on damaged *contents* — only on I/O.
     pub fn open(dir: &Path) -> io::Result<TraceReader> {
+        let generation = crate::manifest::current_generation(dir)?;
+        let mut stale_files = 0usize;
         let mut segments = Vec::new();
         for entry in fs::read_dir(dir)? {
             let entry = entry?;
-            let Some((id, sealed)) = entry
+            let Some((gen, id, sealed)) = entry
                 .file_name()
                 .to_str()
                 .and_then(crate::parse_segment_name)
             else {
                 continue;
             };
+            if gen != generation {
+                stale_files += 1;
+                continue;
+            }
             let path = entry.path();
             let bytes = fs::read(&path)?;
             let (records, index) = match scan_segment(&bytes) {
@@ -126,6 +137,8 @@ impl TraceReader {
         segments.sort_by_key(|m| m.id);
         Ok(TraceReader {
             dir: dir.to_path_buf(),
+            generation,
+            stale_files,
             segments,
         })
     }
@@ -133,6 +146,17 @@ impl TraceReader {
     /// The segments found at open time, in id order.
     pub fn segments(&self) -> &[SegmentMeta] {
         &self.segments
+    }
+
+    /// The generation this reader resolved from the manifest.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Segment files of losing generations seen (and skipped) at open
+    /// time — compaction leftovers the next writer open will GC.
+    pub fn stale_files(&self) -> usize {
+        self.stale_files
     }
 
     /// A live tail cursor positioned at the start of the store: the
@@ -507,7 +531,7 @@ mod tests {
         fs::remove_file(open_path).expect("rm tail");
 
         // Flip one payload byte in a sealed segment → Corrupt.
-        let victim = dir.join(crate::sealed_name(0));
+        let victim = dir.join(crate::sealed_name(0, 0));
         let mut bytes = fs::read(&victim).expect("read");
         let n = bytes.len();
         bytes[n / 2] ^= 0x40;
@@ -539,7 +563,7 @@ mod tests {
         tail.truncate(cut);
         fs::write(&open_path, &tail).expect("write");
         // Damage one sealed segment's bytes.
-        let victim = dir.join(crate::sealed_name(1));
+        let victim = dir.join(crate::sealed_name(0, 1));
         let expected_lost = {
             let r = TraceReader::open(&dir).expect("open");
             let meta = r.segments().iter().find(|m| m.id == 1).expect("seg 1");

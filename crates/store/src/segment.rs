@@ -294,7 +294,7 @@ impl SealInfo {
 
 /// Reads a little-endian `u16` at `o`; `None` on short input.
 #[inline]
-fn le_u16(b: &[u8], o: usize) -> Option<u16> {
+pub(crate) fn le_u16(b: &[u8], o: usize) -> Option<u16> {
     b.get(o..o + 2)
         .and_then(|s| <[u8; 2]>::try_from(s).ok())
         .map(u16::from_le_bytes)
@@ -302,7 +302,7 @@ fn le_u16(b: &[u8], o: usize) -> Option<u16> {
 
 /// Reads a little-endian `u32` at `o`; `None` on short input.
 #[inline]
-fn le_u32(b: &[u8], o: usize) -> Option<u32> {
+pub(crate) fn le_u32(b: &[u8], o: usize) -> Option<u32> {
     b.get(o..o + 4)
         .and_then(|s| <[u8; 4]>::try_from(s).ok())
         .map(u32::from_le_bytes)
@@ -310,7 +310,7 @@ fn le_u32(b: &[u8], o: usize) -> Option<u32> {
 
 /// Reads a little-endian `u64` at `o`; `None` on short input.
 #[inline]
-fn le_u64(b: &[u8], o: usize) -> Option<u64> {
+pub(crate) fn le_u64(b: &[u8], o: usize) -> Option<u64> {
     b.get(o..o + 8)
         .and_then(|s| <[u8; 8]>::try_from(s).ok())
         .map(u64::from_le_bytes)

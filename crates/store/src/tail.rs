@@ -56,6 +56,12 @@ pub enum TailItem {
 #[derive(Clone, Debug)]
 pub struct TailCursor {
     dir: PathBuf,
+    /// Generation being followed, resolved from the store manifest at
+    /// the first poll that finds the directory and pinned from then
+    /// on: a tail is a live view of one generation's record stream.
+    /// (Compaction requires a quiescent store, so a generation switch
+    /// under a live tail is an operator error, not a supported race.)
+    generation: Option<u64>,
     /// Segment currently being followed.
     segment_id: u64,
     /// File offset of the first record not yet yielded.
@@ -72,6 +78,7 @@ impl TailCursor {
     pub fn new(dir: impl Into<PathBuf>) -> TailCursor {
         TailCursor {
             dir: dir.into(),
+            generation: None,
             segment_id: 0,
             offset: SEGMENT_HEADER_LEN,
             frames: 0,
@@ -98,14 +105,18 @@ impl TailCursor {
     /// global record order. An empty vec means the cursor is caught up
     /// with the writer (or nothing exists yet).
     pub fn poll(&mut self) -> Result<Vec<TailItem>, StoreError> {
+        let Some(generation) = self.resolve_generation()? else {
+            // No directory yet: nothing to follow, nothing to pin.
+            return Ok(Vec::new());
+        };
         let mut out = Vec::new();
         loop {
-            let sealed_path = self.dir.join(sealed_name(self.segment_id));
+            let sealed_path = self.dir.join(sealed_name(generation, self.segment_id));
             if let Some(bytes) = read_if_exists(&sealed_path)? {
                 self.consume_sealed(&bytes, &mut out)?;
                 continue;
             }
-            let open_path = self.dir.join(open_name(self.segment_id));
+            let open_path = self.dir.join(open_name(generation, self.segment_id));
             match read_if_exists(&open_path)? {
                 Some(bytes) => {
                     if self.consume_open(&bytes, &mut out)? {
@@ -127,7 +138,7 @@ impl TailCursor {
                     // this id yet (caught up), or retention deleted it
                     // from under us — provable by a younger segment
                     // existing.
-                    if self.newer_segment_exists()? {
+                    if self.newer_segment_exists(generation)? {
                         self.advance();
                         continue;
                     }
@@ -243,9 +254,30 @@ impl TailCursor {
         self.offset = SEGMENT_HEADER_LEN;
     }
 
-    /// Whether any segment file with an id beyond the cursor's exists
-    /// (the retention-GC detector).
-    fn newer_segment_exists(&self) -> io::Result<bool> {
+    /// The generation this cursor follows, pinned at the first poll
+    /// that finds the directory; `None` while the directory does not
+    /// exist yet (a missing directory and a missing manifest are
+    /// indistinguishable to the manifest reader alone, and pinning
+    /// generation 0 before a writer ever ran would be a guess).
+    fn resolve_generation(&mut self) -> io::Result<Option<u64>> {
+        if let Some(generation) = self.generation {
+            return Ok(Some(generation));
+        }
+        match fs::metadata(&self.dir) {
+            Ok(_) => {
+                let generation = crate::manifest::current_generation(&self.dir)?;
+                self.generation = Some(generation);
+                Ok(Some(generation))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether any same-generation segment file with an id beyond the
+    /// cursor's exists (the retention-GC detector). Other generations
+    /// are invisible: their ids order a different record stream.
+    fn newer_segment_exists(&self, generation: u64) -> io::Result<bool> {
         let entries = match fs::read_dir(&self.dir) {
             Ok(entries) => entries,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
@@ -253,8 +285,8 @@ impl TailCursor {
         };
         for entry in entries {
             let entry = entry?;
-            if let Some((id, _)) = entry.file_name().to_str().and_then(parse_segment_name) {
-                if id > self.segment_id {
+            if let Some((gen, id, _)) = entry.file_name().to_str().and_then(parse_segment_name) {
+                if gen == generation && id > self.segment_id {
                     return Ok(true);
                 }
             }

@@ -122,6 +122,8 @@ pub struct WriteSummary {
 /// for simulating exactly that).
 pub struct TraceWriter {
     cfg: StoreConfig,
+    /// Generation every segment this writer produces belongs to.
+    generation: u64,
     segment_id: u64,
     file: BufWriter<File>,
     open_path: PathBuf,
@@ -142,24 +144,53 @@ pub struct TraceWriter {
 
 impl TraceWriter {
     /// Opens a writer over `cfg.dir`, creating the directory if
-    /// needed. Segment ids continue after any files already present,
-    /// so appending to an existing store never collides.
+    /// needed. The store's current generation comes from the
+    /// [`manifest`](crate::manifest); any losing-generation leftovers
+    /// (a crash between compaction's promote and its GC) are swept
+    /// here first. Segment ids continue after any files already
+    /// present in the current generation, so appending to an existing
+    /// store never collides.
     pub fn create(cfg: StoreConfig) -> io::Result<TraceWriter> {
         fs::create_dir_all(&cfg.dir)?;
-        let next_id = next_segment_id(&cfg.dir)?;
-        let preexisting = if cfg.retention.as_ref().is_some_and(|p| !p.is_noop()) {
-            TraceReader::open(&cfg.dir)?
-                .segments()
-                .iter()
-                .filter(|m| m.sealed)
-                .cloned()
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let (file, open_path, body_crc) = start_segment(&cfg.dir, next_id)?;
+        let generation = crate::manifest::current_generation(&cfg.dir)?;
+        crate::manifest::gc_losers(&cfg.dir, generation, cfg.dir_sync)?;
+        Self::create_in(cfg, generation, true)
+    }
+
+    /// A staging writer for the compactor: writes segments under a
+    /// generation that is **not yet current**, so nothing it produces
+    /// is visible to readers until the manifest promotes it. Skips the
+    /// manifest read, the loser GC (it would delete our own staging
+    /// namespace's predecessors mid-retry) and the preexisting scan;
+    /// retention must be `None` — enforcing a budget against a
+    /// half-staged generation would GC live data.
+    pub(crate) fn create_staging(cfg: StoreConfig, generation: u64) -> io::Result<TraceWriter> {
+        debug_assert!(cfg.retention.is_none(), "staging writers take no retention");
+        fs::create_dir_all(&cfg.dir)?;
+        Self::create_in(cfg, generation, false)
+    }
+
+    fn create_in(
+        cfg: StoreConfig,
+        generation: u64,
+        load_preexisting: bool,
+    ) -> io::Result<TraceWriter> {
+        let next_id = next_segment_id(&cfg.dir, generation)?;
+        let preexisting =
+            if load_preexisting && cfg.retention.as_ref().is_some_and(|p| !p.is_noop()) {
+                TraceReader::open(&cfg.dir)?
+                    .segments()
+                    .iter()
+                    .filter(|m| m.sealed)
+                    .cloned()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+        let (file, open_path, body_crc) = start_segment(&cfg.dir, generation, next_id)?;
         Ok(TraceWriter {
             cfg,
+            generation,
             segment_id: next_id,
             file,
             open_path,
@@ -179,6 +210,12 @@ impl TraceWriter {
     /// Id of the segment currently being written.
     pub fn segment_id(&self) -> u64 {
         self.segment_id
+    }
+
+    /// Generation this writer's segments belong to (the store's
+    /// current generation, except for compaction staging writers).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The configuration this writer was created with.
@@ -307,6 +344,23 @@ impl TraceWriter {
         Ok(())
     }
 
+    /// The compactor's raw append: one record whose payload was
+    /// already CRC-verified by the input scan, carried across
+    /// byte-for-byte. Observation records pass their peeked header as
+    /// `obs` so the output segment's sparse index is rebuilt without
+    /// decoding the frame.
+    pub(crate) fn append_raw(
+        &mut self,
+        kind: RecordKind,
+        payload: &[u8],
+        obs: Option<(u32, u32, Nanos)>,
+    ) -> Result<(), StoreError> {
+        match obs {
+            Some((client_id, seq, at)) => self.append_obs(payload, client_id, seq, at),
+            None => self.append_record(kind, payload),
+        }
+    }
+
     /// Streams one framed record (length, kind, payload, CRC) to the
     /// file, rotating first when it would overflow the size target.
     fn append_record(&mut self, kind: RecordKind, payload: &[u8]) -> Result<(), StoreError> {
@@ -336,7 +390,8 @@ impl TraceWriter {
     fn rotate(&mut self) -> io::Result<()> {
         self.seal_current()?;
         self.segment_id += 1;
-        let (file, open_path, body_crc) = start_segment(&self.cfg.dir, self.segment_id)?;
+        let (file, open_path, body_crc) =
+            start_segment(&self.cfg.dir, self.generation, self.segment_id)?;
         self.file = file;
         self.open_path = open_path;
         self.body_crc = body_crc;
@@ -358,7 +413,10 @@ impl TraceWriter {
         self.file.flush()?;
         // The footer must be durable before the sealed name appears.
         self.file.get_ref().sync_all()?;
-        let sealed_path = self.cfg.dir.join(sealed_name(self.segment_id));
+        let sealed_path = self
+            .cfg
+            .dir
+            .join(sealed_name(self.generation, self.segment_id));
         fs::rename(&self.open_path, &sealed_path)?;
         // The rename updated the *directory*, and directories have
         // their own durability: until the parent dir is fsynced, a
@@ -418,8 +476,12 @@ impl TraceWriter {
     }
 }
 
-fn start_segment(dir: &Path, id: u64) -> io::Result<(BufWriter<File>, PathBuf, Crc32)> {
-    let open_path = dir.join(open_name(id));
+fn start_segment(
+    dir: &Path,
+    generation: u64,
+    id: u64,
+) -> io::Result<(BufWriter<File>, PathBuf, Crc32)> {
+    let open_path = dir.join(open_name(generation, id));
     let mut file = BufWriter::new(File::create(&open_path)?);
     let header = segment::segment_header(id);
     file.write_all(&header)?;
@@ -428,13 +490,17 @@ fn start_segment(dir: &Path, id: u64) -> io::Result<(BufWriter<File>, PathBuf, C
     Ok((file, open_path, crc))
 }
 
-/// One past the highest segment id present in `dir` (sealed or open).
-fn next_segment_id(dir: &Path) -> io::Result<u64> {
+/// One past the highest segment id present in `dir` within
+/// `generation` (sealed or open). Other generations' ids are
+/// irrelevant: ids only order records within one generation.
+fn next_segment_id(dir: &Path, generation: u64) -> io::Result<u64> {
     let mut next = 0u64;
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
-        if let Some((id, _)) = entry.file_name().to_str().and_then(parse_segment_name) {
-            next = next.max(id + 1);
+        if let Some((gen, id, _)) = entry.file_name().to_str().and_then(parse_segment_name) {
+            if gen == generation {
+                next = next.max(id + 1);
+            }
         }
     }
     Ok(next)
@@ -482,7 +548,7 @@ mod tests {
         assert_eq!(seal.index.frames, 5);
         assert_eq!(seal.index.clients, vec![9]);
         // No .open leftovers.
-        assert!(!dir.join(open_name(0)).exists());
+        assert!(!dir.join(open_name(0, 0)).exists());
     }
 
     #[test]
@@ -520,8 +586,8 @@ mod tests {
         assert_eq!(w.segment_id(), 1);
         // Finishing with no records must not leave an empty segment.
         w.finish().expect("finish empty");
-        assert!(!dir.join(sealed_name(1)).exists());
-        assert!(!dir.join(open_name(1)).exists());
+        assert!(!dir.join(sealed_name(0, 1)).exists());
+        assert!(!dir.join(open_name(0, 1)).exists());
     }
 
     #[test]

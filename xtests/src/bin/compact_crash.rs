@@ -1,0 +1,66 @@
+//! Child-process harness for the kill-mid-compact matrix.
+//!
+//! The in-process crash tests prove the promotion protocol against a
+//! clean `Err` return; this binary proves it against a real process
+//! death. The parent test builds a store, spawns one of these per
+//! [`CrashPoint`], and the child **aborts** — no destructors, no
+//! buffered-writer flush on drop — the instant the injected crash
+//! error surfaces. What the parent then finds on disk is exactly what
+//! a kill -9 at that protocol step leaves behind.
+//!
+//! ```text
+//! compact_crash <dir> <crash-point|none> <target_segment_bytes>
+//!   exit 0  compaction completed (token "none", or injection never fired)
+//!   abort   the injected crash fired (SIGABRT; the expected outcome)
+//!   exit 2  bad usage
+//!   exit 3  compaction failed with a non-injected error
+//! ```
+
+use std::io::ErrorKind;
+use std::process::abort;
+
+use mobisense_store::{CompactOptions, CrashPoint, StoreConfig, StoreError, StreamingCompactor};
+use mobisense_telemetry::NoopSink;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = "usage: compact_crash <dir> <crash-point|none> <target_segment_bytes>";
+    let (Some(dir), Some(token), Some(target)) = (args.get(1), args.get(2), args.get(3)) else {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    };
+    let crash_at = if token == "none" {
+        None
+    } else {
+        match CrashPoint::parse(token) {
+            Some(point) => Some(point),
+            None => {
+                eprintln!("unknown crash point {token:?}; {usage}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let target: usize = match target.parse() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("bad target_segment_bytes {target:?}: {e}; {usage}");
+            std::process::exit(2);
+        }
+    };
+
+    let cfg = StoreConfig::new(dir).with_target_segment_bytes(target);
+    let result = StreamingCompactor::new(cfg)
+        .with_options(CompactOptions { crash_at })
+        .run(&mut NoopSink);
+    match result {
+        Ok(_) => {}
+        Err(StoreError::Io(e)) if e.kind() == ErrorKind::Interrupted => {
+            // The injected crash: die like a kill, not like a return.
+            abort();
+        }
+        Err(e) => {
+            eprintln!("compaction failed: {e}");
+            std::process::exit(3);
+        }
+    }
+}
