@@ -1,0 +1,17 @@
+//! Known-bad fixture: the reactor sweep reaches a sleep directly and
+//! filesystem I/O through a callee. The CI gate asserts
+//! `--only hot-path --deny-all` exits 1 on this tree.
+
+/// A reactor whose sweep dawdles: a direct `sleep` and, through
+/// `audit_sweep`, an `fs::write` — both hot-path findings.
+pub fn run_reactor(log: &std::path::Path) {
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        audit_sweep(log);
+    }
+}
+
+/// Transitive offender: called from the sweep, writes to disk.
+fn audit_sweep(log: &std::path::Path) {
+    let _ignored = std::fs::write(log, b"tick");
+}

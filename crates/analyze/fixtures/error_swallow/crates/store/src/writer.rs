@@ -1,0 +1,16 @@
+//! Known-bad fixture: both discard shapes, unwaived, in a store-crate
+//! path. The CI gate asserts `--only error-swallow --deny-all` exits 1
+//! on this tree.
+
+pub struct Writer {
+    file: std::fs::File,
+}
+
+impl Writer {
+    /// Swallows a failed fsync (`.ok();`) and a join result
+    /// (`let _ =`) — two error-swallow findings, no waivers.
+    pub fn sloppy_close(&self, thread: std::thread::JoinHandle<()>) {
+        self.file.sync_all().ok();
+        let _ = thread.join();
+    }
+}

@@ -1,0 +1,33 @@
+//! Known-bad fixture: blocking under a held guard, and one half of a
+//! cross-file lock-order cycle (`S.lock_a` before `S.lock_b` here;
+//! the other file takes them in the opposite order). The CI gate
+//! asserts `--only hold-and-call --deny-all` exits 1 on this tree.
+
+pub struct S {
+    lock_a: std::sync::Mutex<u64>,
+    lock_b: std::sync::Mutex<u64>,
+    state: std::sync::Mutex<Vec<u8>>,
+}
+
+impl S {
+    /// Holds `state` across a filesystem rename: a hold-and-call
+    /// finding at the `fs::rename` line.
+    pub fn flush(&self, from: &std::path::Path, to: &std::path::Path) {
+        let guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let _ignored = std::fs::rename(from, to);
+        drop(guard);
+    }
+
+    /// Takes `lock_a`, then `lock_b` via the helper in `order_b.rs`.
+    pub fn ab(&self) {
+        let g = self.lock_a.lock().unwrap_or_else(|e| e.into_inner());
+        self.then_b();
+        drop(g);
+    }
+
+    /// Helper for `order_b.rs`: acquires `lock_a` alone.
+    pub fn take_a(&self) -> u64 {
+        let g = self.lock_a.lock().unwrap_or_else(|e| e.into_inner());
+        *g
+    }
+}

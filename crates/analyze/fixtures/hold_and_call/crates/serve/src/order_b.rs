@@ -1,0 +1,22 @@
+//! The other half of the seeded lock-order cycle: `S.lock_b` before
+//! `S.lock_a`, disagreeing with `order_a.rs`. No single file shows
+//! both orders — only the cross-function analysis sees the cycle.
+
+use crate::order_a::S;
+
+impl S {
+    /// Takes `lock_b`, then `lock_a` via `order_a.rs` — the reverse
+    /// of `ab()`.
+    pub fn ba(&self) -> u64 {
+        let g = self.lock_b.lock().unwrap_or_else(|e| e.into_inner());
+        let v = self.take_a();
+        drop(g);
+        v
+    }
+
+    /// Helper for `order_a.rs`: acquires `lock_b` alone.
+    pub fn then_b(&self) {
+        let g = self.lock_b.lock().unwrap_or_else(|e| e.into_inner());
+        drop(g);
+    }
+}

@@ -1,0 +1,1002 @@
+//! Approximate per-crate call graph and symbol index.
+//!
+//! Built on [`crate::parse`]: every function body is scanned once for
+//! *operations* — calls, `.lock()`-style acquisitions, `drop(guard)`
+//! releases, condvar waits and blocking primitives — in source order.
+//! Call sites are resolved **by name within the same crate** (trait
+//! dispatch and cross-crate calls stay unresolved), giving the graph
+//! lints a conservative-but-honest view: everything they report is
+//! anchored to a real token, and the approximations only ever lose
+//! edges, never invent spans.
+//!
+//! Known false negatives, documented in DESIGN.md §5.15: calls through
+//! trait objects and into other crates, `RwLock` acquisitions,
+//! macro-generated bodies, and guards released by scope end rather
+//! than `drop()`. Known over-approximations: a method call resolves to
+//! *every* same-crate function with that name, so a `Vec::push` site
+//! may pick up a queue's `push` — the graph lints compensate by
+//! reporting at real primitive sites (where a waiver states intent).
+
+use std::collections::BTreeMap;
+
+use crate::Workspace;
+
+/// How a blocking primitive blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Filesystem I/O (open/rename/remove/sync and friends).
+    Io,
+    /// An explicit sleep.
+    Sleep,
+    /// A wait with a deadline (`park_timeout`, `wait_timeout`,
+    /// `recv_timeout`).
+    BoundedWait,
+    /// A wait with no deadline (condvar `wait`, channel `recv`,
+    /// thread `join`/`park`).
+    UnboundedWait,
+}
+
+impl BlockKind {
+    /// Short human label for messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockKind::Io => "filesystem I/O",
+            BlockKind::Sleep => "sleep",
+            BlockKind::BoundedWait => "bounded wait",
+            BlockKind::UnboundedWait => "unbounded wait",
+        }
+    }
+}
+
+/// One call-shaped site inside a function body, before resolution.
+#[derive(Clone, Debug)]
+pub struct CallOp {
+    /// The called name (method name or last path segment).
+    pub name: String,
+    /// Whether the site is a method call (`recv.name(..)`).
+    pub method: bool,
+    /// Full path segments for plain calls (`thread::sleep` →
+    /// `["thread", "sleep"]`); just the name for bare calls.
+    pub path: Vec<String>,
+    /// Receiver chain segments for method calls (`self.inner.lock()` →
+    /// `["self", "inner"]`). Empty when the chain is not a simple
+    /// ident path (e.g. a call-result receiver).
+    pub receiver: Vec<String>,
+    /// Whether the argument list is empty (`()`).
+    pub empty_arity: bool,
+    /// The first argument when it is a bare identifier.
+    pub first_arg: Option<String>,
+    /// `let [mut] NAME =` binding receiving the call's result, when
+    /// the call is the top of its statement's initializer.
+    pub binding: Option<String>,
+    /// 1-based line of the call name.
+    pub line: usize,
+}
+
+/// One operation inside a function body, in source order.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// A call-shaped site (classified later against the graph).
+    Call(CallOp),
+    /// `drop(ident)` — releases the named guard.
+    Drop {
+        /// The dropped binding.
+        ident: String,
+        /// 1-based line.
+        line: usize,
+    },
+}
+
+/// One function node of a crate graph.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Index of the defining file in `Workspace::files`.
+    pub file: usize,
+    /// Workspace-relative path of the defining file.
+    pub rel: String,
+    /// File stem (`recording` for `.../recording.rs`).
+    pub stem: String,
+    /// Function name.
+    pub name: String,
+    /// Owning `impl`/`trait` type, when any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Operations of the body, in source order.
+    pub ops: Vec<Op>,
+    /// Whether the signature returns a lock guard (`MutexGuard` in the
+    /// return type) — a call to such a function acquires its lock on
+    /// behalf of the caller.
+    pub returns_guard: bool,
+}
+
+impl FnNode {
+    /// Display name: `Owner::name` or plain `name`.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// What one [`CallOp`] turned out to be once the crate's symbols are
+/// known.
+#[derive(Clone, Debug)]
+pub enum Classified {
+    /// A lock acquisition: lock id plus the guard binding (None when
+    /// the guard is a statement temporary, released at `;`).
+    Lock {
+        /// Stable lock identity, e.g. `Channel.inner`.
+        lock: String,
+        /// Named guard binding, when any.
+        guard: Option<String>,
+    },
+    /// A blocking primitive used directly.
+    Block {
+        /// How it blocks.
+        kind: BlockKind,
+        /// Human-readable primitive, e.g. `Condvar::wait`.
+        what: String,
+        /// The guard passed to a condvar wait (that guard is released
+        /// for the duration of the wait).
+        wait_guard: Option<String>,
+    },
+    /// Calls resolved to same-crate functions (indices into
+    /// [`CrateGraph::fns`]).
+    Calls(Vec<usize>),
+    /// Unresolved and not a known primitive: assumed non-blocking
+    /// (documented false negative for cross-crate calls).
+    Opaque,
+}
+
+/// Names never resolved to same-crate functions: ubiquitous std trait
+/// methods whose resolution would wire unrelated bodies together.
+const RESOLVE_STOPLIST: &[&str] = &[
+    "drop",
+    "clone",
+    "fmt",
+    "from",
+    "into",
+    "default",
+    "eq",
+    "cmp",
+    "hash",
+    "to_string",
+    "to_owned",
+    "next",
+];
+
+/// Path heads that are always external (never same-crate modules).
+const EXTERNAL_HEADS: &[&str] = &["std", "core", "alloc"];
+
+/// The functions of one crate with name-indexed resolution.
+#[derive(Clone, Debug, Default)]
+pub struct CrateGraph {
+    /// Crate name (`serve` for `crates/serve/...`).
+    pub name: String,
+    /// Every function of the crate, in file/position order.
+    pub fns: Vec<FnNode>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CrateGraph {
+    /// Indices of same-crate functions a call to `name` may reach.
+    /// Empty for stoplisted names and unknown names.
+    pub fn resolve(&self, name: &str) -> &[usize] {
+        if RESOLVE_STOPLIST.contains(&name) {
+            return &[];
+        }
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Classifies one call op in the context of the function that
+    /// contains it.
+    pub fn classify(&self, op: &CallOp, ctx: &FnNode) -> Classified {
+        if op.method {
+            // `.lock()` is primitive-first: a same-crate fn named
+            // `lock` shadowing Mutex::lock is vanishingly unlikely,
+            // while missing a real acquisition breaks the lint.
+            if op.name == "lock" && op.empty_arity {
+                return Classified::Lock {
+                    lock: self.lock_id(&op.receiver, ctx),
+                    guard: op.binding.clone(),
+                };
+            }
+            let targets = self.resolve(&op.name);
+            if !targets.is_empty() {
+                return Classified::Calls(targets.to_vec());
+            }
+            return match op.name.as_str() {
+                "sync_all" | "sync_data" if op.empty_arity => Classified::Block {
+                    kind: BlockKind::Io,
+                    what: format!("File::{}", op.name),
+                    wait_guard: None,
+                },
+                "wait" => Classified::Block {
+                    kind: BlockKind::UnboundedWait,
+                    what: "Condvar::wait".to_string(),
+                    wait_guard: op.first_arg.clone(),
+                },
+                "wait_timeout" | "wait_timeout_while" => Classified::Block {
+                    kind: BlockKind::BoundedWait,
+                    what: format!("Condvar::{}", op.name),
+                    wait_guard: op.first_arg.clone(),
+                },
+                "recv" if op.empty_arity => Classified::Block {
+                    kind: BlockKind::UnboundedWait,
+                    what: "channel recv".to_string(),
+                    wait_guard: None,
+                },
+                "recv_timeout" => Classified::Block {
+                    kind: BlockKind::BoundedWait,
+                    what: "channel recv_timeout".to_string(),
+                    wait_guard: None,
+                },
+                "join" if op.empty_arity => Classified::Block {
+                    kind: BlockKind::UnboundedWait,
+                    what: "thread join".to_string(),
+                    wait_guard: None,
+                },
+                _ => Classified::Opaque,
+            };
+        }
+
+        // Plain / path call.
+        let segs: Vec<&str> = op
+            .path
+            .iter()
+            .map(String::as_str)
+            .filter(|s| !EXTERNAL_HEADS.contains(s))
+            .collect();
+        if segs.contains(&"fs") {
+            return Classified::Block {
+                kind: BlockKind::Io,
+                what: format!("fs::{}", op.name),
+                wait_guard: None,
+            };
+        }
+        match segs.as_slice() {
+            ["File", m @ ("open" | "create" | "create_new" | "options")] => {
+                return Classified::Block {
+                    kind: BlockKind::Io,
+                    what: format!("File::{m}"),
+                    wait_guard: None,
+                }
+            }
+            ["OpenOptions", "new"] => {
+                return Classified::Block {
+                    kind: BlockKind::Io,
+                    what: "OpenOptions::new".to_string(),
+                    wait_guard: None,
+                }
+            }
+            _ => {}
+        }
+        match op.name.as_str() {
+            "sleep" | "sleep_ms" => {
+                return Classified::Block {
+                    kind: BlockKind::Sleep,
+                    what: "thread::sleep".to_string(),
+                    wait_guard: None,
+                }
+            }
+            "park_timeout" => {
+                return Classified::Block {
+                    kind: BlockKind::BoundedWait,
+                    what: "thread::park_timeout".to_string(),
+                    wait_guard: None,
+                }
+            }
+            "park" if segs.len() > 1 => {
+                return Classified::Block {
+                    kind: BlockKind::UnboundedWait,
+                    what: "thread::park".to_string(),
+                    wait_guard: None,
+                }
+            }
+            _ => {}
+        }
+        let targets = self.resolve(&op.name);
+        if !targets.is_empty() {
+            Classified::Calls(targets.to_vec())
+        } else {
+            Classified::Opaque
+        }
+    }
+
+    /// Stable identity for the lock behind a `.lock()` receiver:
+    /// `Owner.field` for `self.field.lock()`, otherwise the receiver
+    /// path qualified by the file stem.
+    fn lock_id(&self, receiver: &[String], ctx: &FnNode) -> String {
+        match receiver {
+            [root, rest @ ..] if root == "self" && !rest.is_empty() => {
+                let owner = ctx.owner.as_deref().unwrap_or(ctx.stem.as_str());
+                format!("{owner}.{}", rest.join("."))
+            }
+            [] => format!("{}.<expr>", ctx.stem),
+            segs => format!("{}:{}", ctx.stem, segs.join(".")),
+        }
+    }
+
+    /// The lock ids a function may acquire, transitively through
+    /// *uniquely* resolving calls (multi-candidate name resolution is
+    /// too coarse for ordering edges). Returned per function index.
+    pub fn locks_acquired(&self) -> Vec<Vec<String>> {
+        let mut acquired: Vec<Vec<String>> = vec![Vec::new(); self.fns.len()];
+        // Direct acquisitions.
+        for (i, f) in self.fns.iter().enumerate() {
+            for op in &f.ops {
+                if let Op::Call(c) = op {
+                    if let Classified::Lock { lock, .. } = self.classify(c, f) {
+                        if !acquired[i].contains(&lock) {
+                            acquired[i].push(lock);
+                        }
+                    }
+                }
+            }
+        }
+        // Propagate through unique call edges to a fixed point.
+        loop {
+            let mut changed = false;
+            for i in 0..self.fns.len() {
+                let f = &self.fns[i];
+                let mut gained: Vec<String> = Vec::new();
+                for op in &f.ops {
+                    let Op::Call(c) = op else { continue };
+                    let Classified::Calls(targets) = self.classify(c, f) else {
+                        continue;
+                    };
+                    if let [t] = targets.as_slice() {
+                        for lock in &acquired[*t] {
+                            if !acquired[i].contains(lock) && !gained.contains(lock) {
+                                gained.push(lock.clone());
+                            }
+                        }
+                    }
+                }
+                if !gained.is_empty() {
+                    acquired[i].extend(gained);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        acquired
+    }
+
+    /// Whether `fn_idx` can reach a blocking primitive, transitively
+    /// through same-crate calls. Returns a human-readable chain like
+    /// `pop → Condvar::wait (unbounded wait) at crates/.../recording.rs:193`
+    /// for the first (deterministic) one found. Waivers are deliberately
+    /// ignored: a waived wait still blocks its caller.
+    pub fn block_reach(
+        &self,
+        fn_idx: usize,
+        memo: &mut BTreeMap<usize, Option<String>>,
+    ) -> Option<String> {
+        if let Some(hit) = memo.get(&fn_idx) {
+            return hit.clone();
+        }
+        // Mark in-progress as non-blocking so recursion terminates;
+        // a real block elsewhere in the cycle still surfaces.
+        memo.insert(fn_idx, None);
+        let f = &self.fns[fn_idx];
+        let mut found: Option<String> = None;
+        for op in &f.ops {
+            let Op::Call(c) = op else { continue };
+            match self.classify(c, f) {
+                Classified::Block { kind, what, .. } => {
+                    found = Some(format!(
+                        "{} → {what} ({}) at {}:{}",
+                        f.display(),
+                        kind.label(),
+                        f.rel,
+                        c.line
+                    ));
+                    break;
+                }
+                Classified::Calls(targets) => {
+                    for t in targets {
+                        if let Some(chain) = self.block_reach(t, memo) {
+                            found = Some(format!("{} → {chain}", f.display()));
+                            break;
+                        }
+                    }
+                    if found.is_some() {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        memo.insert(fn_idx, found.clone());
+        found
+    }
+}
+
+/// Per-crate graphs for a workspace.
+#[derive(Clone, Debug, Default)]
+pub struct WorkspaceGraph {
+    /// Crate name → its graph.
+    pub crates: BTreeMap<String, CrateGraph>,
+}
+
+/// Crate name of a workspace-relative path (`crates/serve/src/x.rs` →
+/// `serve`; `xtests/src/x.rs` → `xtests`).
+pub fn crate_of(rel: &str) -> Option<&str> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        return rest.split('/').next();
+    }
+    if rel.starts_with("xtests/src/") {
+        return Some("xtests");
+    }
+    None
+}
+
+fn file_stem(rel: &str) -> &str {
+    rel.rsplit('/')
+        .next()
+        .unwrap_or(rel)
+        .trim_end_matches(".rs")
+}
+
+/// Builds the per-crate graphs for every file of the workspace.
+pub fn build_graph(ws: &Workspace) -> WorkspaceGraph {
+    let mut crates: BTreeMap<String, CrateGraph> = BTreeMap::new();
+    for (file_idx, file) in ws.files.iter().enumerate() {
+        let Some(krate) = crate_of(&file.rel) else {
+            continue;
+        };
+        let graph = crates
+            .entry(krate.to_string())
+            .or_insert_with(|| CrateGraph {
+                name: krate.to_string(),
+                ..CrateGraph::default()
+            });
+        let code = &file.lexed.code;
+        for item in &file.parsed.fns {
+            let ops = match item.body {
+                Some((start, end)) => extract_ops(code, start, end, &file.lexed),
+                None => Vec::new(),
+            };
+            let returns_guard = code
+                .get(item.sig.0..item.sig.1)
+                .is_some_and(|sig| sig.contains("MutexGuard"));
+            let idx = graph.fns.len();
+            graph.fns.push(FnNode {
+                file: file_idx,
+                rel: file.rel.clone(),
+                stem: file_stem(&file.rel).to_string(),
+                name: item.name.clone(),
+                owner: item.owner.clone(),
+                line: item.line,
+                ops,
+                returns_guard,
+            });
+            graph
+                .by_name
+                .entry(item.name.clone())
+                .or_default()
+                .push(idx);
+        }
+    }
+    WorkspaceGraph { crates }
+}
+
+/// Rust keywords that look like call names when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "else", "fn", "let", "in", "as", "move",
+    "ref", "mut", "pub", "use", "where", "impl", "dyn", "box", "await", "unsafe",
+];
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans one body span of a code view for operations, in order.
+fn extract_ops(code: &str, start: usize, end: usize, lexed: &crate::Lexed) -> Vec<Op> {
+    let bytes = code.as_bytes();
+    let end = end.min(bytes.len());
+    let mut ops = Vec::new();
+    let mut i = start;
+    while i < end {
+        let Some(&b) = bytes.get(i) else { break };
+        if !(b.is_ascii_alphabetic() || b == b'_') {
+            i += 1;
+            continue;
+        }
+        let word_start = i;
+        while i < end && bytes.get(i).copied().is_some_and(is_ident_byte) {
+            i += 1;
+        }
+        if word_start > 0
+            && bytes
+                .get(word_start - 1)
+                .copied()
+                .is_some_and(is_ident_byte)
+        {
+            continue;
+        }
+        let word = &code[word_start..i];
+        if CALL_KEYWORDS.contains(&word) {
+            continue;
+        }
+        // Skip turbofish between name and `(`: `parse::<u32>(s)`.
+        let mut j = i;
+        if bytes.get(j) == Some(&b':')
+            && bytes.get(j + 1) == Some(&b':')
+            && bytes.get(j + 2) == Some(&b'<')
+        {
+            let mut depth = 0usize;
+            let mut k = j + 2;
+            while k < end {
+                match bytes.get(k) {
+                    Some(b'<') => depth += 1,
+                    Some(b'>') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    None => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k;
+        }
+        while j < end && bytes.get(j).is_some_and(|b| b.is_ascii_whitespace()) {
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'!') {
+            continue; // macro invocation, not a call
+        }
+        if bytes.get(j) != Some(&b'(') {
+            continue;
+        }
+        // A call site. Method or plain?
+        let mut p = word_start;
+        while p > start && bytes.get(p - 1).is_some_and(|b| b.is_ascii_whitespace()) {
+            p -= 1;
+        }
+        let method = p > start && bytes.get(p - 1) == Some(&b'.');
+        let (receiver, chain_start) = if method {
+            receiver_chain(bytes, p - 1, start)
+        } else {
+            (Vec::new(), word_start)
+        };
+        let path = if method {
+            vec![word.to_string()]
+        } else {
+            path_segments(bytes, word_start, start, word)
+        };
+        // Argument shape.
+        let mut a = j + 1;
+        while a < end && bytes.get(a).is_some_and(|b| b.is_ascii_whitespace()) {
+            a += 1;
+        }
+        let empty_arity = bytes.get(a) == Some(&b')');
+        let first_arg = {
+            let arg_start = a;
+            let mut k = a;
+            while k < end && bytes.get(k).copied().is_some_and(is_ident_byte) {
+                k += 1;
+            }
+            if k > arg_start {
+                let mut w = k;
+                while w < end && bytes.get(w).is_some_and(|b| b.is_ascii_whitespace()) {
+                    w += 1;
+                }
+                if matches!(bytes.get(w), Some(b')') | Some(b',')) {
+                    Some(code[arg_start..k].to_string())
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        let expr_start = if method {
+            chain_start
+        } else {
+            // Back up over the path prefix (`a::b::name`).
+            let mut s = word_start;
+            while s >= 2 && bytes.get(s - 1) == Some(&b':') && bytes.get(s - 2) == Some(&b':') {
+                let mut t = s - 2;
+                while t > start && bytes.get(t - 1).copied().is_some_and(is_ident_byte) {
+                    t -= 1;
+                }
+                if t == s - 2 {
+                    break;
+                }
+                s = t;
+            }
+            s
+        };
+        let binding = let_binding(bytes, expr_start, start);
+        let line = lexed.line_of(word_start);
+        if !method && word == "drop" && path.len() == 1 {
+            if let (Some(ident), false) = (&first_arg, empty_arity) {
+                ops.push(Op::Drop {
+                    ident: ident.clone(),
+                    line,
+                });
+                continue;
+            }
+        }
+        ops.push(Op::Call(CallOp {
+            name: word.to_string(),
+            method,
+            path,
+            receiver,
+            empty_arity,
+            first_arg,
+            binding,
+            line,
+        }));
+    }
+    ops
+}
+
+/// Walks a method receiver chain backwards from the `.` at `dot`.
+/// Returns the ident segments (leftmost first) and the byte offset the
+/// chain starts at. Call-result links (`f().m()`) terminate the ident
+/// chain but are still walked for the start offset.
+fn receiver_chain(bytes: &[u8], dot: usize, lo: usize) -> (Vec<String>, usize) {
+    let mut segs: Vec<String> = Vec::new();
+    let mut start = dot;
+    let mut k = dot;
+    let mut idents_live = true;
+    loop {
+        // k points just past the element we want (a `.` or chain head).
+        let mut p = k;
+        while p > lo && bytes.get(p - 1).is_some_and(|b| b.is_ascii_whitespace()) {
+            p -= 1;
+        }
+        if p == lo {
+            break;
+        }
+        match bytes.get(p - 1) {
+            Some(b'?') => {
+                k = p - 1;
+                continue;
+            }
+            Some(b')') | Some(b']') => {
+                // Balanced group: skip it, then an optional ident
+                // (the called name) before it.
+                let close = bytes[p - 1];
+                let open = if close == b')' { b'(' } else { b'[' };
+                let mut depth = 0usize;
+                let mut q = p - 1;
+                while let Some(&c) = bytes.get(q) {
+                    if c == close {
+                        depth += 1;
+                    } else if c == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if q == lo {
+                        break;
+                    }
+                    q -= 1;
+                }
+                idents_live = false; // segments left of a call are not a plain path
+                segs.clear();
+                let mut t = q;
+                while t > lo && bytes.get(t - 1).copied().is_some_and(is_ident_byte) {
+                    t -= 1;
+                }
+                start = t;
+                k = t;
+            }
+            Some(&c) if is_ident_byte(c) => {
+                let mut t = p;
+                while t > lo && bytes.get(t - 1).copied().is_some_and(is_ident_byte) {
+                    t -= 1;
+                }
+                if idents_live {
+                    segs.insert(0, String::from_utf8_lossy(&bytes[t..p]).into_owned());
+                }
+                start = t;
+                k = t;
+            }
+            _ => break,
+        }
+        // Continue only through a further `.`.
+        let mut p2 = k;
+        while p2 > lo && bytes.get(p2 - 1).is_some_and(|b| b.is_ascii_whitespace()) {
+            p2 -= 1;
+        }
+        if p2 > lo && bytes.get(p2 - 1) == Some(&b'.') {
+            k = p2 - 1;
+        } else {
+            break;
+        }
+    }
+    (segs, start)
+}
+
+/// Path segments of a plain call: walks `a::b::name` backwards from
+/// the name and returns all segments in order.
+fn path_segments(bytes: &[u8], name_start: usize, lo: usize, name: &str) -> Vec<String> {
+    let mut segs = vec![name.to_string()];
+    let mut s = name_start;
+    while s >= lo + 2 && bytes.get(s - 1) == Some(&b':') && bytes.get(s - 2) == Some(&b':') {
+        let seg_end = s - 2;
+        let mut t = seg_end;
+        while t > lo && bytes.get(t - 1).copied().is_some_and(is_ident_byte) {
+            t -= 1;
+        }
+        if t == seg_end {
+            break; // `::<turbofish>` or `<T>::name` — stop at the gap
+        }
+        segs.insert(0, String::from_utf8_lossy(&bytes[t..seg_end]).into_owned());
+        s = t;
+    }
+    segs
+}
+
+/// When the expression starting at `expr_start` is the initializer of
+/// a `let [mut] NAME = ...;` statement, returns NAME.
+fn let_binding(bytes: &[u8], expr_start: usize, lo: usize) -> Option<String> {
+    // Scan back to the statement boundary.
+    let mut s = expr_start;
+    while s > lo {
+        match bytes.get(s - 1) {
+            Some(b';') | Some(b'{') | Some(b'}') => break,
+            _ => s -= 1,
+        }
+    }
+    let prefix = String::from_utf8_lossy(&bytes[s..expr_start]);
+    let mut toks = prefix.split_whitespace();
+    if toks.next() != Some("let") {
+        return None;
+    }
+    let mut name = toks.next()?;
+    if name == "mut" {
+        name = toks.next()?;
+    }
+    if toks.next() != Some("=") || toks.next().is_some() {
+        return None;
+    }
+    if name.bytes().all(is_ident_byte) && !name.is_empty() {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_for(sources: &[(&str, &str)]) -> WorkspaceGraph {
+        build_graph(&Workspace::from_sources(sources))
+    }
+
+    #[test]
+    fn calls_resolve_within_a_crate_only() {
+        let g = graph_for(&[
+            (
+                "crates/serve/src/a.rs",
+                "fn caller() { helper(); other::helper2(); cross(); }\nfn helper() {}\n",
+            ),
+            ("crates/serve/src/b.rs", "pub fn helper2() {}\n"),
+            ("crates/store/src/lib.rs", "pub fn cross() {}\n"),
+        ]);
+        let serve = &g.crates["serve"];
+        assert_eq!(serve.fns.len(), 3);
+        let caller = &serve.fns[0];
+        assert_eq!(caller.name, "caller");
+        let calls: Vec<&str> = caller
+            .ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Call(c) => Some(c.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(calls, vec!["helper", "helper2", "cross"]);
+        assert_eq!(serve.resolve("helper").len(), 1);
+        assert_eq!(serve.resolve("helper2").len(), 1, "cross-file, same crate");
+        assert_eq!(serve.resolve("cross").len(), 0, "cross-crate unresolved");
+        assert_eq!(serve.resolve("drop").len(), 0, "stoplist");
+    }
+
+    #[test]
+    fn lock_sites_classify_with_owner_and_binding() {
+        let src = "\
+struct Q;
+impl Q {
+    fn push(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.count += 1;
+        drop(inner);
+    }
+    fn quick(&self) -> u64 {
+        self.stats.lock().unwrap().count
+    }
+}
+";
+        let g = graph_for(&[("crates/serve/src/q.rs", src)]);
+        let serve = &g.crates["serve"];
+        let push = serve.fns.iter().find(|f| f.name == "push").unwrap();
+        let lock_op = push
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Call(c) if c.name == "lock" => Some(c),
+                _ => None,
+            })
+            .expect("lock op");
+        match serve.classify(lock_op, push) {
+            Classified::Lock { lock, guard } => {
+                assert_eq!(lock, "Q.inner");
+                assert_eq!(guard.as_deref(), Some("inner"));
+            }
+            other => panic!("expected Lock, got {other:?}"),
+        }
+        assert!(
+            push.ops
+                .iter()
+                .any(|o| matches!(o, Op::Drop { ident, .. } if ident == "inner")),
+            "drop(inner) recorded"
+        );
+        let quick = serve.fns.iter().find(|f| f.name == "quick").unwrap();
+        let lock_op = quick
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Call(c) if c.name == "lock" => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        match serve.classify(lock_op, quick) {
+            Classified::Lock { lock, guard } => {
+                assert_eq!(lock, "Q.stats");
+                assert_eq!(guard, None, "statement temporary has no binding");
+            }
+            other => panic!("expected Lock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn primitives_classify_by_kind() {
+        let src = "\
+fn worker(&self) {
+    std::thread::sleep(d);
+    std::thread::park_timeout(d);
+    let x = self.rx.recv();
+    let h = handle.join();
+    std::fs::rename(a, b);
+    file.sync_all();
+    inner = self.not_empty.wait(inner);
+}
+";
+        let g = graph_for(&[("crates/serve/src/w.rs", src)]);
+        let serve = &g.crates["serve"];
+        let worker = &serve.fns[0];
+        let mut kinds = Vec::new();
+        for op in &worker.ops {
+            if let Op::Call(c) = op {
+                if let Classified::Block {
+                    kind,
+                    what,
+                    wait_guard,
+                } = serve.classify(c, worker)
+                {
+                    kinds.push((what, kind, wait_guard));
+                }
+            }
+        }
+        let names: Vec<&str> = kinds.iter().map(|(w, _, _)| w.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "thread::sleep",
+                "thread::park_timeout",
+                "channel recv",
+                "thread join",
+                "fs::rename",
+                "File::sync_all",
+                "Condvar::wait",
+            ],
+            "{kinds:?}"
+        );
+        assert_eq!(kinds[0].1, BlockKind::Sleep);
+        assert_eq!(kinds[1].1, BlockKind::BoundedWait);
+        assert_eq!(kinds[2].1, BlockKind::UnboundedWait);
+        assert_eq!(kinds[6].2.as_deref(), Some("inner"), "wait guard captured");
+    }
+
+    #[test]
+    fn block_reach_follows_the_call_graph() {
+        let src = "\
+fn root() { middle(); }
+fn middle() { leaf(); }
+fn leaf() { std::thread::sleep(d); }
+fn clean() { let x = 1; }
+";
+        let g = graph_for(&[("crates/serve/src/r.rs", src)]);
+        let serve = &g.crates["serve"];
+        let mut memo = BTreeMap::new();
+        let root = serve.fns.iter().position(|f| f.name == "root").unwrap();
+        let chain = serve.block_reach(root, &mut memo).expect("root blocks");
+        assert!(chain.contains("root") && chain.contains("middle") && chain.contains("leaf"));
+        assert!(chain.contains("sleep"), "{chain}");
+        let clean = serve.fns.iter().position(|f| f.name == "clean").unwrap();
+        assert!(serve.block_reach(clean, &mut memo).is_none());
+    }
+
+    #[test]
+    fn recursion_terminates_and_locks_propagate_uniquely() {
+        let src = "\
+struct S;
+impl S {
+    fn a(&self) { self.b(); }
+    fn b(&self) { self.a(); let g = self.m.lock().unwrap(); drop(g); }
+}
+";
+        let g = graph_for(&[("crates/serve/src/s.rs", src)]);
+        let serve = &g.crates["serve"];
+        let acq = serve.locks_acquired();
+        let a = serve.fns.iter().position(|f| f.name == "a").unwrap();
+        let b = serve.fns.iter().position(|f| f.name == "b").unwrap();
+        assert!(acq[b].contains(&"S.m".to_string()));
+        assert!(
+            acq[a].contains(&"S.m".to_string()),
+            "transitive via unique call"
+        );
+        let mut memo = BTreeMap::new();
+        assert!(
+            serve.block_reach(a, &mut memo).is_none(),
+            "no primitive in cycle"
+        );
+    }
+
+    #[test]
+    fn wrapped_chains_and_turbofish_do_not_confuse_extraction() {
+        let src = "\
+fn f(&self) {
+    let inner = self.inner.lock()
+        .unwrap_or_else(|e| e.into_inner());
+    let n = text.parse::<u32>(s);
+    vec.push(x);
+}
+";
+        let g = graph_for(&[("crates/serve/src/c.rs", src)]);
+        let f = &g.crates["serve"].fns[0];
+        let lock = f
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Call(c) if c.name == "lock" => Some(c),
+                _ => None,
+            })
+            .expect("lock found");
+        assert_eq!(lock.receiver, vec!["self", "inner"]);
+        assert_eq!(lock.binding.as_deref(), Some("inner"));
+        assert!(
+            f.ops
+                .iter()
+                .any(|o| matches!(o, Op::Call(c) if c.name == "parse")),
+            "turbofish call recorded"
+        );
+        let push = f
+            .ops
+            .iter()
+            .find_map(|o| match o {
+                Op::Call(c) if c.name == "push" => Some(c),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(push.receiver, vec!["vec"]);
+        assert_eq!(push.binding, None);
+    }
+}

@@ -95,9 +95,35 @@ impl Lexed {
 
     /// Whether `line` carries a waiver with any of `accepted` tags.
     pub fn waived(&self, line: usize, accepted: &[&str]) -> bool {
-        self.waiver_tags(line)
-            .iter()
-            .any(|t| accepted.contains(&t.as_str()))
+        self.waiver_match(line, accepted).is_some()
+    }
+
+    /// The waiver covering `line` with one of `accepted` tags, if any:
+    /// returns the 1-based line of the waiver comment itself and the
+    /// matched tag — what a lint records as a [`crate::Suppression`]
+    /// so the waiver-hygiene pass can tell used waivers from stale
+    /// ones.
+    pub fn waiver_match(&self, line: usize, accepted: &[&str]) -> Option<(usize, String)> {
+        for c in &self.comments {
+            let covers = if c.standalone {
+                c.line + 1 == line
+            } else {
+                c.line == line
+            };
+            if !covers {
+                continue;
+            }
+            let Some(rest) = c.text.strip_prefix("lint:") else {
+                continue;
+            };
+            let spec = rest.split("--").next().unwrap_or("");
+            for tag in spec.split(',').map(str::trim) {
+                if accepted.contains(&tag) {
+                    return Some((c.line, tag.to_string()));
+                }
+            }
+        }
+        None
     }
 }
 

@@ -1,0 +1,278 @@
+//! Blocking-in-hot-path lint: the three latency-critical loops never
+//! block unboundedly.
+//!
+//! The edge reactor sweep (`run_reactor`), the shard-worker classify
+//! path (`run_worker`), and the recorder drain loop (`run_backend`)
+//! are the paths a frame crosses between the wire and a decision.
+//! Each must stay free of filesystem I/O, sleeps, and unbounded waits
+//! — transitively, through everything they call in their crate.
+//! *Bounded* waits (`recv_timeout`, `wait_timeout`, `park_timeout`)
+//! are the design: they are how the loops idle without burning a core
+//! while keeping a hard latency ceiling.
+//!
+//! The lint BFS-walks the per-crate call graph from each root and
+//! reports every reachable `Io`/`Sleep`/`UnboundedWait` primitive at
+//! the primitive's own line, with the call chain that reaches it. A
+//! root file that exists but no longer declares its root function is
+//! itself a finding — renaming `run_reactor` must not silently turn
+//! the lint off.
+//!
+//! Waiver tag: `hot-path` — placed at the primitive site, for
+//! blocking the design explicitly accepts (e.g. a shutdown-only join
+//! that runs after the loop exits but lives in the same function).
+
+use std::collections::BTreeMap;
+
+use crate::graph::{build_graph, BlockKind, Classified, CrateGraph, Op};
+use crate::{Lint, Outcome, Workspace};
+
+/// (root file, root function) pairs anchoring the hot paths.
+const ROOTS: &[(&str, &str)] = &[
+    ("crates/edge/src/reactor.rs", "run_reactor"),
+    ("crates/serve/src/service.rs", "run_worker"),
+    ("crates/serve/src/recording.rs", "run_backend"),
+];
+
+/// The blocking-in-hot-path lint.
+pub struct HotPath;
+
+impl Lint for HotPath {
+    fn name(&self) -> &'static str {
+        "hot-path"
+    }
+
+    fn invariant(&self) -> &'static str {
+        "run_reactor (edge), run_worker (serve), and run_backend (serve) reach no fs I/O, sleep, or unbounded wait through their call graphs; bounded waits only"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Outcome) {
+        let graphs = build_graph(ws);
+        for (root_file, root_fn) in ROOTS {
+            if ws.file(root_file).is_none() {
+                continue; // fixture workspaces carry only their own root
+            }
+            let krate = crate::graph::crate_of(root_file).unwrap_or("");
+            let Some(graph) = graphs.crates.get(krate) else {
+                continue;
+            };
+            let roots: Vec<usize> = graph
+                .fns
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.name == *root_fn && f.rel == *root_file)
+                .map(|(i, _)| i)
+                .collect();
+            if roots.is_empty() {
+                out.finding(
+                    root_file.to_string(),
+                    1,
+                    self.name(),
+                    format!(
+                        "hot-path root `{root_fn}` not found in this file: the \
+                         lint anchors on it — if the loop was renamed or moved, \
+                         update the lint's root table"
+                    ),
+                );
+                continue;
+            }
+            sweep(self.name(), graph, ws, &roots, root_fn, out);
+        }
+    }
+}
+
+/// BFS from the roots; every reachable blocking primitive that is not
+/// a bounded wait is reported at the primitive's line.
+fn sweep(
+    lint: &'static str,
+    graph: &CrateGraph,
+    ws: &Workspace,
+    roots: &[usize],
+    root_fn: &str,
+    out: &mut Outcome,
+) {
+    // how_reached[idx] = call chain from the root, for the message.
+    let mut how: BTreeMap<usize, String> = BTreeMap::new();
+    let mut queue: Vec<usize> = Vec::new();
+    for &r in roots {
+        how.insert(r, root_fn.to_string());
+        queue.push(r);
+    }
+    let mut head = 0usize;
+    while head < queue.len() {
+        let idx = queue[head];
+        head += 1;
+        let chain = how[&idx].clone();
+        let f = &graph.fns[idx];
+        let Some(file) = ws.files.get(f.file) else {
+            continue;
+        };
+        for op in &f.ops {
+            let Op::Call(c) = op else { continue };
+            if file.lexed.is_test_line(c.line) {
+                continue;
+            }
+            match graph.classify(c, f) {
+                Classified::Block { kind, what, .. } => {
+                    if matches!(kind, BlockKind::BoundedWait) {
+                        continue; // bounded idling is the design
+                    }
+                    out.site(
+                        file,
+                        c.line,
+                        lint,
+                        &["hot-path"],
+                        format!(
+                            "`{what}` ({}) is reachable from hot path \
+                             `{chain}`: the loop must stay free of fs I/O, \
+                             sleeps, and unbounded waits — use a bounded wait, \
+                             move the work off the loop, or waive with \
+                             `// lint: hot-path -- <why latency is safe here>`",
+                            kind.label()
+                        ),
+                    );
+                }
+                Classified::Calls(targets) => {
+                    for t in targets {
+                        if let std::collections::btree_map::Entry::Vacant(e) = how.entry(t) {
+                            e.insert(format!(
+                                "{chain} -> {callee}",
+                                callee = graph.fns[t].display()
+                            ));
+                            queue.push(t);
+                        }
+                    }
+                }
+                Classified::Lock { .. } | Classified::Opaque => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    #[test]
+    fn fires_on_transitive_fs_io_from_run_worker() {
+        let bad = "\
+struct W;
+impl W {
+    fn run_worker(&self) {
+        loop {
+            self.classify();
+        }
+    }
+    fn classify(&self) {
+        self.audit();
+    }
+    fn audit(&self) {
+        std::fs::write(p, b);
+    }
+}
+";
+        let ws = Workspace::from_sources(&[("crates/serve/src/service.rs", bad)]);
+        let f = run(&ws, &[Box::new(HotPath)]);
+        assert!(
+            f.iter().any(|x| {
+                x.lint == "hot-path"
+                    && x.line == 12
+                    && x.message.contains("run_worker -> W::classify -> W::audit")
+            }),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn fires_on_sleep_and_unbounded_recv_in_run_reactor() {
+        let bad = "\
+fn run_reactor(rx: &Receiver<u64>) {
+    loop {
+        let v = rx.recv();
+        std::thread::sleep(d);
+        let _ = v;
+    }
+}
+";
+        let ws = Workspace::from_sources(&[("crates/edge/src/reactor.rs", bad)]);
+        let f = run(&ws, &[Box::new(HotPath)]);
+        assert!(
+            f.iter()
+                .any(|x| x.line == 3 && x.message.contains("unbounded wait")),
+            "{f:?}"
+        );
+        assert!(
+            f.iter().any(|x| x.line == 4 && x.message.contains("sleep")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn bounded_waits_pass() {
+        let ok = "\
+fn run_backend(rx: &Receiver<u64>) {
+    loop {
+        match rx.recv_timeout(d) {
+            Ok(v) => handle(v),
+            Err(_) => continue,
+        }
+    }
+}
+fn handle(v: u64) {
+    let _ = v;
+}
+";
+        let ws = Workspace::from_sources(&[("crates/serve/src/recording.rs", ok)]);
+        assert_eq!(run(&ws, &[Box::new(HotPath)]), vec![]);
+    }
+
+    #[test]
+    fn missing_root_fn_is_a_finding() {
+        let renamed = "fn run_reactor_v2() {}\n";
+        let ws = Workspace::from_sources(&[("crates/edge/src/reactor.rs", renamed)]);
+        let f = run(&ws, &[Box::new(HotPath)]);
+        assert!(
+            f.iter()
+                .any(|x| x.line == 1 && x.message.contains("run_reactor")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn cold_functions_in_the_same_file_are_not_swept() {
+        let ok = "\
+fn run_reactor() {
+    tick();
+}
+fn tick() {}
+fn shutdown_cold() {
+    std::fs::remove_file(p);
+}
+";
+        let ws = Workspace::from_sources(&[("crates/edge/src/reactor.rs", ok)]);
+        assert_eq!(run(&ws, &[Box::new(HotPath)]), vec![]);
+    }
+
+    #[test]
+    fn waiver_suppresses_at_the_primitive_site() {
+        let waived = "\
+fn run_backend(&self) {
+    loop {
+        if self.done() {
+            break;
+        }
+    }
+    // lint: hot-path -- shutdown-only join after the drain loop exits
+    self.thread.join();
+}
+";
+        let ws = Workspace::from_sources(&[("crates/serve/src/recording.rs", waived)]);
+        let out = crate::run_full(&ws, &[Box::new(HotPath) as Box<dyn Lint>], false);
+        assert_eq!(out.findings, vec![]);
+        assert!(
+            out.suppressions.iter().any(|s| s.lint == "hot-path"),
+            "{:?}",
+            out.suppressions
+        );
+    }
+}

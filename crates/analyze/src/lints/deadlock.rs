@@ -1,0 +1,446 @@
+//! Hold-and-call lint: no blocking while holding a lock, and observed
+//! lock acquisition order is acyclic — cross-function, through the
+//! call graph.
+//!
+//! Two checks over the per-crate graphs of the threaded crates
+//! (serve, store, edge, session):
+//!
+//! 1. **Hold-and-call.** Walking each function's operations in source
+//!    order while tracking named guards, the lint flags any blocking
+//!    primitive — or any call to a same-crate function that
+//!    transitively reaches one — executed while a guard is held. A
+//!    condvar wait is exempt with respect to its *own* guard (the wait
+//!    releases it) but still counts against every other held guard.
+//!    Calls whose receiver *is* a held guard (`inner.q.pop_front()`)
+//!    are methods on the guarded data, not escapes. A call to a
+//!    guard-returning function (`MutexGuard` in the return type) bound
+//!    with `let` counts as acquiring that function's locks.
+//!
+//! 2. **Lock-order cycles.** Acquiring lock B (directly, or anywhere
+//!    inside a *uniquely* resolved callee) while holding lock A
+//!    records an observed edge A < B; a cycle in the per-crate edge
+//!    graph means two call paths disagree about acquisition order — a
+//!    latent deadlock. This extends the `lock-discipline` lint's
+//!    declared-order check to orders nobody wrote down.
+//!
+//! Approximations (DESIGN.md §5.15): guards released by scope end
+//! (rather than `drop()`/function end) can over-report — add a
+//! `drop(guard)` or a waiver; cross-crate and trait-object calls are
+//! invisible (false negatives); multi-candidate name resolution can
+//! attribute a `Vec::push` to a queue's `push` (the finding still
+//! points at a real blocking site in that `push`).
+//!
+//! Waiver tag: `hold-and-call` — for sites where blocking under the
+//! lock is the design (e.g. a store writer serializing I/O behind its
+//! mutex).
+
+use std::collections::BTreeMap;
+
+use crate::graph::{build_graph, Classified, CrateGraph, Op};
+use crate::lints::locks::find_cycle;
+use crate::{Lint, Outcome, Workspace};
+
+/// Crates with enough threads and locks to deadlock.
+const SCOPE: &[&str] = &["serve", "store", "edge", "session"];
+
+/// The hold-and-call / lock-order-cycle lint.
+pub struct HoldAndCall;
+
+impl Lint for HoldAndCall {
+    fn name(&self) -> &'static str {
+        "hold-and-call"
+    }
+
+    fn invariant(&self) -> &'static str {
+        "in serve/store/edge/session, no lock guard is held across a blocking primitive or a call that may block (condvar/channel waits, thread join, fs I/O, sleep), and observed lock acquisition order through the call graph is acyclic"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Outcome) {
+        let graphs = build_graph(ws);
+        for krate in SCOPE {
+            let Some(graph) = graphs.crates.get(*krate) else {
+                continue;
+            };
+            check_crate(self.name(), graph, ws, out);
+        }
+    }
+}
+
+/// A held guard: binding name, lock identity, acquisition line.
+struct Held {
+    guard: String,
+    lock: String,
+    line: usize,
+}
+
+fn check_crate(lint: &'static str, graph: &CrateGraph, ws: &Workspace, out: &mut Outcome) {
+    let locks_acq = graph.locks_acquired();
+    let mut block_memo: BTreeMap<usize, Option<String>> = BTreeMap::new();
+    // Observed acquisition-order edges: lock A held while acquiring B.
+    let mut edges: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut edge_sites: Vec<(String, usize, String, String)> = Vec::new();
+
+    for f in &graph.fns {
+        let Some(file) = ws.files.get(f.file) else {
+            continue;
+        };
+        let mut held: Vec<Held> = Vec::new();
+        for op in &f.ops {
+            match op {
+                Op::Drop { ident, .. } => held.retain(|h| &h.guard != ident),
+                Op::Call(c) => match graph.classify(c, f) {
+                    Classified::Lock { lock, guard } => {
+                        if file.lexed.is_test_line(c.line) {
+                            continue;
+                        }
+                        for h in &held {
+                            record_edge(
+                                &mut edges,
+                                &mut edge_sites,
+                                &h.lock,
+                                &lock,
+                                &f.rel,
+                                c.line,
+                            );
+                        }
+                        if let Some(g) = guard {
+                            held.retain(|h| h.guard != g);
+                            held.push(Held {
+                                guard: g,
+                                lock,
+                                line: c.line,
+                            });
+                        }
+                    }
+                    Classified::Block {
+                        kind,
+                        what,
+                        wait_guard,
+                    } => {
+                        if file.lexed.is_test_line(c.line) {
+                            continue;
+                        }
+                        // The waited guard is released for the wait.
+                        let others: Vec<&Held> = held
+                            .iter()
+                            .filter(|h| wait_guard.as_deref() != Some(h.guard.as_str()))
+                            .collect();
+                        if let Some(h) = others.first() {
+                            out.site(
+                                file,
+                                c.line,
+                                lint,
+                                &["hold-and-call"],
+                                format!(
+                                    "`{what}` ({}) while holding `{}` (guard \
+                                     `{}` acquired at line {}): blocking under \
+                                     a lock stalls every other path to it; \
+                                     drop the guard first, or waive with \
+                                     `// lint: hold-and-call -- <why this is safe>`",
+                                    kind.label(),
+                                    h.lock,
+                                    h.guard,
+                                    h.line
+                                ),
+                            );
+                        }
+                    }
+                    Classified::Calls(targets) => {
+                        if file.lexed.is_test_line(c.line) {
+                            continue;
+                        }
+                        // A method on the guarded data itself is not an
+                        // escape from the critical section.
+                        if let Some(root) = c.receiver.first() {
+                            if held.iter().any(|h| &h.guard == root) {
+                                continue;
+                            }
+                        }
+                        // Observed-order edges through uniquely
+                        // resolved callees only.
+                        if let [t] = targets.as_slice() {
+                            for lock in &locks_acq[*t] {
+                                for h in &held {
+                                    record_edge(
+                                        &mut edges,
+                                        &mut edge_sites,
+                                        &h.lock,
+                                        lock,
+                                        &f.rel,
+                                        c.line,
+                                    );
+                                }
+                            }
+                            // Guard-returning callee: the caller now
+                            // holds what the callee acquired.
+                            let callee = &graph.fns[*t];
+                            if callee.returns_guard {
+                                if let (Some(b), Some(lock)) =
+                                    (c.binding.clone(), locks_acq[*t].first())
+                                {
+                                    held.retain(|h| h.guard != b);
+                                    held.push(Held {
+                                        guard: b,
+                                        lock: lock.clone(),
+                                        line: c.line,
+                                    });
+                                    continue;
+                                }
+                            }
+                        }
+                        if held.is_empty() {
+                            continue;
+                        }
+                        let reach = targets
+                            .iter()
+                            .find_map(|t| graph.block_reach(*t, &mut block_memo));
+                        if let Some(chain) = reach {
+                            let h = &held[0];
+                            out.site(
+                                file,
+                                c.line,
+                                lint,
+                                &["hold-and-call"],
+                                format!(
+                                    "call to `{}` may block ({chain}) while \
+                                     holding `{}` (guard `{}` acquired at line \
+                                     {}): drop the guard first, or waive with \
+                                     `// lint: hold-and-call -- <why this is safe>`",
+                                    c.name, h.lock, h.guard, h.line
+                                ),
+                            );
+                        }
+                    }
+                    Classified::Opaque => {}
+                },
+            }
+        }
+    }
+
+    if let Some(cycle) = find_cycle(&edges) {
+        let on_cycle = |a: &str, b: &str| cycle.windows(2).any(|w| w[0] == a && w[1] == b);
+        let site = edge_sites.iter().find(|(_, _, a, b)| on_cycle(a, b));
+        let (file, line) = site
+            .map(|(f, l, _, _)| (f.clone(), *l))
+            .unwrap_or_else(|| ("<workspace>".to_string(), 0));
+        out.finding(
+            file,
+            line,
+            lint,
+            format!(
+                "observed lock acquisition order forms a cycle ({}) through \
+                 the call graph of crate `{}`: two call paths disagree about \
+                 ordering — a latent deadlock",
+                cycle.join(" < "),
+                graph.name
+            ),
+        );
+    }
+}
+
+fn record_edge(
+    edges: &mut BTreeMap<String, Vec<String>>,
+    sites: &mut Vec<(String, usize, String, String)>,
+    from: &str,
+    to: &str,
+    rel: &str,
+    line: usize,
+) {
+    if from == to {
+        return; // re-entrant same-lock is the poison lint's business
+    }
+    let tos = edges.entry(from.to_string()).or_default();
+    if !tos.iter().any(|t| t == to) {
+        tos.push(to.to_string());
+    }
+    sites.push((rel.to_string(), line, from.to_string(), to.to_string()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    fn findings_for(sources: &[(&str, &str)]) -> Vec<crate::Finding> {
+        let ws = Workspace::from_sources(sources);
+        run(&ws, &[Box::new(HoldAndCall)])
+    }
+
+    #[test]
+    fn fires_on_direct_blocking_under_a_held_guard() {
+        let bad = "\
+struct S;
+impl S {
+    fn flush(&self) {
+        let inner = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        std::fs::rename(a, b);
+        drop(inner);
+    }
+}
+";
+        let f = findings_for(&[("crates/store/src/s.rs", bad)]);
+        assert!(
+            f.iter().any(|x| x.lint == "hold-and-call"
+                && x.line == 5
+                && x.message.contains("fs::rename")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn fires_on_transitive_blocking_through_a_call() {
+        let bad = "\
+struct S;
+impl S {
+    fn outer(&self) {
+        let g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        self.slow();
+        drop(g);
+    }
+    fn slow(&self) {
+        std::thread::sleep(d);
+    }
+}
+";
+        let f = findings_for(&[("crates/serve/src/s.rs", bad)]);
+        assert!(
+            f.iter()
+                .any(|x| x.line == 5 && x.message.contains("slow") && x.message.contains("sleep")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn own_guard_condvar_wait_and_dropped_guards_pass() {
+        let ok = "\
+struct Q;
+impl Q {
+    fn pop(&self) -> u64 {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner = self.not_empty.wait(inner).unwrap_or_else(|e| e.into_inner());
+        let v = inner.q.pop_front();
+        drop(inner);
+        self.after_unlock();
+        v
+    }
+    fn after_unlock(&self) {
+        std::thread::sleep(d);
+    }
+}
+";
+        assert_eq!(findings_for(&[("crates/serve/src/q.rs", ok)]), vec![]);
+    }
+
+    #[test]
+    fn wait_flags_other_held_guards() {
+        let bad = "\
+struct Q;
+impl Q {
+    fn bad(&self) {
+        let a = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let mut b = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        b = self.cv.wait(b).unwrap_or_else(|e| e.into_inner());
+        drop(b);
+        drop(a);
+    }
+}
+";
+        let f = findings_for(&[("crates/serve/src/q.rs", bad)]);
+        assert!(
+            f.iter().any(|x| x.line == 6 && x.message.contains("Q.a")),
+            "waiting on b releases b but still blocks while holding a: {f:?}"
+        );
+    }
+
+    #[test]
+    fn guard_returning_helper_counts_as_acquisition() {
+        let bad = "\
+struct C;
+impl C {
+    fn lock_recovered(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+    fn bad(&self) {
+        let inner = self.lock_recovered();
+        handle.join();
+        drop(inner);
+    }
+}
+";
+        let f = findings_for(&[("crates/serve/src/c.rs", bad)]);
+        assert!(
+            f.iter().any(|x| x.line == 8
+                && x.message.contains("thread join")
+                && x.message.contains("C.inner")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn cross_file_lock_order_cycle_is_detected() {
+        // The seeded two-file cycle: ab() takes A then (via a helper
+        // in the *other* file) B; ba() takes B then (via a helper in
+        // the first file) A. No single file shows both orders.
+        let file_a = "\
+struct S;
+impl S {
+    fn ab(&self) {
+        let g = self.lock_a.lock().unwrap_or_else(|e| e.into_inner());
+        self.then_b();
+        drop(g);
+    }
+    fn take_a(&self) {
+        let g = self.lock_a.lock().unwrap_or_else(|e| e.into_inner());
+        drop(g);
+    }
+}
+";
+        let file_b = "\
+impl S {
+    fn ba(&self) {
+        let g = self.lock_b.lock().unwrap_or_else(|e| e.into_inner());
+        self.take_a();
+        drop(g);
+    }
+    fn then_b(&self) {
+        let g = self.lock_b.lock().unwrap_or_else(|e| e.into_inner());
+        drop(g);
+    }
+}
+";
+        let f = findings_for(&[
+            ("crates/serve/src/order_a.rs", file_a),
+            ("crates/serve/src/order_b.rs", file_b),
+        ]);
+        assert!(
+            f.iter()
+                .any(|x| x.message.contains("cycle") && x.message.contains("S.lock_a")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn waiver_suppresses_and_is_recorded() {
+        let waived = "\
+struct W;
+impl W {
+    fn append(&self) {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        // lint: hold-and-call -- single-writer store: the lock exists to serialize appends
+        std::fs::rename(a, b);
+        drop(inner);
+    }
+}
+";
+        let ws = Workspace::from_sources(&[("crates/store/src/w.rs", waived)]);
+        let out = crate::run_full(&ws, &[Box::new(HoldAndCall) as Box<dyn Lint>], false);
+        assert_eq!(out.findings, vec![]);
+        assert!(
+            out.suppressions
+                .iter()
+                .any(|s| s.lint == "hold-and-call" && s.waiver_line == 5 && s.finding_line == 6),
+            "{:?}",
+            out.suppressions
+        );
+    }
+}

@@ -22,7 +22,7 @@
 //! telemetry only).
 
 use crate::lexer::find_token_lines;
-use crate::{Finding, Lint, Workspace};
+use crate::{Lint, Outcome, Workspace};
 
 /// Files whose contents are decision/replay paths.
 const TARGET_FILES: &[&str] = &[
@@ -67,7 +67,7 @@ impl Lint for Determinism {
         "decision/replay paths (core pipeline, serve service, session hibernate, store replay/compact, edge conn/reactor) never read wall clocks or iterate seed-ordered containers (SystemTime::now, Instant::now, HashMap, HashSet)"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, out: &mut Outcome) {
         for file in &ws.files {
             if !TARGET_FILES.contains(&file.rel.as_str()) {
                 continue;
@@ -77,19 +77,17 @@ impl Lint for Determinism {
                     if file.lexed.is_test_line(line) {
                         continue;
                     }
-                    if file.lexed.waived(line, &["determinism"]) {
-                        continue;
-                    }
-                    out.push(Finding {
-                        file: file.rel.clone(),
+                    out.site(
+                        file,
                         line,
-                        lint: self.name(),
-                        message: format!(
+                        self.name(),
+                        &["determinism"],
+                        format!(
                             "`{token}` in a decision/replay path: {why}; use the \
                              sim clock / BTree containers, or waive with \
                              `// lint: determinism -- <why it never feeds a decision>`"
                         ),
-                    });
+                    );
                 }
             }
         }
@@ -99,7 +97,7 @@ impl Lint for Determinism {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run;
+    use crate::{run, Finding};
 
     fn findings_for(src: &str) -> Vec<Finding> {
         let ws = Workspace::from_sources(&[("crates/core/src/pipeline.rs", src)]);

@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::{Finding, Lint, Workspace};
+use crate::{Finding, Lint, Outcome, Workspace};
 
 /// The format-constant-singleness lint.
 pub struct FormatConstSingleness;
@@ -45,7 +45,7 @@ impl Lint for FormatConstSingleness {
         "wire/segment format constants (MAGIC/VERSION/*_LEN/*_OVERHEAD/POLY) are declared once; distinctive values (hex >= 0x100) are never re-typed as literals elsewhere"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, out: &mut Outcome) {
         let mut decls: Vec<Decl> = Vec::new();
         for file in &ws.files {
             for d in collect_decls(&file.lexed.code) {
@@ -65,7 +65,7 @@ impl Lint for FormatConstSingleness {
             if sites.len() > 1 {
                 let home = &sites[0];
                 for dup in &sites[1..] {
-                    out.push(Finding {
+                    out.findings.push(Finding {
                         file: dup.file.clone(),
                         line: dup.line,
                         lint: self.name(),
@@ -97,20 +97,18 @@ impl Lint for FormatConstSingleness {
                     if file.lexed.is_test_line(line) {
                         continue;
                     }
-                    if file.lexed.waived(line, &["format-const"]) {
-                        continue;
-                    }
-                    out.push(Finding {
-                        file: file.rel.clone(),
+                    out.site(
+                        file,
                         line,
-                        lint: self.name(),
-                        message: format!(
+                        self.name(),
+                        &["format-const"],
+                        format!(
                             "literal {value:#x} re-types format constant \
                              `{}` (declared at {}:{}); reference the constant \
                              so the value has one home",
                             d.name, d.file, d.line
                         ),
-                    });
+                    );
                 }
             }
         }

@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 
 use crate::lexer::find_token_lines;
-use crate::{Finding, Lint, Workspace};
+use crate::{Finding, Lint, Outcome, Workspace};
 
 /// The lock-discipline lint.
 pub struct LockDiscipline;
@@ -33,7 +33,7 @@ impl Lint for LockDiscipline {
         "every Mutex::lock site recovers poison (into_inner) or carries `// lint: poison-loud`; declared `// lock-order: A < B` edges form no cycle"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, out: &mut Outcome) {
         // 1. Poison discipline at each .lock() site.
         for file in &ws.files {
             let lexed = &file.lexed;
@@ -42,23 +42,20 @@ impl Lint for LockDiscipline {
                 if lexed.is_test_line(line) {
                     continue;
                 }
-                if lexed.waived(line, &["poison-loud"]) {
-                    continue;
-                }
                 let here = code_lines.get(line - 1).copied().unwrap_or("");
                 let next = code_lines.get(line).copied().unwrap_or("");
                 if here.contains("into_inner") || next.contains("into_inner") {
                     continue;
                 }
-                out.push(Finding {
-                    file: file.rel.clone(),
+                out.site(
+                    file,
                     line,
-                    lint: self.name(),
-                    message: "`.lock()` without poison recovery: recover with \
-                              `.unwrap_or_else(|e| e.into_inner())`, or declare \
-                              fail-fast intent with `// lint: poison-loud -- <reason>`"
-                        .to_string(),
-                });
+                    self.name(),
+                    &["poison-loud"],
+                    "`.lock()` without poison recovery: recover with \
+                     `.unwrap_or_else(|e| e.into_inner())`, or declare \
+                     fail-fast intent with `// lint: poison-loud -- <reason>`",
+                );
             }
         }
 
@@ -73,7 +70,7 @@ impl Lint for LockDiscipline {
                 let spec = rest.split("--").next().unwrap_or("").trim();
                 let parts: Vec<&str> = spec.split('<').map(str::trim).collect();
                 if parts.len() < 2 || parts.iter().any(|p| p.is_empty()) {
-                    out.push(Finding {
+                    out.findings.push(Finding {
                         file: file.rel.clone(),
                         line: c.line,
                         lint: self.name(),
@@ -104,7 +101,7 @@ impl Lint for LockDiscipline {
             let (file, line) = site
                 .map(|(f, l, _, _)| (f, l))
                 .unwrap_or_else(|| ("<workspace>".to_string(), 0));
-            out.push(Finding {
+            out.findings.push(Finding {
                 file,
                 line,
                 lint: self.name(),
@@ -120,8 +117,10 @@ impl Lint for LockDiscipline {
 
 /// Finds a cycle in the directed graph, returned as a node path whose
 /// first and last elements coincide. Deterministic: nodes and edges
-/// are visited in sorted order.
-fn find_cycle(edges: &BTreeMap<String, Vec<String>>) -> Option<Vec<String>> {
+/// are visited in sorted order. Shared with the graph-aware
+/// `hold-and-call` lint, which runs it over *observed* acquisition
+/// edges rather than declared ones.
+pub(crate) fn find_cycle(edges: &BTreeMap<String, Vec<String>>) -> Option<Vec<String>> {
     #[derive(Clone, Copy, PartialEq)]
     enum State {
         Unvisited,

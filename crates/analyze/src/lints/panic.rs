@@ -23,7 +23,7 @@
 //! `poison-loud` (lock-poison `expect`s owned by the lock lint).
 
 use crate::lexer::find_token_lines;
-use crate::{Finding, Lint, Workspace};
+use crate::{Lint, Outcome, Workspace};
 
 /// Files whose contents are per-frame hot paths.
 const TARGET_FILES: &[&str] = &[
@@ -72,7 +72,7 @@ impl Lint for PanicDiscipline {
         "serve frame paths, session hibernation paths, store append/compaction paths, and edge socket paths (queue, recording, wire, session codec/hibernate, writer, segment, crc, compact, manifest, edge conn/reactor) never unwrap/expect/panic!/slice-index outside tests; fallible decode returns typed errors"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, out: &mut Outcome) {
         for file in &ws.files {
             if !TARGET_FILES.contains(&file.rel.as_str()) {
                 continue;
@@ -82,38 +82,33 @@ impl Lint for PanicDiscipline {
                     if file.lexed.is_test_line(line) {
                         continue;
                     }
-                    if file.lexed.waived(line, &["panic", "poison-loud"]) {
-                        continue;
-                    }
-                    out.push(Finding {
-                        file: file.rel.clone(),
+                    out.site(
+                        file,
                         line,
-                        lint: self.name(),
-                        message: format!(
+                        self.name(),
+                        &["panic", "poison-loud"],
+                        format!(
                             "`{token}` in a hot path: return a typed error \
                              (WireError/StoreError) instead, or waive with \
                              `// lint: panic -- <why this cannot fire>`",
                             token = token.trim_end_matches('(')
                         ),
-                    });
+                    );
                 }
             }
             for line in index_expression_lines(&file.lexed.code) {
                 if file.lexed.is_test_line(line) {
                     continue;
                 }
-                if file.lexed.waived(line, &["checked-index"]) {
-                    continue;
-                }
-                out.push(Finding {
-                    file: file.rel.clone(),
+                out.site(
+                    file,
                     line,
-                    lint: self.name(),
-                    message: "slice indexing in a hot path can panic on a short \
-                              buffer: use `.get(..)`/`chunks_exact`/slice patterns, \
-                              or waive with `// lint: checked-index -- <bound proof>`"
-                        .to_string(),
-                });
+                    self.name(),
+                    &["checked-index"],
+                    "slice indexing in a hot path can panic on a short \
+                     buffer: use `.get(..)`/`chunks_exact`/slice patterns, \
+                     or waive with `// lint: checked-index -- <bound proof>`",
+                );
             }
         }
     }
@@ -176,7 +171,7 @@ fn index_expression_lines(code: &str) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run;
+    use crate::{run, Finding};
 
     fn findings_for(src: &str) -> Vec<Finding> {
         let ws = Workspace::from_sources(&[("crates/serve/src/wire.rs", src)]);

@@ -1,0 +1,185 @@
+//! Error-swallow lint: discarded `Result`s in the data-path crates
+//! carry a written reason.
+//!
+//! `let _ = fallible();` and `fallible().ok();` erase an error without
+//! a trace: a failed fsync, a disconnected channel, a dead socket —
+//! all become silence. In the crates that move or persist frames
+//! (serve, store, edge, session), every such discard in non-test code
+//! must either be rewritten to propagate/count the error, or carry a
+//! `// lint: error-swallow -- <reason>` waiver stating why ignoring it
+//! is correct (e.g. "receiver gone means shutdown; nothing to tell").
+//!
+//! Lexical, not type-aware: `let _ = <expr>;` is flagged whether or
+//! not the expression is a `Result` — discarding *any* value
+//! namelessly deserves a stated reason in these crates — while
+//! `.ok();` as a terminated statement is the `Result`-specific idiom.
+//! `let _unused = ...` (named discard) is not flagged; naming the
+//! binding is itself the annotation.
+
+use crate::{Lint, Outcome, Workspace};
+
+/// Crates whose errors must not vanish silently.
+const SCOPE: &[&str] = &[
+    "crates/serve/src/",
+    "crates/store/src/",
+    "crates/edge/src/",
+    "crates/session/src/",
+];
+
+/// The error-swallow lint.
+pub struct ErrorSwallow;
+
+impl Lint for ErrorSwallow {
+    fn name(&self) -> &'static str {
+        "error-swallow"
+    }
+
+    fn invariant(&self) -> &'static str {
+        "in serve/store/edge/session non-test code, `let _ =` and `.ok();` discards carry `// lint: error-swallow -- <reason>` or are rewritten to propagate/count the error"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Outcome) {
+        for file in &ws.files {
+            if !SCOPE.iter().any(|p| file.rel.starts_with(p)) {
+                continue;
+            }
+            for (line, l) in (1usize..).zip(file.lexed.code.lines()) {
+                if file.lexed.is_test_line(line) {
+                    continue;
+                }
+                if let Some(what) = swallow_on_line(l) {
+                    out.site(
+                        file,
+                        line,
+                        self.name(),
+                        &["error-swallow"],
+                        format!(
+                            "{what} discards a result without a trace: \
+                             propagate it, count it via telemetry, or state \
+                             why silence is correct with \
+                             `// lint: error-swallow -- <reason>`"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Detects a discard on one code-view line: `let _ =` (word-bounded on
+/// the `_`) or a statement-terminated `.ok();`.
+fn swallow_on_line(l: &str) -> Option<&'static str> {
+    if let Some(pos) = l.find("let _") {
+        let bounded = pos == 0
+            || !matches!(l.as_bytes()[pos - 1], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_');
+        let rest = if bounded {
+            &l[pos + "let _".len()..]
+        } else {
+            ""
+        };
+        // `_` must be the whole pattern: next char is whitespace/`=`,
+        // not an identifier char (`let _unused`) or `:` (typed holes
+        // still discard, but keep parity with the named-discard rule).
+        let mut chars = rest.chars();
+        match chars.next() {
+            Some(c) if c.is_alphanumeric() || c == '_' => {}
+            _ => {
+                if rest.trim_start().starts_with('=') || rest.starts_with(" =") {
+                    return Some("`let _ = ...`");
+                }
+            }
+        }
+    }
+    // `.ok();` ending a bare expression statement. A line with an `=`
+    // is a binding or assignment — the Option is kept, not discarded
+    // (and `let _ = x.ok();` is already the first rule's business).
+    let t = l.trim_end();
+    if t.ends_with(".ok();") && !l.contains('=') {
+        return Some("`.ok();`");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    #[test]
+    fn fires_on_both_discard_shapes_in_scope() {
+        let bad = "\
+fn close(&self) {
+    let _ = self.thread.join();
+    self.file.sync_all().ok();
+}
+";
+        let ws = Workspace::from_sources(&[("crates/store/src/writer.rs", bad)]);
+        let f = run(&ws, &[Box::new(ErrorSwallow)]);
+        assert!(
+            f.iter().any(|x| x.line == 2 && x.message.contains("let _")),
+            "{f:?}"
+        );
+        assert!(
+            f.iter().any(|x| x.line == 3 && x.message.contains(".ok()")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn out_of_scope_crates_named_discards_and_tests_pass() {
+        let telemetry = "fn f() { let _ = emit(); }\n"; // telemetry not in scope
+        let named = "\
+fn g(&self) {
+    let _guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+    let value = fallible().ok();
+    let _ = value;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _ = super::g();
+        fallible().ok();
+    }
+}
+";
+        let ws = Workspace::from_sources(&[
+            ("crates/telemetry/src/export.rs", telemetry),
+            ("crates/serve/src/service.rs", named),
+        ]);
+        let f = run(&ws, &[Box::new(ErrorSwallow)]);
+        // Only the bare `let _ = value;` at line 4 fires: `_guard` is a
+        // named discard, `.ok()` mid-expression (bound to a name) is a
+        // conversion, and test code is exempt.
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses() {
+        let waived = "\
+fn drop_thread(&mut self) {
+    // lint: error-swallow -- a panicked backend already logged; join error adds nothing
+    let _ = self.thread.join();
+    self.sock.shutdown(how).ok(); // lint: error-swallow -- peer may already be gone
+}
+";
+        let ws = Workspace::from_sources(&[("crates/serve/src/recording.rs", waived)]);
+        let out = crate::run_full(&ws, &[Box::new(ErrorSwallow) as Box<dyn Lint>], false);
+        assert_eq!(out.findings, vec![]);
+        assert_eq!(out.suppressions.len(), 2, "{:?}", out.suppressions);
+    }
+
+    #[test]
+    fn comment_text_does_not_fire() {
+        let ok = "\
+fn f() {
+    // a comment mentioning let _ = and .ok(); is fine
+    real_work();
+}
+";
+        let ws = Workspace::from_sources(&[("crates/edge/src/conn.rs", ok)]);
+        assert_eq!(run(&ws, &[Box::new(ErrorSwallow)]), vec![]);
+    }
+}

@@ -12,7 +12,7 @@
 //! fails both until it is wired through.
 
 use crate::lexer::Lexed;
-use crate::{Finding, Lint, Workspace};
+use crate::{Finding, Lint, Outcome, Workspace};
 
 /// File declaring `pub enum Event`.
 const EVENT_FILE: &str = "crates/telemetry/src/event.rs";
@@ -31,14 +31,14 @@ impl Lint for TelemetryExhaustive {
         "every telemetry::Event variant appears in export.rs in both the JSONL encode match and the parse match (>= 2 `Event::V` mentions)"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, out: &mut Outcome) {
         let Some(event_file) = ws.file(EVENT_FILE) else {
             return;
         };
         let variants = event_variants_lexed(&event_file.lexed);
         let Some(export) = ws.file(EXPORT_FILE) else {
             if !variants.is_empty() {
-                out.push(Finding {
+                out.findings.push(Finding {
                     file: EVENT_FILE.to_string(),
                     line: 1,
                     lint: self.name(),
@@ -59,7 +59,7 @@ impl Lint for TelemetryExhaustive {
                 count += count_word_matches(l, &needle);
             }
             if count < 2 {
-                out.push(Finding {
+                out.findings.push(Finding {
                     file: EVENT_FILE.to_string(),
                     line: *decl_line,
                     lint: self.name(),

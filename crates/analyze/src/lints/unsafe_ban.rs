@@ -9,7 +9,7 @@
 //! fail that enforcement before it reaches a build.
 
 use crate::lexer::find_token_lines;
-use crate::{Finding, Lint, Workspace};
+use crate::{Finding, Lint, Outcome, Workspace};
 
 /// The unsafe-ban lint.
 pub struct UnsafeBan;
@@ -23,7 +23,7 @@ impl Lint for UnsafeBan {
         "every crate root declares #![forbid(unsafe_code)] and no first-party code uses the `unsafe` keyword"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, out: &mut Outcome) {
         // Crate roots: lib.rs, or main.rs when the crate has no lib.rs.
         for file in &ws.files {
             let is_lib = file.rel.ends_with("/src/lib.rs");
@@ -32,7 +32,7 @@ impl Lint for UnsafeBan {
                 ws.file(&lib).is_none()
             };
             if (is_lib || is_main) && !file.lexed.code.contains("forbid(unsafe_code)") {
-                out.push(Finding {
+                out.findings.push(Finding {
                     file: file.rel.clone(),
                     line: 1,
                     lint: self.name(),
@@ -46,7 +46,7 @@ impl Lint for UnsafeBan {
                 if file.lexed.is_test_line(line) {
                     continue;
                 }
-                out.push(Finding {
+                out.findings.push(Finding {
                     file: file.rel.clone(),
                     line,
                     lint: self.name(),

@@ -1,0 +1,472 @@
+//! An item/brace-tree parser on top of the lexer: just enough
+//! structure to build a call graph without `syn` or the compiler.
+//!
+//! Works on the lexer's *code view* (comments and literals blanked),
+//! where brace matching is reliable. The parser walks the file once,
+//! tracking `fn` items (free functions, inherent/trait methods with
+//! bodies) and the `impl`/`trait` block that owns them, and records
+//! each function's name, owner, 1-based line span and the byte span of
+//! its body (braces included) inside the code view.
+//!
+//! The parser is total: it never panics on arbitrary token streams.
+//! Unbalanced braces, truncated signatures and garbage bytes degrade
+//! to shorter or absent items, never to a crash — pinned by a proptest
+//! over arbitrary inputs. Known approximations (shared with the call
+//! graph, see DESIGN.md §5.15): closures are not items (their bodies
+//! attribute to the enclosing `fn`), and macro-generated functions are
+//! invisible.
+
+/// One `fn` item found in a source file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The `impl`/`trait` type the function is defined on, when any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based line of the body's closing brace (== `line` for
+    /// body-less trait declarations).
+    pub end_line: usize,
+    /// Byte span of the signature in the code view: from just after
+    /// the `fn` keyword to just before the body `{` (or the `;`).
+    pub sig: (usize, usize),
+    /// Byte span of the body in the code view, braces included.
+    /// `None` for body-less declarations (`fn f();` in traits). In a
+    /// file truncated mid-body the span runs to end of input.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Every `fn` item of one source file, in source order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParsedFile {
+    /// The items, ordered by position of the `fn` keyword.
+    pub fns: Vec<FnItem>,
+}
+
+/// Parses the code view of one file. Total: any byte sequence yields
+/// a (possibly empty) item list, never a panic.
+pub fn parse(code: &str) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let lines = LineIndex::new(code);
+    parse_region(code.as_bytes(), 0, code.len(), None, &lines, &mut out, 0);
+    out.fns.sort_by_key(|f| (f.line, f.name.clone()));
+    out
+}
+
+/// Newline offsets for O(log n) offset→line translation.
+struct LineIndex {
+    newlines: Vec<usize>,
+}
+
+impl LineIndex {
+    fn new(code: &str) -> Self {
+        LineIndex {
+            newlines: code
+                .bytes()
+                .enumerate()
+                .filter(|(_, b)| *b == b'\n')
+                .map(|(i, _)| i)
+                .collect(),
+        }
+    }
+
+    /// 1-based line containing byte `offset`.
+    fn line_of(&self, offset: usize) -> usize {
+        self.newlines.partition_point(|&n| n < offset) + 1
+    }
+}
+
+/// Recursion guard: pathological nesting degrades to flat scanning
+/// instead of a stack overflow.
+const MAX_DEPTH: usize = 64;
+
+fn parse_region(
+    bytes: &[u8],
+    start: usize,
+    end: usize,
+    owner: Option<&str>,
+    lines: &LineIndex,
+    out: &mut ParsedFile,
+    depth: usize,
+) {
+    let end = end.min(bytes.len());
+    let mut i = start;
+    while i < end {
+        let Some(&b) = bytes.get(i) else { break };
+        if !(b.is_ascii_alphabetic() || b == b'_') {
+            i += 1;
+            continue;
+        }
+        let word_start = i;
+        while i < end && bytes.get(i).is_some_and(|&c| is_ident_byte(c)) {
+            i += 1;
+        }
+        let bounded =
+            word_start == 0 || !bytes.get(word_start - 1).is_some_and(|&c| is_ident_byte(c));
+        if !bounded {
+            continue;
+        }
+        let word = &bytes[word_start..i];
+        match word {
+            b"fn" => {
+                let Some(item_end) = parse_fn(bytes, i, end, owner, lines, out, depth) else {
+                    continue;
+                };
+                i = item_end;
+            }
+            b"impl" | b"trait" => {
+                // Owner name: the tokens between the keyword and the
+                // block's `{` (skipping a trait-impl's `for`).
+                let Some(open) = find_body_open(bytes, i, end) else {
+                    continue;
+                };
+                let header = String::from_utf8_lossy(&bytes[i..open]).into_owned();
+                let name = owner_name(&header);
+                let close = match_brace(bytes, open, end);
+                if depth < MAX_DEPTH {
+                    parse_region(
+                        bytes,
+                        open + 1,
+                        close,
+                        name.as_deref(),
+                        lines,
+                        out,
+                        depth + 1,
+                    );
+                }
+                i = close.max(open + 1);
+            }
+            b"mod" => {
+                // A module body: recurse with no owner.
+                let Some(open) = find_body_open(bytes, i, end) else {
+                    continue;
+                };
+                let close = match_brace(bytes, open, end);
+                if depth < MAX_DEPTH {
+                    parse_region(bytes, open + 1, close, None, lines, out, depth + 1);
+                }
+                i = close.max(open + 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parses one `fn` item whose `fn` keyword ends at `after_kw`. Returns
+/// the offset just past the item (body close or `;`), or `None` when
+/// no function name follows (e.g. `fn` as the last token, or an `Fn`
+/// trait bound mis-hit — `fn(` pointer types have no name and bail).
+fn parse_fn(
+    bytes: &[u8],
+    after_kw: usize,
+    end: usize,
+    owner: Option<&str>,
+    lines: &LineIndex,
+    out: &mut ParsedFile,
+    depth: usize,
+) -> Option<usize> {
+    let mut j = after_kw;
+    while j < end && bytes.get(j).is_some_and(|b| b.is_ascii_whitespace()) {
+        j += 1;
+    }
+    let name_start = j;
+    while j < end && bytes.get(j).is_some_and(|&c| is_ident_byte(c)) {
+        j += 1;
+    }
+    if j == name_start {
+        return None; // `fn(` pointer type or truncated input
+    }
+    let name = String::from_utf8_lossy(&bytes[name_start..j]).into_owned();
+    let fn_line = lines.line_of(after_kw.saturating_sub(2));
+
+    // Scan the signature for the body `{` (at paren/bracket depth 0)
+    // or a `;` ending a body-less declaration.
+    let mut paren = 0usize;
+    let mut bracket = 0usize;
+    while j < end {
+        match bytes.get(j) {
+            Some(b'(') => paren += 1,
+            Some(b')') => paren = paren.saturating_sub(1),
+            Some(b'[') => bracket += 1,
+            Some(b']') => bracket = bracket.saturating_sub(1),
+            Some(b'{') if paren == 0 && bracket == 0 => {
+                let close = match_brace(bytes, j, end);
+                out.fns.push(FnItem {
+                    name,
+                    owner: owner.map(str::to_string),
+                    line: fn_line,
+                    end_line: lines.line_of(close.saturating_sub(1)),
+                    sig: (after_kw, j),
+                    body: Some((j, close)),
+                });
+                // Nested `fn` items inside the body are their own
+                // top-level-style items (no owner).
+                if depth < MAX_DEPTH {
+                    parse_region(
+                        bytes,
+                        j + 1,
+                        close.saturating_sub(1),
+                        None,
+                        lines,
+                        out,
+                        depth + 1,
+                    );
+                }
+                return Some(close);
+            }
+            Some(b';') if paren == 0 && bracket == 0 => {
+                out.fns.push(FnItem {
+                    name,
+                    owner: owner.map(str::to_string),
+                    line: fn_line,
+                    end_line: fn_line,
+                    sig: (after_kw, j),
+                    body: None,
+                });
+                return Some(j + 1);
+            }
+            None => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    // Truncated signature: record a body-less item and stop there.
+    out.fns.push(FnItem {
+        name,
+        owner: owner.map(str::to_string),
+        line: fn_line,
+        end_line: fn_line,
+        sig: (after_kw, end),
+        body: None,
+    });
+    Some(end)
+}
+
+/// Offset of the `{` opening the block that follows a `impl`/`trait`/
+/// `mod` header starting at `from`, or `None` when a `;` (or nothing)
+/// comes first at bracket depth 0 (e.g. `mod name;`).
+fn find_body_open(bytes: &[u8], from: usize, end: usize) -> Option<usize> {
+    let mut paren = 0usize;
+    let mut j = from;
+    while j < end {
+        match bytes.get(j)? {
+            b'(' | b'[' | b'<' => paren += 1,
+            b')' | b']' | b'>' => paren = paren.saturating_sub(1),
+            b'{' => return Some(j),
+            b';' if paren == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Offset just past the `}` matching the `{` at `open` (or `end` when
+/// the file ends unbalanced).
+fn match_brace(bytes: &[u8], open: usize, end: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < end {
+        match bytes.get(j) {
+            Some(b'{') => depth += 1,
+            Some(b'}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            None => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    end
+}
+
+/// The owning type name from an `impl`/`trait` header (keyword
+/// excluded): for `impl<T> Trait for Type<T>` the segment after `for`;
+/// otherwise the last path segment before any generics.
+fn owner_name(header: &str) -> Option<String> {
+    // Strip a leading generic parameter list.
+    let header = header.trim();
+    let rest = if let Some(stripped) = header.strip_prefix('<') {
+        let mut depth = 1usize;
+        let mut cut = stripped.len();
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        stripped.get(cut..).unwrap_or("")
+    } else {
+        header
+    };
+    let target = match rest.find(" for ") {
+        Some(p) => rest.get(p + 5..).unwrap_or(""),
+        None => rest,
+    };
+    let target = target.trim().trim_start_matches('&');
+    let head: String = target
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == ':')
+        .collect();
+    let last = head.rsplit("::").next().unwrap_or("").trim().to_string();
+    if last.is_empty() {
+        None
+    } else {
+        Some(last)
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src).code)
+    }
+
+    #[test]
+    fn free_functions_methods_and_owners() {
+        let src = "\
+fn free(a: u32) -> u32 {
+    a + 1
+}
+
+struct Q;
+
+impl Q {
+    pub fn method(&self) -> u32 {
+        free(2)
+    }
+}
+
+impl std::fmt::Display for Q {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, \"q\")
+    }
+}
+
+trait Backend {
+    fn record(&mut self) -> bool;
+    fn idle(&mut self) -> bool {
+        true
+    }
+}
+";
+        let p = parse_src(src);
+        let names: Vec<(&str, Option<&str>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None),
+                ("method", Some("Q")),
+                ("fmt", Some("Q")),
+                ("record", Some("Backend")),
+                ("idle", Some("Backend")),
+            ]
+        );
+        let free = &p.fns[0];
+        assert_eq!((free.line, free.end_line), (1, 3));
+        assert!(free.body.is_some());
+        let record = &p.fns[3];
+        assert!(record.body.is_none(), "trait decl has no body");
+    }
+
+    #[test]
+    fn bodies_span_their_braces() {
+        let src = "fn f() { if true { g(); } }\nfn g() {}\n";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 2);
+        let (s, e) = p.fns[0].body.expect("f has a body");
+        assert_eq!(&src[s..e], "{ if true { g(); } }");
+        let (s, e) = p.fns[1].body.expect("g has a body");
+        assert_eq!(&src[s..e], "{}");
+    }
+
+    #[test]
+    fn fn_pointer_types_and_closures_are_not_items() {
+        let src = "\
+fn f(cb: fn(u32) -> u32) -> u32 {
+    let add = |x: u32| x + 1;
+    add(cb(1))
+}
+";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 1, "{:?}", p.fns);
+        assert_eq!(p.fns[0].name, "f");
+    }
+
+    #[test]
+    fn where_clauses_and_generic_signatures() {
+        let src = "\
+fn g<T: Iterator<Item = [u8; 4]>>(t: T) -> usize
+where
+    T: Clone,
+{
+    t.count()
+}
+";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 1);
+        let (s, e) = p.fns[0].body.expect("body");
+        assert_eq!(&src[s..e], "{\n    t.count()\n}");
+    }
+
+    #[test]
+    fn unbalanced_and_garbage_input_never_panics() {
+        for src in [
+            "fn",
+            "fn (",
+            "fn f(",
+            "fn f() {",
+            "}}}}{{{{",
+            "impl {",
+            "impl for {}",
+            "trait ;",
+            "mod m",
+            "fn f() { fn g() {} }",
+            "\u{1F980} fn crab() {}",
+        ] {
+            let p = parse_src(src);
+            for item in &p.fns {
+                if let Some((s, e)) = item.body {
+                    assert!(s <= e);
+                    let lexed = lex(src);
+                    assert!(lexed.code.get(s..e).is_some(), "span valid for {src:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_fns_are_items_without_owner() {
+        let src = "impl W { fn outer(&self) { fn inner() {} inner(); } }";
+        let p = parse_src(src);
+        let names: Vec<(&str, Option<&str>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert!(names.contains(&("outer", Some("W"))), "{names:?}");
+        assert!(names.contains(&("inner", None)), "{names:?}");
+    }
+}

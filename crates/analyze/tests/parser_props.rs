@@ -1,0 +1,166 @@
+//! Property tests for the analyzer's front half: the lexer's code
+//! view is **structure-preserving** and the item parser is **total**.
+//! Arbitrary token soup — including unbalanced braces, truncated
+//! strings, stray `fn` keywords and comment openers — must never
+//! panic the parser, and every span it reports must index real,
+//! in-bounds source.
+
+use mobisense_analyze::{lex, parse};
+use proptest::prelude::*;
+
+/// Token soup skewed toward the constructs the parser cares about.
+fn token_pool() -> Vec<&'static str> {
+    vec![
+        "fn",
+        "impl",
+        "trait",
+        "mod",
+        "struct",
+        "for",
+        "where",
+        "pub",
+        "self",
+        "name",
+        "Frame",
+        "x",
+        "y",
+        "{",
+        "}",
+        "(",
+        ")",
+        "<",
+        ">",
+        "[",
+        "]",
+        ";",
+        ",",
+        ":",
+        "::",
+        "->",
+        "=",
+        ".",
+        "&",
+        "&mut",
+        "'a",
+        "'x'",
+        "\"str\"",
+        "\"unterminated",
+        "r#\"raw\"#",
+        "// comment",
+        "/*",
+        "*/",
+        "#[test]",
+        "#[cfg(test)]",
+        "#![forbid(unsafe_code)]",
+        "1",
+        "0x4D53",
+        "!",
+        "?",
+        "#",
+    ]
+}
+
+/// Tokens safe inside a single function body: nothing that opens or
+/// closes a brace, a string, or a comment.
+fn body_pool() -> Vec<&'static str> {
+    vec![
+        "name", "x", "y", "self", "(", ")", "<", ">", "[", "]", ";", ",", "::", "->", "=", ".",
+        "&", "1", "0x4D53", "?", "let", "if", "return",
+    ]
+}
+
+fn render(tokens: &[&str], seps: &[bool]) -> String {
+    let mut s = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        s.push_str(t);
+        s.push(if seps.get(i).copied().unwrap_or(false) {
+            '\n'
+        } else {
+            ' '
+        });
+    }
+    s
+}
+
+proptest! {
+    /// The parser is total: any token stream lexes and parses without
+    /// panicking, and every reported span indexes in-bounds source on
+    /// character boundaries.
+    #[test]
+    fn parser_never_panics_and_spans_are_in_bounds(
+        tokens in prop::collection::vec(prop::sample::select(token_pool()), 0..120),
+        seps in prop::collection::vec(0u8..2, 0..120),
+    ) {
+        let seps: Vec<bool> = seps.into_iter().map(|b| b == 1).collect();
+        let src = render(&tokens, &seps);
+        let lexed = lex(&src);
+        // The code view is byte-length- and newline-preserving.
+        prop_assert_eq!(lexed.code.len(), src.len());
+        prop_assert_eq!(
+            lexed.code.bytes().filter(|&b| b == b'\n').count(),
+            src.bytes().filter(|&b| b == b'\n').count()
+        );
+        let parsed = parse::parse(&lexed.code);
+        let n_lines = lexed.code.lines().count() + 1;
+        for f in &parsed.fns {
+            prop_assert!(f.line >= 1 && f.line <= n_lines, "fn line {} of {n_lines}", f.line);
+            prop_assert!(f.end_line >= f.line, "end {} < start {}", f.end_line, f.line);
+            let (a, b) = f.sig;
+            prop_assert!(a <= b && b <= lexed.code.len(), "sig {a}..{b}");
+            prop_assert!(lexed.code.is_char_boundary(a) && lexed.code.is_char_boundary(b));
+            if let Some((ba, bb)) = f.body {
+                prop_assert!(ba < bb && bb <= lexed.code.len(), "body {ba}..{bb}");
+                let body = &lexed.code[ba..bb];
+                prop_assert!(body.starts_with('{'), "body starts {:?}", &body[..1]);
+                // Balanced bodies close with their brace; an unbalanced
+                // file (mid-edit) runs to EOF by contract.
+                prop_assert!(
+                    body.ends_with('}') || bb == lexed.code.len(),
+                    "body closes or runs to EOF"
+                );
+            }
+        }
+    }
+
+    /// Round trip on well-formed items: a probe function wrapped
+    /// around brace-free soup is found by name, its signature span
+    /// contains the name, and its body span covers balanced braces.
+    #[test]
+    fn probe_fn_round_trips_through_arbitrary_bodies(
+        body_tokens in prop::collection::vec(prop::sample::select(body_pool()), 0..60),
+        seps in prop::collection::vec(0u8..2, 0..60),
+        owner in 0u8..2,
+    ) {
+        let seps: Vec<bool> = seps.into_iter().map(|b| b == 1).collect();
+        let body = render(&body_tokens, &seps);
+        let src = if owner == 1 {
+            format!("impl Probe {{\n    fn probe(&self) -> u32 {{ {body} }}\n}}\n")
+        } else {
+            format!("fn probe() -> u32 {{ {body} }}\n")
+        };
+        let lexed = lex(&src);
+        let parsed = parse::parse(&lexed.code);
+        let f = parsed
+            .fns
+            .iter()
+            .find(|f| f.name == "probe")
+            .expect("probe fn is found");
+        if owner == 1 {
+            prop_assert_eq!(f.owner.as_deref(), Some("Probe"));
+        } else {
+            prop_assert!(f.owner.is_none());
+        }
+        let sig = &lexed.code[f.sig.0..f.sig.1];
+        prop_assert!(sig.contains("probe"), "sig {sig:?}");
+        let (ba, bb) = f.body.expect("probe has a body");
+        let span = &lexed.code[ba..bb];
+        let opens = span.matches('{').count();
+        let closes = span.matches('}').count();
+        prop_assert_eq!(opens, closes);
+        prop_assert!(
+            span.starts_with('{') && span.ends_with('}'),
+            "body span is brace-delimited"
+        );
+        prop_assert_eq!(f.end_line, lexed.line_of(bb - 1));
+    }
+}

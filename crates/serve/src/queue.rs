@@ -203,7 +203,7 @@ impl ShardQueue {
             (WorkItem::Migrate { .. } | WorkItem::Adopt(_), _) => {}
             (WorkItem::Frame(..), OverflowPolicy::Block) => {
                 while inner.q.len() >= self.capacity && !inner.closed {
-                    // lint: poison-loud -- frame path fails fast on poison
+                    // lint: poison-loud, hot-path -- fail fast on poison; Block backpressure parks the producer until the worker drains (woken by pop/close)
                     inner = self.not_full.wait(inner).expect("queue poisoned");
                 }
             }
@@ -281,7 +281,7 @@ impl ShardQueue {
             if inner.closed {
                 return None;
             }
-            // lint: poison-loud -- frame path fails fast on poison
+            // lint: poison-loud, hot-path -- fail fast on poison; the worker idles here until a producer enqueues (woken by push/close)
             inner = self.not_empty.wait(inner).expect("queue poisoned");
         }
     }

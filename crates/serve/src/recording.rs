@@ -151,6 +151,7 @@ impl Channel {
             return false;
         }
         while inner.q.len() >= self.capacity && !inner.closed {
+            // lint: hot-path -- lossless-policy backpressure: the producer parks until the backend drains (woken by pop/close)
             inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
         }
         if inner.closed {
@@ -192,7 +193,7 @@ impl Channel {
             }
             inner = self
                 .not_empty
-                .wait(inner)
+                .wait(inner) // lint: hot-path -- drain loop idles until a producer enqueues (woken by push/close)
                 .unwrap_or_else(|e| e.into_inner());
         }
     }
@@ -321,7 +322,7 @@ impl<B: RecordBackend + 'static> Recorder<B> {
         self.handle.chan.close();
         let out = match self.thread.take() {
             Some(thread) => thread
-                .join()
+                .join() // lint: hot-path -- shutdown: the channel is closed, so the backend drains its backlog and exits
                 .unwrap_or_else(|_| Err(io::Error::other("recorder thread panicked")))?,
             None => return Err(io::Error::other("recorder already joined")),
         };
@@ -338,6 +339,7 @@ impl<B: RecordBackend + 'static> Drop for Recorder<B> {
     fn drop(&mut self) {
         if let Some(thread) = self.thread.take() {
             self.handle.chan.close();
+            // lint: error-swallow -- Drop cannot surface backend output or a panic; finish() is the observing path
             let _ = thread.join();
         }
     }

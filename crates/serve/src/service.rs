@@ -547,8 +547,7 @@ fn run_worker(
             WorkItem::Frame(ticket, frame) => (ticket, frame),
             WorkItem::Migrate { client_id, reply } => {
                 let parcel = ws.extract_parcel(client_id);
-                // A dropped receiver means the engine is already
-                // finishing; the parcel has nowhere to go.
+                // lint: error-swallow -- a dropped receiver means the engine is already finishing; the parcel has nowhere to go
                 let _ = reply.send(parcel);
                 ws.publish_gauges();
                 continue;
@@ -874,7 +873,7 @@ impl ShardEngine {
         let results: Vec<WorkerResult> = self
             .workers
             .into_iter()
-            .map(|w| w.join().expect("worker panicked"))
+            .map(|w| w.join().expect("worker panicked")) // lint: hot-path -- shutdown join: queues are closed, workers drain and exit
             .collect();
         let mut decisions: Vec<ServeDecision> = Vec::new();
         let mut report = ServeReport {

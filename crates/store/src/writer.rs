@@ -85,6 +85,7 @@ pub(crate) fn sync_dir(dir: &Path) -> io::Result<()> {
     #[cfg(unix)]
     File::open(dir)?.sync_all()?;
     #[cfg(not(unix))]
+    // lint: error-swallow -- non-unix: no portable directory fsync; the parameter is deliberately unused
     let _ = dir;
     Ok(())
 }

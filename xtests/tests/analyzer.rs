@@ -7,7 +7,7 @@
 use std::path::{Path, PathBuf};
 
 use mobisense_analyze::lints::telemetry::event_variants;
-use mobisense_analyze::{all_lints, load_workspace, run};
+use mobisense_analyze::{all_lints, load_workspace, run, run_full, Lint};
 use mobisense_telemetry::export::{event_to_json, parse_event};
 use mobisense_telemetry::Event;
 
@@ -19,9 +19,11 @@ fn repo_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// The shipped workspace is lint-clean: what CI enforces with
-/// `cargo run -p mobisense-analyze -- --deny-all`, asserted here so
-/// a plain `cargo test` catches regressions too.
+/// The shipped workspace is lint-clean *including waiver hygiene*:
+/// what CI enforces with `cargo run -p mobisense-analyze --
+/// --deny-all`, asserted here so a plain `cargo test` catches
+/// regressions too. Every waiver in the tree must still be earning
+/// its keep — a stale one is a finding.
 #[test]
 fn shipped_workspace_has_no_findings() {
     let ws = load_workspace(&repo_root()).expect("load workspace");
@@ -30,25 +32,64 @@ fn shipped_workspace_has_no_findings() {
         "workspace discovery looks broken: only {} files",
         ws.files.len()
     );
-    let findings = run(&ws, &all_lints());
-    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    let out = run_full(&ws, &all_lints(), true);
+    let rendered: Vec<String> = out.findings.iter().map(|f| f.to_string()).collect();
     assert!(
-        findings.is_empty(),
+        out.findings.is_empty(),
         "lint findings:\n{}",
         rendered.join("\n")
     );
+    assert!(
+        !out.suppressions.is_empty(),
+        "the workspace carries waivers; zero recorded suppressions \
+         means waiver accounting broke"
+    );
 }
 
-/// The suite carries the six contract lints, each with a distinct
+/// Each committed known-bad fixture tree makes exactly its lint fire —
+/// the same trees CI gates with `--root ... --only <lint> --deny-all`.
+#[test]
+fn committed_fixtures_trip_their_lints() {
+    let cases: [(&str, &str, &[&str]); 3] = [
+        ("hold_and_call", "hold-and-call", &["fs::rename", "cycle"]),
+        ("blocking_hot_path", "hot-path", &["sleep", "fs::write"]),
+        ("error_swallow", "error-swallow", &["let _", ".ok()"]),
+    ];
+    for (dir, lint_name, needles) in cases {
+        let root = repo_root().join("crates/analyze/fixtures").join(dir);
+        let ws = load_workspace(&root).unwrap_or_else(|e| panic!("load fixture {dir}: {e}"));
+        let lints: Vec<Box<dyn Lint>> = all_lints()
+            .into_iter()
+            .filter(|l| l.name() == lint_name)
+            .collect();
+        assert_eq!(lints.len(), 1, "lint {lint_name} exists");
+        let findings = run(&ws, &lints);
+        assert!(
+            !findings.is_empty(),
+            "fixture {dir} no longer trips {lint_name}"
+        );
+        for needle in needles {
+            assert!(
+                findings.iter().any(|f| f.message.contains(needle)),
+                "fixture {dir} lost its `{needle}` finding: {findings:?}"
+            );
+        }
+    }
+}
+
+/// The suite carries the nine contract lints, each with a distinct
 /// name and a non-empty invariant statement (what `--list` prints).
 #[test]
-fn lint_suite_covers_the_six_contracts() {
+fn lint_suite_covers_the_nine_contracts() {
     let lints = all_lints();
     let names: Vec<&str> = lints.iter().map(|l| l.name()).collect();
     for expected in [
         "determinism",
         "panic-paths",
         "lock-discipline",
+        "hold-and-call",
+        "hot-path",
+        "error-swallow",
         "telemetry-exhaustive",
         "format-const",
         "unsafe-ban",
